@@ -1,0 +1,55 @@
+// Figure 5(a): Pig Latin workflow execution time, Car dealerships, local
+// mode. Average seconds per execution as a function of the number of
+// executions per run (prior executions grow the dealership state the bid
+// computation reasons over), with and without provenance tracking.
+
+#include "bench_util.h"
+#include "provenance/graph.h"
+#include "workflowgen/dealership.h"
+
+using namespace lipstick;
+using namespace lipstick::bench;
+using namespace lipstick::workflowgen;
+
+namespace {
+
+double RunSeries(int num_cars, int num_exec, bool track, size_t* nodes) {
+  DealershipConfig cfg;
+  cfg.num_cars = num_cars;
+  cfg.num_executions = num_exec;
+  cfg.seed = 12345;
+  cfg.accept_probability = 0;  // never accept: full-length bid series
+  auto wf = DealershipWorkflow::Create(cfg);
+  Check(wf.status());
+  ProvenanceGraph graph;
+  WallTimer timer;
+  for (int e = 1; e <= num_exec; ++e) {
+    Check((*wf)->ExecuteOnce(e, track ? &graph : nullptr).status());
+  }
+  double elapsed = timer.ElapsedSeconds();
+  if (nodes != nullptr) *nodes = graph.num_nodes();
+  return elapsed / num_exec;
+}
+
+}  // namespace
+
+int main() {
+  int num_cars = Scaled(20000, 400);
+  Banner("Figure 5(a)", "workflow execution time — Car dealerships",
+         "numCars=20000 (5000/dealership); avg sec per execution vs "
+         "number of executions per run");
+  std::printf("%-10s %-16s %-18s %-10s %s\n", "numExec", "no_provenance",
+              "with_provenance", "overhead", "graph_nodes");
+  for (int num_exec : {2, 5, 10, 20, 40, 60, 80, 100}) {
+    double plain = RunSeries(num_cars, num_exec, false, nullptr);
+    size_t nodes = 0;
+    double tracked = RunSeries(num_cars, num_exec, true, &nodes);
+    std::printf("%-10d %-16.4f %-18.4f %-10.2f %zu\n", num_exec, plain,
+                tracked, tracked / plain, nodes);
+  }
+  std::printf(
+      "\nexpected shape (paper): both curves grow with numExec (state\n"
+      "grows with prior executions); tracking overhead grows with history\n"
+      "(paper: 2.7s->7s at 10 execs, 3.8s->11.9s at 100 execs).\n");
+  return 0;
+}

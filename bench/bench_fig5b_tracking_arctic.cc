@@ -1,0 +1,67 @@
+// Figure 5(b): Pig Latin workflow execution time, Arctic stations, local
+// mode. Average seconds per execution for serial / parallel / dense
+// topologies (24 station modules, selectivity = month), with and without
+// provenance tracking, as a function of the number of executions.
+
+#include "bench_util.h"
+#include "workflowgen/arctic.h"
+
+using namespace lipstick;
+using namespace lipstick::bench;
+using namespace lipstick::workflowgen;
+
+namespace {
+
+struct Config {
+  const char* name;
+  ArcticTopology topology;
+  int fan_out;
+};
+
+double RunSeries(const Config& config, int num_exec, bool track) {
+  ArcticConfig cfg;
+  cfg.topology = config.topology;
+  cfg.fan_out = config.fan_out;
+  cfg.num_stations = 24;
+  cfg.selectivity = Selectivity::kMonth;
+  cfg.history_years = Scaled(40, 2);
+  cfg.seed = 99;
+  auto wf = ArcticWorkflow::Create(cfg);
+  Check(wf.status());
+  ProvenanceGraph graph;
+  WallTimer timer;
+  Check((*wf)->RunSeries(num_exec, track ? &graph : nullptr).status());
+  return timer.ElapsedSeconds() / num_exec;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 5(b)", "workflow execution time — Arctic stations",
+         "24 station modules, selectivity=month, dense fan-out 6; "
+         "avg sec per execution vs number of executions");
+  const Config kConfigs[] = {
+      {"serial", ArcticTopology::kSerial, 0},
+      {"parallel", ArcticTopology::kParallel, 0},
+      {"dense", ArcticTopology::kDense, 6},
+  };
+  std::printf("%-10s %-10s %-16s %-18s %s\n", "topology", "numExec",
+              "no_provenance", "with_provenance", "overhead");
+  for (const Config& config : kConfigs) {
+    for (int num_exec : {10, 40, 70, 100}) {
+      double plain = RunSeries(config, num_exec, false);
+      double tracked = RunSeries(config, num_exec, true);
+      std::printf("%-10s %-10d %-16.4f %-18.4f %.1f%%\n", config.name,
+                  num_exec, plain, tracked,
+                  100.0 * (tracked - plain) / plain);
+    }
+  }
+  std::printf(
+      "\nexpected shape (paper): time roughly flat in numExec (no direct\n"
+      "dependency between executions); tracking overhead ~16-35%%; the\n"
+      "paper's serial>dense>parallel time ordering stems from its\n"
+      "per-program file-system parameter passing, which this in-process\n"
+      "engine does not pay, so topologies here differ mainly in edge\n"
+      "count (dense > serial > parallel).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 6(b): provenance graph building time, Arctic stations, dense
+// topology with fan-out 2, by query selectivity, for 2 / 6 / 12 / 24
+// station modules. All workflows are executed 100 times per run (paper
+// setup); lower selectivity => more observations match => larger graph.
+
+#include <sstream>
+
+#include "bench_util.h"
+#include "provenance/provio.h"
+#include "workflowgen/arctic.h"
+
+using namespace lipstick;
+using namespace lipstick::bench;
+using namespace lipstick::workflowgen;
+
+namespace {
+
+double BuildTime(const ProvenanceGraph& graph, size_t* nodes) {
+  std::ostringstream file;
+  Check(SaveGraph(graph, file));
+  std::string serialized = file.str();
+  std::istringstream in(serialized);
+  WallTimer timer;
+  Result<ProvenanceGraph> loaded = LoadGraph(in);
+  Check(loaded.status());
+  loaded->Seal();
+  double t = timer.ElapsedSeconds();
+  *nodes = loaded->num_nodes();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 6(b)",
+         "provenance graph building time — Arctic stations, dense fan-out 2",
+         "build time (sec) by selectivity, for 2/6/12/24 modules; "
+         "numExec=100");
+  int num_exec = Scaled(100, 5);
+  std::printf("%-12s %-10s %-12s %s\n", "selectivity", "modules", "nodes",
+              "build_sec");
+  for (Selectivity sel : {Selectivity::kAll, Selectivity::kSeason,
+                          Selectivity::kMonth, Selectivity::kYear}) {
+    for (int modules : {2, 6, 12, 24}) {
+      ArcticConfig cfg;
+      cfg.topology = ArcticTopology::kDense;
+      cfg.fan_out = 2;
+      cfg.num_stations = modules;
+      cfg.selectivity = sel;
+      cfg.history_years = Scaled(40, 2);
+      cfg.seed = 31337;
+      auto wf = ArcticWorkflow::Create(cfg);
+      Check(wf.status());
+      ProvenanceGraph graph;
+      Check((*wf)->RunSeries(num_exec, &graph).status());
+      size_t nodes = 0;
+      double t = BuildTime(graph, &nodes);
+      std::printf("%-12s %-10d %-12zu %.4f\n", SelectivityName(sel),
+                  modules, nodes, t);
+    }
+  }
+  std::printf(
+      "\nexpected shape (paper): build time grows with the number of\n"
+      "modules, and with decreasing selectivity (all > season > month >\n"
+      "year).\n");
+  return 0;
+}

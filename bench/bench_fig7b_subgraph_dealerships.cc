@@ -1,0 +1,67 @@
+// Figure 7(b): subgraph query performance, Car dealerships. A subgraph
+// query returns a node's ancestors, descendants, and siblings of
+// descendants. Following the paper's methodology, the 50 nodes with the
+// highest number of children are queried and the time is reported against
+// the size of the resulting subgraph.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "provenance/subgraph.h"
+#include "workflowgen/dealership.h"
+
+using namespace lipstick;
+using namespace lipstick::bench;
+using namespace lipstick::workflowgen;
+
+int main() {
+  Banner("Figure 7(b)", "subgraph query time — Car dealerships",
+         "ms per query vs subgraph result size; 50 highest-fanout nodes; "
+         "numCars=20000");
+  int num_cars = Scaled(20000, 400);
+  DealershipConfig cfg;
+  cfg.num_cars = num_cars;
+  cfg.num_executions = Scaled(100, 5);
+  cfg.seed = 777;
+  cfg.accept_probability = 0;
+  auto wf = DealershipWorkflow::Create(cfg);
+  Check(wf.status());
+  ProvenanceGraph graph;
+  for (int e = 1; e <= cfg.num_executions; ++e) {
+    Check((*wf)->ExecuteOnce(e, &graph).status());
+  }
+  graph.Seal();
+  std::printf("graph: %zu nodes, %zu edges\n\n", graph.num_alive(),
+              graph.num_edges());
+
+  // Pick the 50 nodes with the most children.
+  std::vector<std::pair<size_t, NodeId>> fanout;
+  for (NodeId id : graph.AllNodeIds()) {
+    if (!graph.Contains(id)) continue;
+    fanout.emplace_back(graph.Children(id).size(), id);
+  }
+  std::sort(fanout.rbegin(), fanout.rend());
+  if (fanout.size() > 50) fanout.resize(50);
+
+  std::printf("%-14s %-14s %-12s %s\n", "node_children", "subgraph_nodes",
+              "time_ms", "node_label");
+  std::vector<std::pair<size_t, std::pair<double, NodeId>>> rows;
+  for (const auto& [children, id] : fanout) {
+    WallTimer timer;
+    auto sub = SubgraphQuery(graph, id);
+    double ms = timer.ElapsedMillis();
+    rows.push_back({sub.size(), {ms, id}});
+  }
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [size, rest] : rows) {
+    const auto& [ms, id] = rest;
+    std::printf("%-14zu %-14zu %-12.3f %s\n",
+                graph.Children(id).size(), size, ms,
+                NodeLabelToString(graph.node(id).label));
+  }
+  std::printf(
+      "\nexpected shape (paper): time ~linear in subgraph size, sub-second\n"
+      "even for subgraphs of tens of thousands of nodes.\n");
+  return 0;
+}

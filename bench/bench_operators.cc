@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark): per-operator throughput of the Pig
+// Latin engine with provenance tracking off (Arg(0)) and on (Arg(1)).
+// Quantifies where the tracking overhead of Figures 5(a)/5(b) comes from.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "pig/interpreter.h"
+#include "pig/parser.h"
+#include "provenance/graph.h"
+
+namespace lipstick {
+namespace {
+
+constexpr int kTuples = 1000;
+
+/// Builds a relation of (id:int, key:int, val:double) with `n` tuples,
+/// annotating each with a token when `writer` is given.
+Relation MakeInput(const std::string& name, int n, ShardWriter* writer) {
+  SchemaPtr schema = Schema::Make({Field("id", FieldType::Int()),
+                                   Field("key", FieldType::Int()),
+                                   Field("val", FieldType::Double())});
+  Relation rel(name, schema);
+  Rng rng(7);
+  for (int i = 0; i < n; ++i) {
+    Tuple t;
+    t.Append(Value::Int(i));
+    t.Append(Value::Int(rng.Uniform(0, 20)));
+    t.Append(Value::Double(rng.UniformDouble() * 100));
+    ProvAnnotation a =
+        writer ? writer->Token("t" + std::to_string(i)) : kNoProvenance;
+    rel.bag.Add(std::move(t), a);
+  }
+  return rel;
+}
+
+void RunStatementBench(benchmark::State& state, const char* source,
+                       bool two_inputs = false) {
+  bool track = state.range(0) != 0;
+  pig::UdfRegistry udfs;
+  auto program = pig::ParseProgram(source);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  pig::Interpreter interp(&udfs);
+  for (auto _ : state) {
+    ProvenanceGraph graph;
+    auto writer = graph.writer();
+    ShardWriter* w = track ? &writer : nullptr;
+    pig::Environment env;
+    env.Bind("A", MakeInput("A", kTuples, w));
+    if (two_inputs) env.Bind("B", MakeInput("B", kTuples, w));
+    Status st = interp.Run(*program, &env, w);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(env);
+  }
+  state.SetItemsProcessed(state.iterations() * kTuples);
+}
+
+void BM_ForEachProjection(benchmark::State& state) {
+  RunStatementBench(state, "R = FOREACH A GENERATE id, val;");
+}
+BENCHMARK(BM_ForEachProjection)->Arg(0)->Arg(1);
+
+void BM_ForEachComputed(benchmark::State& state) {
+  RunStatementBench(state, "R = FOREACH A GENERATE id, val * 2.0 + 1.0 AS d;");
+}
+BENCHMARK(BM_ForEachComputed)->Arg(0)->Arg(1);
+
+void BM_Filter(benchmark::State& state) {
+  RunStatementBench(state, "R = FILTER A BY key < 10;");
+}
+BENCHMARK(BM_Filter)->Arg(0)->Arg(1);
+
+void BM_Group(benchmark::State& state) {
+  RunStatementBench(state, "R = GROUP A BY key;");
+}
+BENCHMARK(BM_Group)->Arg(0)->Arg(1);
+
+void BM_GroupAggregate(benchmark::State& state) {
+  RunStatementBench(state,
+                    "G = GROUP A BY key;\n"
+                    "R = FOREACH G GENERATE group, COUNT(A) AS n,"
+                    " SUM(A.val) AS s;");
+}
+BENCHMARK(BM_GroupAggregate)->Arg(0)->Arg(1);
+
+void BM_Join(benchmark::State& state) {
+  RunStatementBench(state, "R = JOIN A BY id, B BY id;", /*two_inputs=*/true);
+}
+BENCHMARK(BM_Join)->Arg(0)->Arg(1);
+
+void BM_Distinct(benchmark::State& state) {
+  RunStatementBench(state, "K = FOREACH A GENERATE key;\nR = DISTINCT K;");
+}
+BENCHMARK(BM_Distinct)->Arg(0)->Arg(1);
+
+void BM_Union(benchmark::State& state) {
+  RunStatementBench(state, "R = UNION A, B;", /*two_inputs=*/true);
+}
+BENCHMARK(BM_Union)->Arg(0)->Arg(1);
+
+void BM_OrderBy(benchmark::State& state) {
+  RunStatementBench(state, "R = ORDER A BY val DESC;");
+}
+BENCHMARK(BM_OrderBy)->Arg(0)->Arg(1);
+
+void BM_Cogroup(benchmark::State& state) {
+  RunStatementBench(state, "R = COGROUP A BY key, B BY key;",
+                    /*two_inputs=*/true);
+}
+BENCHMARK(BM_Cogroup)->Arg(0)->Arg(1);
+
+/// Graph-side primitives.
+void BM_GraphAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    ProvenanceGraph graph;
+    auto w = graph.writer();
+    NodeId prev = w.Token("x");
+    for (int i = 0; i < kTuples; ++i) {
+      prev = w.Plus({prev});
+    }
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(state.iterations() * kTuples);
+}
+BENCHMARK(BM_GraphAppend);
+
+void BM_GraphSeal(benchmark::State& state) {
+  ProvenanceGraph graph;
+  auto w = graph.writer();
+  NodeId prev = w.Token("x");
+  for (int i = 0; i < 10000; ++i) prev = w.Plus({prev});
+  for (auto _ : state) {
+    graph.MarkDirty();
+    graph.Seal();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_GraphSeal);
+
+}  // namespace
+}  // namespace lipstick
+
+BENCHMARK_MAIN();

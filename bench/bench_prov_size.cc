@@ -1,0 +1,69 @@
+// Section 5.5 (text): size of the provenance of output tuples — the
+// evidence that the recorded provenance is truly fine-grained. The paper
+// reports that with numCars=20000 any particular output tuple (a sold car)
+// depends on 1.8%-2.2% of the state tuples (~415 tuples) and two input
+// tuples, versus 100% of state and inputs under coarse-grained provenance.
+
+#include "bench_util.h"
+#include "provenance/subgraph.h"
+#include "workflowgen/dealership.h"
+
+using namespace lipstick;
+using namespace lipstick::bench;
+using namespace lipstick::workflowgen;
+
+int main() {
+  Banner("Section 5.5", "fine-grained provenance size — Car dealerships",
+         "fraction of state/input tuples an output (sale) depends on");
+  int num_cars = Scaled(20000, 400);
+  std::printf("%-8s %-14s %-16s %-12s %-12s %s\n", "run", "state_tuples",
+              "state_in_deriv", "fraction", "inputs_used", "paper");
+  int runs_with_sales = 0;
+  for (uint64_t seed = 1; runs_with_sales < 5 && seed < 60; ++seed) {
+    DealershipConfig cfg;
+    cfg.num_cars = num_cars;
+    cfg.num_executions = 60;
+    cfg.seed = seed;
+    auto wf = DealershipWorkflow::Create(cfg);
+    Check(wf.status());
+    ProvenanceGraph graph;
+    auto stats = (*wf)->Run(&graph);
+    Check(stats.status());
+    if (!stats->purchased) continue;
+    ++runs_with_sales;
+    graph.Seal();
+
+    NodeId sale = kInvalidNode;
+    for (const InvocationInfo& inv : graph.invocations()) {
+      if (inv.module_name == "car" && !inv.output_nodes.empty()) {
+        sale = inv.output_nodes.back();
+      }
+    }
+    auto ancestors = Ancestors(graph, sale);
+    size_t state_total = 0, state_used = 0, inputs_used = 0;
+    for (NodeId id : graph.AllNodeIds()) {
+      if (!graph.Contains(id)) continue;
+      const ProvNode& n = graph.node(id);
+      if (n.role == NodeRole::kStateBase) {
+        ++state_total;
+        state_used += ancestors.count(id) ? 1 : 0;
+      } else if (n.role == NodeRole::kWorkflowInput) {
+        inputs_used += ancestors.count(id) ? 1 : 0;
+      }
+    }
+    char frac[32];
+    std::snprintf(frac, sizeof(frac), "%.2f%%",
+                  100.0 * state_used / state_total);
+    std::printf("%-8d %-14zu %-16zu %-12s %-12zu %s\n", runs_with_sales,
+                state_total, state_used, frac, inputs_used,
+                "1.8-2.2% / 2 inputs");
+  }
+  std::printf(
+      "\nnote: the sale's derivation touches only the cars of the\n"
+      "requested model at the dealerships plus the accepted round's\n"
+      "request/choice inputs — a small fraction of the state, against\n"
+      "100%% under the coarse-grained black-box model [23]. The exact\n"
+      "fraction is ~#models^-1 x share of bidding dealerships, matching\n"
+      "the paper's ~2%% at its parameters.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef LIPSTICK_BENCH_BENCH_UTIL_H_
+#define LIPSTICK_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the Lipstick experiment harnesses. Each bench binary
+// regenerates one table/figure of the paper's Section 5 and prints the
+// same series the paper plots. Absolute times differ from the paper's 2011
+// hardware and Pig/Hadoop stack; the *shapes* (growth, ordering of
+// configurations, overhead ratios) are the reproduction target — see
+// EXPERIMENTS.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace lipstick::bench {
+
+inline void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+void Check(const Result<T>& result) {
+  Check(result.status());
+}
+
+/// Prints the figure banner.
+inline void Banner(const char* figure, const char* title,
+                   const char* setup) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", figure, title);
+  std::printf("%s\n", setup);
+  std::printf("==============================================================\n");
+}
+
+/// Scale factor for quick smoke runs: LIPSTICK_BENCH_SCALE=0.1 shrinks the
+/// workloads to ~10%%. Default 1.0 (paper scale where feasible).
+inline double Scale() {
+  const char* env = std::getenv("LIPSTICK_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double s = std::atof(env);
+  return s > 0 ? s : 1.0;
+}
+
+inline int Scaled(int n, int min_value = 1) {
+  int v = static_cast<int>(n * Scale());
+  return v < min_value ? min_value : v;
+}
+
+}  // namespace lipstick::bench
+
+#endif  // LIPSTICK_BENCH_BENCH_UTIL_H_

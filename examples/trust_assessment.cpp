@@ -1,0 +1,93 @@
+// Trust assessment over workflow provenance — one of the semiring
+// applications the paper cites as motivation for building fine-grained
+// workflow provenance on the foundations of Green et al. [17].
+//
+// Scenario: the dealerships' inventory databases are not equally reliable.
+// Each state tuple (car record) gets a trust score; evaluating the
+// provenance graph in the trust semiring ([0,1], max, min) propagates
+// those scores through the entire derivation, yielding the trust of every
+// bid — with zero changes to the engine, because provenance evaluation is
+// generic in the semiring.
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "provenance/query.h"
+#include "provenance/semiring.h"
+#include "workflowgen/dealership.h"
+
+using namespace lipstick;
+using workflowgen::DealershipConfig;
+using workflowgen::DealershipWorkflow;
+
+namespace {
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  DealershipConfig config;
+  config.num_cars = 240;
+  config.num_executions = 1;
+  config.seed = 5;
+  auto wf = DealershipWorkflow::Create(config);
+  Check(wf.status());
+
+  ProvenanceGraph graph;
+  auto outputs = (*wf)->ExecuteOnce(1, &graph);
+  Check(outputs.status());
+  graph.Seal();
+
+  const Relation& best = outputs->at("agg").at("BestBid");
+  if (best.bag.empty()) {
+    std::printf("no bids for the %s\n", (*wf)->buyer_model().c_str());
+    return 0;
+  }
+
+  // Assign trust: dealer1/dealer3 run audited inventory systems (0.95),
+  // dealer2 is mostly reliable (0.7), dealer4's records are stale (0.3).
+  // Workflow inputs are fully trusted (1.0 by default).
+  std::unordered_map<NodeId, double> trust;
+  const double kDealerTrust[] = {0.95, 0.7, 0.95, 0.3};
+  for (NodeId id : FindNodes(graph, ByRole(NodeRole::kStateBase))) {
+    const std::string& payload = graph.node(id).payload;
+    for (int k = 1; k <= 4; ++k) {
+      if (payload.rfind("dealer" + std::to_string(k) + ".", 0) == 0) {
+        trust[id] = kDealerTrust[k - 1];
+      }
+    }
+  }
+  GraphEvaluator<TrustSemiring> eval(graph, std::move(trust));
+
+  std::printf("buyer wants a %s; per-dealer bid trust:\n",
+              (*wf)->buyer_model().c_str());
+  for (int k = 1; k <= 4; ++k) {
+    const Relation& bids =
+        outputs->at("dealer_bid_" + std::to_string(k)).at("Bids");
+    for (const AnnotatedTuple& t : bids.bag) {
+      std::printf("  dealer%d bids $%-8.0f trust %.2f (inventory trust "
+                  "%.2f)\n",
+                  k, t.tuple.at(3).AsDouble(), eval.Eval(t.annot),
+                  kDealerTrust[k - 1]);
+    }
+  }
+  const AnnotatedTuple& winner = best.bag.at(0);
+  std::printf(
+      "\nwinning bid: $%.0f from dealer %lld — trust of the aggregated "
+      "best-bid tuple: %.2f\n",
+      winner.tuple.at(3).AsDouble(),
+      (long long)winner.tuple.at(0).int_value(), eval.Eval(winner.annot));
+  std::printf(
+      "(each bid's trust is the minimum over the inventory records that\n"
+      "jointly derived it; the aggregated tuple takes the best surviving\n"
+      "witness — had only dealer4 stocked the model, the best bid's trust\n"
+      "would drop to 0.30. Fine-grained provenance makes this computable;\n"
+      "a black-box model could only guess.)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef LIPSTICK_COMMON_RNG_H_
+#define LIPSTICK_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace lipstick {
+
+/// Deterministic pseudo-random number generator (splitmix64 core). All
+/// workload generators take explicit seeds so every benchmark run is
+/// reproducible bit-for-bit, independent of the standard library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[static_cast<size_t>(Next() % items.size())];
+  }
+
+  /// Derives an independent child generator; used to give each module /
+  /// station its own stream.
+  Rng Fork() { return Rng(Next() ^ 0xa5a5a5a5deadbeefull); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_COMMON_RNG_H_

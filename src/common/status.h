@@ -1,0 +1,103 @@
+#ifndef LIPSTICK_COMMON_STATUS_H_
+#define LIPSTICK_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace lipstick {
+
+/// Error categories used throughout the library. The public API reports
+/// failures through Status / Result<T> rather than exceptions, following
+/// common database-engine practice (Arrow, RocksDB).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kExecutionError,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends `context` to the error message; no-op on OK statuses.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define LIPSTICK_RETURN_IF_ERROR(expr)                \
+  do {                                                \
+    ::lipstick::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#define LIPSTICK_CONCAT_IMPL(x, y) x##y
+#define LIPSTICK_CONCAT(x, y) LIPSTICK_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on success binds its value to `lhs`,
+/// on failure returns the error Status from the enclosing function.
+#define LIPSTICK_ASSIGN_OR_RETURN(lhs, expr)                          \
+  LIPSTICK_ASSIGN_OR_RETURN_IMPL(                                     \
+      LIPSTICK_CONCAT(_result_tmp_, __LINE__), lhs, expr)
+
+#define LIPSTICK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_COMMON_STATUS_H_

@@ -1,0 +1,45 @@
+#ifndef LIPSTICK_COMMON_STR_UTIL_H_
+#define LIPSTICK_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lipstick {
+
+namespace internal {
+inline void StrCatAppend(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void StrCatAppend(std::ostringstream& os, const T& first,
+                  const Rest&... rest) {
+  os << first;
+  StrCatAppend(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates the string representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrCatAppend(os, args...);
+  return os.str();
+}
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the character `sep`; no trimming, keeps empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// ASCII lower-casing (Pig Latin keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_COMMON_STR_UTIL_H_

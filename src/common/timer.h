@@ -1,0 +1,28 @@
+#ifndef LIPSTICK_COMMON_TIMER_H_
+#define LIPSTICK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace lipstick {
+
+/// Simple wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_COMMON_TIMER_H_

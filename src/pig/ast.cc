@@ -1,0 +1,192 @@
+#include "pig/ast.h"
+
+#include "common/str_util.h"
+
+namespace lipstick::pig {
+
+const char* BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+ExprPtr MakeConst(Value v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kConst;
+  e->literal = std::move(v);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr MakeFieldRef(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFieldRef;
+  e->name = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr MakePositional(int pos, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kPositional;
+  e->position = pos;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr MakeBagProject(std::string bag, std::string field, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBagProject;
+  e->name = std::move(bag);
+  e->sub_name = std::move(field);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr MakeUnary(UnOp op, ExprPtr operand, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnaryOp;
+  e->un_op = op;
+  e->children.push_back(std::move(operand));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinaryOp;
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args,
+                     SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->name = std::move(name);
+  e->children = std::move(args);
+  e->loc = loc;
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kConst:
+      return literal.ToString();
+    case ExprKind::kFieldRef:
+      return name;
+    case ExprKind::kPositional:
+      return StrCat("$", position);
+    case ExprKind::kBagProject:
+      return StrCat(name, ".", sub_name);
+    case ExprKind::kUnaryOp:
+      switch (un_op) {
+        case UnOp::kNeg:
+          return StrCat("-", children[0]->ToString());
+        case UnOp::kNot:
+          return StrCat("NOT ", children[0]->ToString());
+        case UnOp::kIsNull:
+          return StrCat(children[0]->ToString(), " IS NULL");
+        case UnOp::kIsNotNull:
+          return StrCat(children[0]->ToString(), " IS NOT NULL");
+      }
+      return "?";
+    case ExprKind::kBinaryOp:
+      return StrCat("(", children[0]->ToString(), " ",
+                    BinOpToString(bin_op), " ", children[1]->ToString(), ")");
+    case ExprKind::kFuncCall: {
+      std::vector<std::string> args;
+      for (const ExprPtr& c : children) args.push_back(c->ToString());
+      return StrCat(name, "(", Join(args, ", "), ")");
+    }
+  }
+  return "?";
+}
+
+std::string Statement::ToString() const {
+  switch (kind) {
+    case StatementKind::kForEach: {
+      std::vector<std::string> items;
+      for (const GenItem& g : gen_items) {
+        std::string s = g.expr->ToString();
+        if (g.flatten) s = StrCat("FLATTEN(", s, ")");
+        if (!g.alias.empty()) s = StrCat(s, " AS ", g.alias);
+        items.push_back(std::move(s));
+      }
+      return StrCat(target, " = FOREACH ", inputs[0], " GENERATE ",
+                    Join(items, ", "), ";");
+    }
+    case StatementKind::kFilter:
+      return StrCat(target, " = FILTER ", inputs[0], " BY ",
+                    condition->ToString(), ";");
+    case StatementKind::kGroup:
+    case StatementKind::kCogroup:
+    case StatementKind::kJoin: {
+      const char* op = kind == StatementKind::kGroup
+                           ? "GROUP"
+                           : (kind == StatementKind::kCogroup ? "COGROUP"
+                                                              : "JOIN");
+      std::vector<std::string> parts;
+      for (const ByClause& bc : by_clauses) {
+        std::vector<std::string> keys;
+        for (const ExprPtr& k : bc.keys) keys.push_back(k->ToString());
+        std::string key_s = keys.size() == 1
+                                ? keys[0]
+                                : StrCat("(", Join(keys, ", "), ")");
+        parts.push_back(StrCat(bc.relation, " BY ", key_s));
+      }
+      return StrCat(target, " = ", op, " ", Join(parts, ", "), ";");
+    }
+    case StatementKind::kCross:
+      return StrCat(target, " = CROSS ", Join(inputs, ", "), ";");
+    case StatementKind::kUnion:
+      return StrCat(target, " = UNION ", Join(inputs, ", "), ";");
+    case StatementKind::kDistinct:
+      return StrCat(target, " = DISTINCT ", inputs[0], ";");
+    case StatementKind::kOrderBy: {
+      std::vector<std::string> keys;
+      for (const OrderKey& k : order_keys) {
+        keys.push_back(StrCat(k.field, k.ascending ? " ASC" : " DESC"));
+      }
+      return StrCat(target, " = ORDER ", inputs[0], " BY ", Join(keys, ", "),
+                    ";");
+    }
+    case StatementKind::kLimit:
+      return StrCat(target, " = LIMIT ", inputs[0], " ", limit, ";");
+    case StatementKind::kAlias:
+      return StrCat(target, " = ", inputs[0], ";");
+    case StatementKind::kSplit: {
+      std::vector<std::string> parts;
+      for (const auto& [name, cond] : split_targets) {
+        parts.push_back(StrCat(name, " IF ", cond->ToString()));
+      }
+      return StrCat("SPLIT ", inputs[0], " INTO ", Join(parts, ", "), ";");
+    }
+  }
+  return "?";
+}
+
+std::string Program::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(statements.size());
+  for (const Statement& s : statements) lines.push_back(s.ToString());
+  return Join(lines, "\n");
+}
+
+}  // namespace lipstick::pig

@@ -1,0 +1,138 @@
+#ifndef LIPSTICK_PIG_AST_H_
+#define LIPSTICK_PIG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace lipstick::pig {
+
+/// Source location for diagnostics (1-based line/column).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+/// ----------------------------- Expressions -----------------------------
+
+enum class ExprKind {
+  kConst,       // literal: int / double / string / bool / null
+  kFieldRef,    // named field reference, possibly "A::f" qualified
+  kPositional,  // $n positional field reference
+  kBagProject,  // Bag.f — projects one field over a bag-valued field
+  kUnaryOp,     // - e | NOT e
+  kBinaryOp,    // arithmetic / comparison / logical
+  kFuncCall,    // aggregate (COUNT/SUM/MIN/MAX/AVG) or UDF
+};
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnOp { kNeg, kNot, kIsNull, kIsNotNull };
+
+const char* BinOpToString(BinOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // kConst
+  Value literal;
+  // kFieldRef: field name; kBagProject: bag field name + projected field;
+  // kFuncCall: function name.
+  std::string name;
+  std::string sub_name;  // kBagProject projected field
+  // kPositional
+  int position = -1;
+  // kUnaryOp / kBinaryOp
+  UnOp un_op = UnOp::kNeg;
+  BinOp bin_op = BinOp::kAdd;
+  // Children: operands / call arguments.
+  std::vector<ExprPtr> children;
+
+  std::string ToString() const;
+};
+
+ExprPtr MakeConst(Value v, SourceLoc loc = {});
+ExprPtr MakeFieldRef(std::string name, SourceLoc loc = {});
+ExprPtr MakePositional(int pos, SourceLoc loc = {});
+ExprPtr MakeBagProject(std::string bag, std::string field, SourceLoc loc = {});
+ExprPtr MakeUnary(UnOp op, ExprPtr operand, SourceLoc loc = {});
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {});
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args,
+                     SourceLoc loc = {});
+
+/// ----------------------------- Statements ------------------------------
+
+enum class StatementKind {
+  kForEach,   // FOREACH A GENERATE items
+  kFilter,    // FILTER A BY cond
+  kGroup,     // GROUP A BY keys
+  kCogroup,   // COGROUP A BY keys, B BY keys, ...
+  kJoin,      // JOIN A BY keys, B BY keys, ...
+  kCross,     // CROSS A, B, ...
+  kUnion,     // UNION A, B, ...
+  kDistinct,  // DISTINCT A
+  kOrderBy,   // ORDER A BY f [ASC|DESC], ...
+  kLimit,     // LIMIT A n
+  kAlias,     // plain copy: B = A
+  kSplit,     // SPLIT A INTO B IF cond, C IF cond, ...
+};
+
+/// One item in a FOREACH ... GENERATE list.
+struct GenItem {
+  ExprPtr expr;
+  std::string alias;     // output field name ("AS alias"); may be empty
+  bool flatten = false;  // FLATTEN(expr): expand bag-valued expr
+};
+
+/// One (relation, keys) pair in GROUP/COGROUP/JOIN.
+struct ByClause {
+  std::string relation;
+  std::vector<ExprPtr> keys;  // key expressions (usually field refs)
+};
+
+struct OrderKey {
+  std::string field;
+  bool ascending = true;
+};
+
+struct Statement {
+  StatementKind kind;
+  SourceLoc loc;
+  std::string target;  // name being assigned
+
+  // Operator-specific payload. `inputs` lists the referenced relations in
+  // order for kCross/kUnion/kAlias; kForEach/kFilter/kDistinct/kOrderBy/
+  // kLimit use inputs[0]; kGroup/kCogroup/kJoin use by_clauses.
+  std::vector<std::string> inputs;
+  std::vector<GenItem> gen_items;    // kForEach
+  ExprPtr condition;                 // kFilter
+  std::vector<ByClause> by_clauses;  // kGroup / kCogroup / kJoin
+  std::vector<OrderKey> order_keys;  // kOrderBy
+  int64_t limit = 0;                 // kLimit
+  // kSplit: (target relation, routing condition) pairs; a tuple is copied
+  // into every target whose condition evaluates to true.
+  std::vector<std::pair<std::string, ExprPtr>> split_targets;
+
+  std::string ToString() const;
+};
+
+/// A parsed Pig Latin program: an ordered list of assignments.
+struct Program {
+  std::vector<Statement> statements;
+
+  std::string ToString() const;
+};
+
+}  // namespace lipstick::pig
+
+#endif  // LIPSTICK_PIG_AST_H_

@@ -1,0 +1,84 @@
+#ifndef LIPSTICK_PIG_INTERPRETER_H_
+#define LIPSTICK_PIG_INTERPRETER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "pig/ast.h"
+#include "pig/udf.h"
+#include "provenance/graph.h"
+#include "relational/value.h"
+
+namespace lipstick::pig {
+
+/// Name -> relation binding environment for program execution. Statements
+/// rebind their target name; rebinding an existing name is allowed (used
+/// e.g. for accumulating state: `R = UNION R, New;`).
+class Environment {
+ public:
+  void Bind(const std::string& name, Relation relation) {
+    relations_[name] = std::move(relation);
+  }
+  Result<const Relation*> Lookup(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+/// Interprets Pig Latin programs over annotated nested relations, with
+/// optional fine-grained provenance tracking.
+///
+/// When a ShardWriter is supplied, every operator emits provenance-graph
+/// structure per Section 3.2 of the paper:
+///   FOREACH (projection)  -> + node per output tuple
+///   JOIN / CROSS          -> · node joining the source tuples
+///   GROUP / COGROUP       -> δ node over the group members
+///   DISTINCT              -> δ node over the equal tuples
+///   FOREACH (aggregation) -> aggregate v-node fed by ⊗ pairs
+///   FOREACH (UDF)         -> black-box node labeled with the function
+///   FLATTEN               -> joint (·-style) dependence on outer + inner
+///   FILTER / UNION / ORDER / LIMIT -> annotations pass through
+class Interpreter {
+ public:
+  explicit Interpreter(const UdfRegistry* udfs) : udfs_(udfs) {}
+
+  /// Executes all statements, binding each target into `env`. If `writer`
+  /// is non-null, provenance is recorded into its graph.
+  Status Run(const Program& program, Environment* env,
+             ShardWriter* writer) const;
+
+  /// Executes one statement and returns the produced relation (also bound
+  /// into `env`).
+  Result<const Relation*> RunStatement(const Statement& stmt,
+                                       Environment* env,
+                                       ShardWriter* writer) const;
+
+ private:
+  const UdfRegistry* udfs_;
+};
+
+/// Static semantic analysis: infers the schema of every statement target
+/// given the schemas of the free input relations. Detects unknown
+/// relations/fields and type errors without executing. Returns the map of
+/// all bound names (inputs included).
+Result<std::map<std::string, SchemaPtr>> AnalyzeProgram(
+    const Program& program, std::map<std::string, SchemaPtr> schemas,
+    const UdfRegistry* udfs);
+
+/// Infers the result type of `expr` against tuples of `schema`.
+Result<FieldType> InferExprType(const Expr& expr, const Schema& schema,
+                                const UdfRegistry* udfs);
+
+/// True if `name` is one of the built-in aggregates COUNT/SUM/MIN/MAX/AVG.
+bool IsAggregateFunction(const std::string& name);
+
+}  // namespace lipstick::pig
+
+#endif  // LIPSTICK_PIG_INTERPRETER_H_

@@ -1,0 +1,242 @@
+#include "pig/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace lipstick::pig {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  if (kind != TokenKind::kIdent) return false;
+  if (text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      LIPSTICK_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      if (AtEnd()) break;
+      SourceLoc loc{line_, col_};
+      char c = Peek();
+      Token tok;
+      tok.loc = loc;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tok.kind = TokenKind::kIdent;
+        tok.text = LexIdent();
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        LIPSTICK_RETURN_IF_ERROR(LexNumber(&tok));
+      } else if (c == '\'') {
+        LIPSTICK_RETURN_IF_ERROR(LexString(&tok));
+      } else if (c == '$') {
+        Advance();
+        if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+          return Err(loc, "expected digit after '$'");
+        }
+        Token num;
+        LIPSTICK_RETURN_IF_ERROR(LexNumber(&num));
+        if (num.kind != TokenKind::kInt) {
+          return Err(loc, "positional reference must be an integer");
+        }
+        tok.kind = TokenKind::kDollar;
+        tok.int_value = num.int_value;
+      } else {
+        LIPSTICK_RETURN_IF_ERROR(LexSymbol(&tok));
+      }
+      tokens.push_back(std::move(tok));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.loc = {line_, col_};
+    tokens.push_back(eof);
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  static Status Err(SourceLoc loc, const std::string& msg) {
+    return Status::ParseError(
+        StrCat("line ", loc.line, ":", loc.column, ": ", msg));
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && PeekAt(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && PeekAt(1) == '*') {
+        SourceLoc start{line_, col_};
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && PeekAt(1) == '/')) Advance();
+        if (AtEnd()) return Err(start, "unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string LexIdent() {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      Advance();
+    }
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  Status LexNumber(Token* tok) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    if (!AtEnd() && Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(PeekAt(1)))) {
+      is_double = true;
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      size_t save = pos_;
+      Advance();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Advance();
+      if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_double = true;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+      } else {
+        pos_ = save;  // 'e' belongs to a following identifier
+      }
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    if (is_double) {
+      tok->kind = TokenKind::kDouble;
+      tok->double_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      tok->kind = TokenKind::kInt;
+      tok->int_value = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return Status::OK();
+  }
+
+  Status LexString(Token* tok) {
+    SourceLoc start{line_, col_};
+    Advance();  // opening quote
+    std::string out;
+    while (!AtEnd() && Peek() != '\'') {
+      if (Peek() == '\\' && (PeekAt(1) == '\'' || PeekAt(1) == '\\')) {
+        Advance();
+      }
+      out += Peek();
+      Advance();
+    }
+    if (AtEnd()) return Err(start, "unterminated string literal");
+    Advance();  // closing quote
+    tok->kind = TokenKind::kString;
+    tok->text = std::move(out);
+    return Status::OK();
+  }
+
+  Status LexSymbol(Token* tok) {
+    SourceLoc loc{line_, col_};
+    char c = Peek();
+    char c2 = PeekAt(1);
+    auto two = [&](TokenKind k) {
+      tok->kind = k;
+      Advance();
+      Advance();
+      return Status::OK();
+    };
+    auto one = [&](TokenKind k) {
+      tok->kind = k;
+      Advance();
+      return Status::OK();
+    };
+    switch (c) {
+      case '=':
+        return c2 == '=' ? two(TokenKind::kEq) : one(TokenKind::kEquals);
+      case '!':
+        if (c2 == '=') return two(TokenKind::kNe);
+        return Err(loc, "expected '=' after '!'");
+      case '<':
+        return c2 == '=' ? two(TokenKind::kLe) : one(TokenKind::kLt);
+      case '>':
+        return c2 == '=' ? two(TokenKind::kGe) : one(TokenKind::kGt);
+      case ':':
+        if (c2 == ':') return two(TokenKind::kDoubleColon);
+        return Err(loc, "expected ':' after ':'");
+      case ';':
+        return one(TokenKind::kSemicolon);
+      case ',':
+        return one(TokenKind::kComma);
+      case '(':
+        return one(TokenKind::kLParen);
+      case ')':
+        return one(TokenKind::kRParen);
+      case '.':
+        return one(TokenKind::kDot);
+      case '+':
+        return one(TokenKind::kPlus);
+      case '-':
+        return one(TokenKind::kMinus);
+      case '*':
+        return one(TokenKind::kStar);
+      case '/':
+        return one(TokenKind::kSlash);
+      case '%':
+        return one(TokenKind::kPercent);
+      default:
+        return Err(loc, StrCat("unexpected character '", std::string(1, c),
+                               "'"));
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace lipstick::pig

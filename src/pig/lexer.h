@@ -1,0 +1,49 @@
+#ifndef LIPSTICK_PIG_LEXER_H_
+#define LIPSTICK_PIG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "pig/ast.h"
+
+namespace lipstick::pig {
+
+enum class TokenKind {
+  kIdent,       // identifiers and keywords (keywords resolved by parser)
+  kInt,         // integer literal
+  kDouble,      // floating-point literal
+  kString,      // 'single-quoted string'
+  kDollar,      // $n positional reference (value in int_value)
+  kEquals,      // =
+  kSemicolon,   // ;
+  kComma,       // ,
+  kLParen,      // (
+  kRParen,      // )
+  kDot,         // .
+  kDoubleColon, // ::
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq,          // ==
+  kNe,          // !=
+  kLt, kLe, kGt, kGe,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier / string contents
+  int64_t int_value = 0;  // kInt / kDollar
+  double double_value = 0;
+  SourceLoc loc;
+
+  /// Case-insensitive keyword test for kIdent tokens.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+/// Tokenizes Pig Latin source. Comments: `-- line` and `/* block */`.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace lipstick::pig
+
+#endif  // LIPSTICK_PIG_LEXER_H_

@@ -1,0 +1,434 @@
+#include "pig/parser.h"
+
+#include "common/str_util.h"
+#include "pig/lexer.h"
+
+namespace lipstick::pig {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!Check(TokenKind::kEof)) {
+      LIPSTICK_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      program.statements.push_back(std::move(stmt));
+    }
+    return program;
+  }
+
+  Result<ExprPtr> ParseSingleExpression() {
+    LIPSTICK_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!Check(TokenKind::kEof)) {
+      return Err("trailing tokens after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Prev() const { return tokens_[pos_ - 1]; }
+  bool Check(TokenKind k) const { return Peek().kind == k; }
+  bool CheckKeyword(std::string_view kw) const { return Peek().IsKeyword(kw); }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind k) {
+    if (!Check(k)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  /// True if `k` can continue a binary expression after a closing paren.
+  static bool IsExprContinuation(TokenKind k) {
+    switch (k) {
+      case TokenKind::kPlus:
+      case TokenKind::kMinus:
+      case TokenKind::kStar:
+      case TokenKind::kSlash:
+      case TokenKind::kPercent:
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Status Err(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::ParseError(
+        StrCat("line ", t.loc.line, ":", t.loc.column, ": ", msg,
+               t.kind == TokenKind::kEof
+                   ? " (at end of input)"
+                   : StrCat(" (near '", t.text.empty() ? "?" : t.text, "')")));
+  }
+
+  Status Expect(TokenKind k, const char* what) {
+    if (Match(k)) return Status::OK();
+    return Err(StrCat("expected ", what));
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (!Check(TokenKind::kIdent)) return Err(StrCat("expected ", what));
+    return Advance().text;
+  }
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    stmt.loc = Peek().loc;
+    // SPLIT is the one statement with no assignment target (unless "split"
+    // is being used as a plain relation name on the left of '=').
+    if (CheckKeyword("split") && tokens_[pos_ + 1].kind != TokenKind::kEquals) {
+      Advance();
+      LIPSTICK_RETURN_IF_ERROR(ParseSplit(&stmt));
+      LIPSTICK_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      return stmt;
+    }
+    LIPSTICK_ASSIGN_OR_RETURN(stmt.target, ExpectIdent("assignment target"));
+    LIPSTICK_RETURN_IF_ERROR(Expect(TokenKind::kEquals, "'='"));
+
+    if (MatchKeyword("foreach")) {
+      LIPSTICK_RETURN_IF_ERROR(ParseForEach(&stmt));
+    } else if (MatchKeyword("filter")) {
+      LIPSTICK_RETURN_IF_ERROR(ParseFilter(&stmt));
+    } else if (MatchKeyword("group")) {
+      LIPSTICK_RETURN_IF_ERROR(ParseGrouping(&stmt, StatementKind::kGroup));
+    } else if (MatchKeyword("cogroup")) {
+      LIPSTICK_RETURN_IF_ERROR(ParseGrouping(&stmt, StatementKind::kCogroup));
+    } else if (MatchKeyword("join")) {
+      LIPSTICK_RETURN_IF_ERROR(ParseGrouping(&stmt, StatementKind::kJoin));
+    } else if (MatchKeyword("cross")) {
+      LIPSTICK_RETURN_IF_ERROR(ParseNameList(&stmt, StatementKind::kCross, 2));
+    } else if (MatchKeyword("union")) {
+      LIPSTICK_RETURN_IF_ERROR(ParseNameList(&stmt, StatementKind::kUnion, 2));
+    } else if (MatchKeyword("distinct")) {
+      stmt.kind = StatementKind::kDistinct;
+      LIPSTICK_ASSIGN_OR_RETURN(std::string in, ExpectIdent("relation name"));
+      stmt.inputs.push_back(std::move(in));
+    } else if (MatchKeyword("order")) {
+      LIPSTICK_RETURN_IF_ERROR(ParseOrder(&stmt));
+    } else if (MatchKeyword("limit")) {
+      stmt.kind = StatementKind::kLimit;
+      LIPSTICK_ASSIGN_OR_RETURN(std::string in, ExpectIdent("relation name"));
+      stmt.inputs.push_back(std::move(in));
+      if (!Check(TokenKind::kInt)) return Err("expected limit count");
+      stmt.limit = Advance().int_value;
+    } else if (Check(TokenKind::kIdent)) {
+      stmt.kind = StatementKind::kAlias;
+      stmt.inputs.push_back(Advance().text);
+    } else {
+      return Err("expected operator keyword or relation name");
+    }
+    LIPSTICK_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+    return stmt;
+  }
+
+  Status ParseForEach(Statement* stmt) {
+    stmt->kind = StatementKind::kForEach;
+    LIPSTICK_ASSIGN_OR_RETURN(std::string in, ExpectIdent("relation name"));
+    stmt->inputs.push_back(std::move(in));
+    if (!MatchKeyword("generate")) return Err("expected GENERATE");
+    do {
+      GenItem item;
+      if (MatchKeyword("flatten")) {
+        item.flatten = true;
+        LIPSTICK_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+        LIPSTICK_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        LIPSTICK_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      } else {
+        LIPSTICK_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      if (MatchKeyword("as")) {
+        LIPSTICK_ASSIGN_OR_RETURN(item.alias, ExpectIdent("field alias"));
+      }
+      stmt->gen_items.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Status ParseFilter(Statement* stmt) {
+    stmt->kind = StatementKind::kFilter;
+    LIPSTICK_ASSIGN_OR_RETURN(std::string in, ExpectIdent("relation name"));
+    stmt->inputs.push_back(std::move(in));
+    if (!MatchKeyword("by")) return Err("expected BY");
+    LIPSTICK_ASSIGN_OR_RETURN(stmt->condition, ParseExpr());
+    return Status::OK();
+  }
+
+  Status ParseGrouping(Statement* stmt, StatementKind kind) {
+    stmt->kind = kind;
+    do {
+      ByClause clause;
+      LIPSTICK_ASSIGN_OR_RETURN(clause.relation,
+                                ExpectIdent("relation name"));
+      // GROUP A ALL: single group holding every tuple (aggregation with no
+      // grouping, as used by the paper's arithmetic-on-a-relation idiom).
+      if (kind == StatementKind::kGroup && MatchKeyword("all")) {
+        stmt->by_clauses.push_back(std::move(clause));
+        break;
+      }
+      if (!MatchKeyword("by")) return Err("expected BY");
+      // "BY (a, b)" is a key list, but "BY (Month - 1) / 3" is a single
+      // parenthesized expression: try the list form first and backtrack if
+      // the ')' turns out to be followed by more of an expression.
+      size_t saved_pos = pos_;
+      bool parsed_list = false;
+      if (Match(TokenKind::kLParen)) {
+        std::vector<ExprPtr> keys;
+        Status list_status = Status::OK();
+        do {
+          Result<ExprPtr> key = ParseExpr();
+          if (!key.ok()) {
+            list_status = key.status();
+            break;
+          }
+          keys.push_back(std::move(key).value());
+        } while (Match(TokenKind::kComma));
+        if (list_status.ok() && Match(TokenKind::kRParen) &&
+            !IsExprContinuation(Peek().kind)) {
+          clause.keys = std::move(keys);
+          parsed_list = true;
+        } else {
+          pos_ = saved_pos;  // backtrack: single-expression key
+        }
+      }
+      if (!parsed_list) {
+        LIPSTICK_ASSIGN_OR_RETURN(ExprPtr key, ParseExpr());
+        clause.keys.push_back(std::move(key));
+      }
+      stmt->by_clauses.push_back(std::move(clause));
+    } while (Match(TokenKind::kComma));
+    if (kind == StatementKind::kGroup && stmt->by_clauses.size() != 1) {
+      return Err("GROUP takes exactly one relation (use COGROUP)");
+    }
+    if (kind != StatementKind::kGroup && stmt->by_clauses.size() < 2) {
+      return Err("COGROUP/JOIN require at least two relations");
+    }
+    return Status::OK();
+  }
+
+  Status ParseNameList(Statement* stmt, StatementKind kind, size_t min) {
+    stmt->kind = kind;
+    do {
+      LIPSTICK_ASSIGN_OR_RETURN(std::string in, ExpectIdent("relation name"));
+      stmt->inputs.push_back(std::move(in));
+    } while (Match(TokenKind::kComma));
+    if (stmt->inputs.size() < min) {
+      return Err(StrCat("operator requires at least ", min, " relations"));
+    }
+    return Status::OK();
+  }
+
+  Status ParseSplit(Statement* stmt) {
+    stmt->kind = StatementKind::kSplit;
+    LIPSTICK_ASSIGN_OR_RETURN(std::string in, ExpectIdent("relation name"));
+    stmt->inputs.push_back(std::move(in));
+    if (!MatchKeyword("into")) return Err("expected INTO");
+    do {
+      LIPSTICK_ASSIGN_OR_RETURN(std::string name,
+                                ExpectIdent("split target name"));
+      if (!MatchKeyword("if")) return Err("expected IF");
+      LIPSTICK_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      stmt->split_targets.emplace_back(std::move(name), std::move(cond));
+    } while (Match(TokenKind::kComma));
+    if (stmt->split_targets.size() < 2) {
+      return Err("SPLIT requires at least two targets");
+    }
+    return Status::OK();
+  }
+
+  Status ParseOrder(Statement* stmt) {
+    stmt->kind = StatementKind::kOrderBy;
+    LIPSTICK_ASSIGN_OR_RETURN(std::string in, ExpectIdent("relation name"));
+    stmt->inputs.push_back(std::move(in));
+    if (!MatchKeyword("by")) return Err("expected BY");
+    do {
+      OrderKey key;
+      LIPSTICK_ASSIGN_OR_RETURN(key.field, ParseQualifiedName());
+      if (MatchKeyword("desc")) {
+        key.ascending = false;
+      } else {
+        MatchKeyword("asc");
+      }
+      stmt->order_keys.push_back(std::move(key));
+    } while (Match(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Result<std::string> ParseQualifiedName() {
+    LIPSTICK_ASSIGN_OR_RETURN(std::string name, ExpectIdent("field name"));
+    while (Match(TokenKind::kDoubleColon)) {
+      LIPSTICK_ASSIGN_OR_RETURN(std::string part,
+                                ExpectIdent("qualified field name"));
+      name += "::";
+      name += part;
+    }
+    return name;
+  }
+
+  // ---- Expressions (precedence climbing) ----
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    LIPSTICK_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (CheckKeyword("or")) {
+      SourceLoc loc = Advance().loc;
+      LIPSTICK_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    LIPSTICK_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (CheckKeyword("and")) {
+      SourceLoc loc = Advance().loc;
+      LIPSTICK_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (CheckKeyword("not")) {
+      SourceLoc loc = Advance().loc;
+      LIPSTICK_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(UnOp::kNot, std::move(operand), loc);
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    LIPSTICK_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (CheckKeyword("is")) {
+      SourceLoc loc = Advance().loc;
+      bool negated = MatchKeyword("not");
+      if (!MatchKeyword("null")) return Err("expected NULL after IS");
+      return MakeUnary(negated ? UnOp::kIsNotNull : UnOp::kIsNull,
+                       std::move(lhs), loc);
+    }
+    BinOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinOp::kEq; break;
+      case TokenKind::kNe: op = BinOp::kNe; break;
+      case TokenKind::kLt: op = BinOp::kLt; break;
+      case TokenKind::kLe: op = BinOp::kLe; break;
+      case TokenKind::kGt: op = BinOp::kGt; break;
+      case TokenKind::kGe: op = BinOp::kGe; break;
+      default:
+        return lhs;
+    }
+    SourceLoc loc = Advance().loc;
+    LIPSTICK_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return MakeBinary(op, std::move(lhs), std::move(rhs), loc);
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    LIPSTICK_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      BinOp op = Check(TokenKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      SourceLoc loc = Advance().loc;
+      LIPSTICK_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    LIPSTICK_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) ||
+           Check(TokenKind::kPercent)) {
+      BinOp op = Check(TokenKind::kStar)
+                     ? BinOp::kMul
+                     : (Check(TokenKind::kSlash) ? BinOp::kDiv : BinOp::kMod);
+      SourceLoc loc = Advance().loc;
+      LIPSTICK_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Check(TokenKind::kMinus)) {
+      SourceLoc loc = Advance().loc;
+      LIPSTICK_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary(UnOp::kNeg, std::move(operand), loc);
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    SourceLoc loc = Peek().loc;
+    if (Match(TokenKind::kLParen)) {
+      LIPSTICK_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      LIPSTICK_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return e;
+    }
+    if (Check(TokenKind::kInt)) {
+      return MakeConst(Value::Int(Advance().int_value), loc);
+    }
+    if (Check(TokenKind::kDouble)) {
+      return MakeConst(Value::Double(Advance().double_value), loc);
+    }
+    if (Check(TokenKind::kString)) {
+      return MakeConst(Value::String(Advance().text), loc);
+    }
+    if (Check(TokenKind::kDollar)) {
+      return MakePositional(static_cast<int>(Advance().int_value), loc);
+    }
+    if (MatchKeyword("true")) return MakeConst(Value::Bool(true), loc);
+    if (MatchKeyword("false")) return MakeConst(Value::Bool(false), loc);
+    if (MatchKeyword("null")) return MakeConst(Value::Null(), loc);
+    if (Check(TokenKind::kIdent)) {
+      LIPSTICK_ASSIGN_OR_RETURN(std::string name, ParseQualifiedName());
+      if (Match(TokenKind::kLParen)) {
+        // Function call: aggregate or UDF.
+        std::vector<ExprPtr> args;
+        if (!Check(TokenKind::kRParen)) {
+          do {
+            LIPSTICK_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+          } while (Match(TokenKind::kComma));
+        }
+        LIPSTICK_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return MakeFuncCall(std::move(name), std::move(args), loc);
+      }
+      if (Match(TokenKind::kDot)) {
+        LIPSTICK_ASSIGN_OR_RETURN(std::string field, ParseQualifiedName());
+        return MakeBagProject(std::move(name), std::move(field), loc);
+      }
+      return MakeFieldRef(std::move(name), loc);
+    }
+    return Err("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source) {
+  LIPSTICK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseProgram();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view source) {
+  LIPSTICK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).ParseSingleExpression();
+}
+
+}  // namespace lipstick::pig

@@ -1,0 +1,26 @@
+#ifndef LIPSTICK_PIG_PARSER_H_
+#define LIPSTICK_PIG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "pig/ast.h"
+
+namespace lipstick::pig {
+
+/// Parses a Pig Latin program: a ';'-terminated list of assignments
+///   Target = FOREACH A GENERATE ...;
+///   Target = FILTER A BY cond;
+///   Target = GROUP A BY key;  |  COGROUP A BY k, B BY k, ...;
+///   Target = JOIN A BY k, B BY k, ...;
+///   Target = CROSS A, B;  |  UNION A, B;  |  DISTINCT A;
+///   Target = ORDER A BY f [ASC|DESC], ...;  |  LIMIT A n;  |  A;
+/// Keywords are case-insensitive. Errors carry line:column positions.
+Result<Program> ParseProgram(std::string_view source);
+
+/// Parses a single expression (used by tests).
+Result<ExprPtr> ParseExpression(std::string_view source);
+
+}  // namespace lipstick::pig
+
+#endif  // LIPSTICK_PIG_PARSER_H_

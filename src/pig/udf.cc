@@ -1,0 +1,31 @@
+#include "pig/udf.h"
+
+#include "common/str_util.h"
+
+namespace lipstick::pig {
+
+Status UdfRegistry::Register(const std::string& name, UdfEntry entry) {
+  std::string key = ToLower(name);
+  if (entries_.count(key)) {
+    return Status::AlreadyExists(StrCat("UDF '", name, "' already registered"));
+  }
+  entries_.emplace(std::move(key), std::move(entry));
+  return Status::OK();
+}
+
+Status UdfRegistry::Register(const std::string& name, UdfFn fn,
+                             FieldType return_type) {
+  UdfEntry entry;
+  entry.fn = std::move(fn);
+  entry.return_type = [return_type](const std::vector<FieldType>&) {
+    return Result<FieldType>(return_type);
+  };
+  return Register(name, std::move(entry));
+}
+
+const UdfEntry* UdfRegistry::Lookup(const std::string& name) const {
+  auto it = entries_.find(ToLower(name));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lipstick::pig

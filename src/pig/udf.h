@@ -1,0 +1,49 @@
+#ifndef LIPSTICK_PIG_UDF_H_
+#define LIPSTICK_PIG_UDF_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace lipstick::pig {
+
+/// A user-defined function: takes evaluated argument values (scalars or
+/// bags) and returns a Value. UDFs are black boxes for provenance — the
+/// engine records a function-name node whose inputs are the tuples the
+/// arguments derive from, exactly as prescribed for FOREACH (Black Box).
+using UdfFn = std::function<Result<Value>(const std::vector<Value>& args)>;
+
+/// Infers the UDF result type from argument types (for semantic analysis).
+using UdfTypeFn =
+    std::function<Result<FieldType>(const std::vector<FieldType>& args)>;
+
+struct UdfEntry {
+  UdfFn fn;
+  UdfTypeFn return_type;
+};
+
+/// Name-keyed registry of UDFs. Lookup is case-insensitive, matching Pig
+/// Latin's treatment of function names. Thread-compatible: register
+/// everything before execution starts.
+class UdfRegistry {
+ public:
+  /// Registers `entry` under `name`; fails if already present.
+  Status Register(const std::string& name, UdfEntry entry);
+
+  /// Convenience: register with a fixed return type.
+  Status Register(const std::string& name, UdfFn fn, FieldType return_type);
+
+  /// Returns the entry or nullptr.
+  const UdfEntry* Lookup(const std::string& name) const;
+
+ private:
+  std::map<std::string, UdfEntry> entries_;  // lower-cased keys
+};
+
+}  // namespace lipstick::pig
+
+#endif  // LIPSTICK_PIG_UDF_H_

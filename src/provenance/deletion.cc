@@ -1,0 +1,57 @@
+#include "provenance/deletion.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace lipstick {
+
+std::unordered_set<NodeId> ComputeDeletionSet(
+    const ProvenanceGraph& graph, const std::vector<NodeId>& seeds) {
+  assert(graph.sealed() && "seal the graph before deletion propagation");
+  std::unordered_set<NodeId> deleted;
+  std::unordered_map<NodeId, size_t> lost_edges;
+  std::deque<NodeId> queue;
+
+  for (NodeId s : seeds) {
+    if (graph.Contains(s) && deleted.insert(s).second) queue.push_back(s);
+  }
+
+  auto alive_parent_count = [&graph](NodeId id) {
+    size_t n = 0;
+    for (NodeId p : graph.node(id).parents) n += graph.Contains(p) ? 1 : 0;
+    return n;
+  };
+
+  while (!queue.empty()) {
+    NodeId dead = queue.front();
+    queue.pop_front();
+    for (NodeId child : graph.Children(dead)) {
+      if (deleted.count(child)) continue;
+      size_t lost = ++lost_edges[child];
+      const ProvNode& cn = graph.node(child);
+      bool joint = cn.label == NodeLabel::kTimes ||
+                   cn.label == NodeLabel::kTensor;
+      if (joint || lost >= alive_parent_count(child)) {
+        deleted.insert(child);
+        queue.push_back(child);
+      }
+    }
+  }
+  return deleted;
+}
+
+size_t PropagateDeletion(ProvenanceGraph* graph, NodeId seed) {
+  std::unordered_set<NodeId> dead = ComputeDeletionSet(*graph, {seed});
+  for (NodeId id : dead) graph->mutable_node(id).alive = false;
+  graph->Seal();
+  return dead.size();
+}
+
+bool DependsOn(const ProvenanceGraph& graph, NodeId target, NodeId source) {
+  if (!graph.Contains(target) || !graph.Contains(source)) return false;
+  if (target == source) return true;
+  return ComputeDeletionSet(graph, {source}).count(target) > 0;
+}
+
+}  // namespace lipstick

@@ -1,0 +1,35 @@
+#ifndef LIPSTICK_PROVENANCE_DELETION_H_
+#define LIPSTICK_PROVENANCE_DELETION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "provenance/graph.h"
+
+namespace lipstick {
+
+/// Deletion propagation (Definition 4.2): starting from the seed nodes,
+/// repeatedly removes every node for which either
+///   (1) all of its (originally existing) incoming edges were deleted, or
+///   (2) it is labeled · or ⊗ and at least one incoming edge was deleted.
+/// Nodes with no incoming edges (tokens, module invocations) survive unless
+/// they are seeds — matching the paper's Example 4.4, where deleting the
+/// bid request erases everything except state tuples and invocations.
+///
+/// The graph must be sealed. Returns the full set of deleted nodes
+/// (including the seeds).
+std::unordered_set<NodeId> ComputeDeletionSet(const ProvenanceGraph& graph,
+                                              const std::vector<NodeId>& seeds);
+
+/// Applies ComputeDeletionSet and materializes it: deleted nodes are marked
+/// dead and the graph is re-sealed. Returns the number of deleted nodes.
+size_t PropagateDeletion(ProvenanceGraph* graph, NodeId seed);
+
+/// Dependency query (Section 4.3): does the existence of `target` depend on
+/// the existence of `source`? Answered by checking whether `target` is
+/// deleted when the deletion of `source` is propagated. Non-mutating.
+bool DependsOn(const ProvenanceGraph& graph, NodeId target, NodeId source);
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_DELETION_H_

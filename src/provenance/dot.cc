@@ -1,0 +1,165 @@
+#include "provenance/dot.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/str_util.h"
+
+namespace lipstick {
+
+namespace {
+
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string NodeLabelText(const ProvNode& n, bool show_id, NodeId id) {
+  std::string label;
+  switch (n.label) {
+    case NodeLabel::kToken:
+      label = n.payload.empty() ? "x" : n.payload;
+      break;
+    case NodeLabel::kPlus:
+      label = "+";
+      break;
+    case NodeLabel::kTimes:
+      label = "\xC2\xB7";  // ·
+      break;
+    case NodeLabel::kDelta:
+      label = "\xCE\xB4";  // δ
+      break;
+    case NodeLabel::kTensor:
+      label = "\xE2\x8A\x97";  // ⊗
+      break;
+    case NodeLabel::kAggregate:
+      label = StrCat(n.payload, "=", n.value.ToString());
+      break;
+    case NodeLabel::kConstValue:
+      label = n.value.ToString();
+      break;
+    case NodeLabel::kBlackBox:
+      label = n.payload;
+      break;
+    case NodeLabel::kModuleInvocation:
+      label = StrCat("m<", n.payload, ">");
+      break;
+    case NodeLabel::kZoomedModule:
+      label = StrCat("M<", n.payload, ">");
+      break;
+  }
+  const char* role = nullptr;
+  switch (n.role) {
+    case NodeRole::kModuleInput:
+      role = "i";
+      break;
+    case NodeRole::kModuleOutput:
+      role = "o";
+      break;
+    case NodeRole::kModuleState:
+      role = "s";
+      break;
+    case NodeRole::kWorkflowInput:
+      role = "I";
+      break;
+    default:
+      break;
+  }
+  if (role != nullptr) label = StrCat(role, ": ", label);
+  if (show_id) label = StrCat(label, " #", id);
+  return EscapeLabel(label);
+}
+
+const char* NodeStyle(const ProvNode& n) {
+  if (n.label == NodeLabel::kModuleInvocation) {
+    return "shape=house,style=filled,fillcolor=lightsteelblue";
+  }
+  if (n.label == NodeLabel::kZoomedModule) {
+    return "shape=component,style=filled,fillcolor=lightgoldenrod";
+  }
+  if (n.is_value_node) return "shape=box,style=filled,fillcolor=white";
+  switch (n.role) {
+    case NodeRole::kWorkflowInput:
+      return "shape=circle,style=filled,fillcolor=palegreen";
+    case NodeRole::kModuleInput:
+    case NodeRole::kModuleOutput:
+      return "shape=circle,style=filled,fillcolor=lightyellow";
+    case NodeRole::kModuleState:
+    case NodeRole::kStateBase:
+      return "shape=circle,style=filled,fillcolor=mistyrose";
+    default:
+      return "shape=circle";
+  }
+}
+
+}  // namespace
+
+Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
+                const DotOptions& options) {
+  auto included = [&](NodeId id) {
+    if (!graph.Contains(id)) return false;
+    return options.subset.empty() || options.subset.count(id) > 0;
+  };
+
+  os << "digraph provenance {\n  rankdir=BT;\n  node [fontsize=10];\n";
+
+  // Cluster nodes per invocation (the shaded boxes of Figure 2(c)).
+  std::map<uint32_t, std::vector<NodeId>> by_invocation;
+  std::vector<NodeId> unclustered;
+  for (NodeId id : graph.AllNodeIds()) {
+    if (!included(id)) continue;
+    const ProvNode& n = graph.node(id);
+    if (options.cluster_by_invocation && n.invocation != kNoInvocation &&
+        n.invocation < graph.invocations().size()) {
+      by_invocation[n.invocation].push_back(id);
+    } else {
+      unclustered.push_back(id);
+    }
+  }
+
+  auto emit_node = [&](NodeId id) {
+    const ProvNode& n = graph.node(id);
+    os << "    n" << id << " [label=\""
+       << NodeLabelText(n, options.show_ids, id) << "\"," << NodeStyle(n)
+       << "];\n";
+  };
+
+  for (const auto& [inv, ids] : by_invocation) {
+    const InvocationInfo& info = graph.invocations()[inv];
+    os << "  subgraph cluster_inv" << inv << " {\n"
+       << "    label=\"" << EscapeLabel(info.instance_name) << " (exec "
+       << info.execution << ")\";\n    style=dashed;\n";
+    for (NodeId id : ids) emit_node(id);
+    os << "  }\n";
+  }
+  os << "  subgraph top {\n";
+  for (NodeId id : unclustered) emit_node(id);
+  os << "  }\n";
+
+  for (NodeId id : graph.AllNodeIds()) {
+    if (!included(id)) continue;
+    for (NodeId p : graph.node(id).parents) {
+      if (!included(p)) continue;
+      os << "  n" << p << " -> n" << id << ";\n";
+    }
+  }
+  os << "}\n";
+  if (!os.good()) return Status::IOError("DOT write failed");
+  return Status::OK();
+}
+
+Status WriteDotToFile(const ProvenanceGraph& graph, const std::string& path,
+                      const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path, " for writing"));
+  }
+  return WriteDot(graph, out, options);
+}
+
+}  // namespace lipstick

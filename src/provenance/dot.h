@@ -1,0 +1,34 @@
+#ifndef LIPSTICK_PROVENANCE_DOT_H_
+#define LIPSTICK_PROVENANCE_DOT_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "provenance/graph.h"
+
+namespace lipstick {
+
+/// Options for Graphviz rendering of provenance graphs, in the visual
+/// vocabulary of the paper's Figure 2: circles for p-nodes, boxes for
+/// v-nodes, house shapes for module invocations, and per-invocation
+/// clusters standing in for the shaded module regions.
+struct DotOptions {
+  /// Restrict the output to these nodes (empty = whole alive graph).
+  std::unordered_set<NodeId> subset;
+  /// Group nodes of each invocation into a cluster.
+  bool cluster_by_invocation = true;
+  /// Include node ids in labels (useful when debugging).
+  bool show_ids = false;
+};
+
+/// Writes the graph in Graphviz DOT format.
+Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
+                const DotOptions& options = {});
+Status WriteDotToFile(const ProvenanceGraph& graph, const std::string& path,
+                      const DotOptions& options = {});
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_DOT_H_

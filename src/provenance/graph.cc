@@ -1,0 +1,325 @@
+#include "provenance/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace lipstick {
+
+const char* NodeLabelToString(NodeLabel label) {
+  switch (label) {
+    case NodeLabel::kToken:
+      return "token";
+    case NodeLabel::kPlus:
+      return "+";
+    case NodeLabel::kTimes:
+      return "*";
+    case NodeLabel::kDelta:
+      return "delta";
+    case NodeLabel::kTensor:
+      return "tensor";
+    case NodeLabel::kAggregate:
+      return "agg";
+    case NodeLabel::kConstValue:
+      return "const";
+    case NodeLabel::kBlackBox:
+      return "blackbox";
+    case NodeLabel::kModuleInvocation:
+      return "m";
+    case NodeLabel::kZoomedModule:
+      return "zoom";
+  }
+  return "?";
+}
+
+const char* NodeRoleToString(NodeRole role) {
+  switch (role) {
+    case NodeRole::kIntermediate:
+      return "intermediate";
+    case NodeRole::kWorkflowInput:
+      return "I";
+    case NodeRole::kModuleInput:
+      return "i";
+    case NodeRole::kModuleOutput:
+      return "o";
+    case NodeRole::kModuleState:
+      return "s";
+    case NodeRole::kStateBase:
+      return "base";
+    case NodeRole::kInvocation:
+      return "inv";
+    case NodeRole::kZoom:
+      return "zoomed";
+  }
+  return "?";
+}
+
+NodeId ShardWriter::Append(ProvNode node) {
+  auto& shard = graph_->shards_[shard_];
+  shard.nodes.push_back(std::move(node));
+  graph_->sealed_ = false;
+  return MakeNodeId(shard_, shard.nodes.size() - 1);
+}
+
+NodeId ShardWriter::Token(std::string name, NodeRole role) {
+  ProvNode n;
+  n.label = NodeLabel::kToken;
+  n.role = role;
+  n.payload = std::move(name);
+  n.invocation = current_invocation_;
+  return Append(std::move(n));
+}
+
+NodeId ShardWriter::Plus(std::vector<NodeId> parents) {
+  ProvNode n;
+  n.label = NodeLabel::kPlus;
+  n.parents = std::move(parents);
+  n.invocation = current_invocation_;
+  return Append(std::move(n));
+}
+
+NodeId ShardWriter::Times(std::vector<NodeId> parents, NodeRole role,
+                          uint32_t invocation) {
+  ProvNode n;
+  n.label = NodeLabel::kTimes;
+  n.role = role;
+  n.parents = std::move(parents);
+  n.invocation =
+      invocation == kNoInvocation ? current_invocation_ : invocation;
+  return Append(std::move(n));
+}
+
+NodeId ShardWriter::Delta(std::vector<NodeId> parents) {
+  ProvNode n;
+  n.label = NodeLabel::kDelta;
+  n.parents = std::move(parents);
+  n.invocation = current_invocation_;
+  return Append(std::move(n));
+}
+
+NodeId ShardWriter::Tensor(NodeId value_node, NodeId prov_node) {
+  ProvNode n;
+  n.label = NodeLabel::kTensor;
+  n.is_value_node = true;
+  n.parents = {value_node, prov_node};
+  n.invocation = current_invocation_;
+  return Append(std::move(n));
+}
+
+NodeId ShardWriter::Aggregate(std::string op, std::vector<NodeId> parents,
+                              Value result) {
+  ProvNode n;
+  n.label = NodeLabel::kAggregate;
+  n.is_value_node = true;
+  n.payload = std::move(op);
+  n.parents = std::move(parents);
+  n.value = std::move(result);
+  n.invocation = current_invocation_;
+  return Append(std::move(n));
+}
+
+NodeId ShardWriter::ConstValue(Value v) {
+  ProvNode n;
+  n.label = NodeLabel::kConstValue;
+  n.is_value_node = true;
+  n.value = std::move(v);
+  n.invocation = current_invocation_;
+  return Append(std::move(n));
+}
+
+NodeId ShardWriter::BlackBox(std::string function,
+                             std::vector<NodeId> parents) {
+  ProvNode n;
+  n.label = NodeLabel::kBlackBox;
+  n.payload = std::move(function);
+  n.parents = std::move(parents);
+  n.invocation = current_invocation_;
+  return Append(std::move(n));
+}
+
+uint32_t ShardWriter::BeginInvocation(std::string module_name,
+                                      std::string instance_name,
+                                      uint32_t execution) {
+  ProvNode n;
+  n.label = NodeLabel::kModuleInvocation;
+  n.role = NodeRole::kInvocation;
+  n.payload = module_name;
+  NodeId m_node = Append(std::move(n));
+
+  std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
+  uint32_t id = static_cast<uint32_t>(graph_->invocations_.size());
+  InvocationInfo info;
+  info.module_name = std::move(module_name);
+  info.instance_name = std::move(instance_name);
+  info.execution = execution;
+  info.m_node = m_node;
+  graph_->invocations_.push_back(std::move(info));
+  graph_->mutable_node(m_node).invocation = id;
+  return id;
+}
+
+NodeId ShardWriter::InvocationNode(uint32_t invocation) const {
+  std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
+  return graph_->invocations_[invocation].m_node;
+}
+
+NodeId ShardWriter::WorkflowInput(std::string token_name) {
+  ProvNode n;
+  n.label = NodeLabel::kToken;
+  n.role = NodeRole::kWorkflowInput;
+  n.payload = std::move(token_name);
+  return Append(std::move(n));
+}
+
+NodeId ShardWriter::ModuleInput(uint32_t invocation, NodeId tuple_node) {
+  NodeId m_node;
+  {
+    std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
+    m_node = graph_->invocations_[invocation].m_node;
+  }
+  NodeId id =
+      Times({tuple_node, m_node}, NodeRole::kModuleInput, invocation);
+  std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
+  graph_->invocations_[invocation].input_nodes.push_back(id);
+  return id;
+}
+
+NodeId ShardWriter::ModuleOutput(uint32_t invocation, NodeId tuple_node) {
+  NodeId m_node;
+  {
+    std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
+    m_node = graph_->invocations_[invocation].m_node;
+  }
+  NodeId id =
+      Times({tuple_node, m_node}, NodeRole::kModuleOutput, invocation);
+  std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
+  graph_->invocations_[invocation].output_nodes.push_back(id);
+  return id;
+}
+
+NodeId ShardWriter::ModuleState(uint32_t invocation, NodeId tuple_node) {
+  NodeId m_node;
+  {
+    std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
+    m_node = graph_->invocations_[invocation].m_node;
+  }
+  NodeId id =
+      Times({tuple_node, m_node}, NodeRole::kModuleState, invocation);
+  std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
+  graph_->invocations_[invocation].state_nodes.push_back(id);
+  return id;
+}
+
+void ShardWriter::BeginStateScope(
+    uint32_t invocation, const std::unordered_set<NodeId>* eligible) {
+  state_scope_invocation_ = invocation;
+  state_eligible_ = eligible;
+  state_wrap_cache_.clear();
+}
+
+void ShardWriter::EndStateScope() {
+  state_scope_invocation_ = kNoInvocation;
+  state_eligible_ = nullptr;
+  state_wrap_cache_.clear();
+}
+
+NodeId ShardWriter::ResolveParent(NodeId annot) {
+  if (state_eligible_ == nullptr || annot == kInvalidNode) return annot;
+  if (!state_eligible_->count(annot)) return annot;
+  auto it = state_wrap_cache_.find(annot);
+  if (it != state_wrap_cache_.end()) return it->second;
+  NodeId s = ModuleState(state_scope_invocation_, annot);
+  state_wrap_cache_.emplace(annot, s);
+  return s;
+}
+
+uint32_t ProvenanceGraph::RestoreInvocation(InvocationInfo info) {
+  std::lock_guard<std::mutex> lock(*invocations_mu_);
+  invocations_.push_back(std::move(info));
+  return static_cast<uint32_t>(invocations_.size() - 1);
+}
+
+ShardWriter ProvenanceGraph::AddShard() {
+  shards_.emplace_back();
+  return ShardWriter(this, static_cast<uint32_t>(shards_.size() - 1));
+}
+
+bool ProvenanceGraph::Contains(NodeId id) const {
+  if (id == kInvalidNode) return false;
+  uint32_t s = NodeShard(id);
+  if (s >= shards_.size()) return false;
+  uint64_t i = NodeIndex(id);
+  return i < shards_[s].nodes.size() && shards_[s].nodes[i].alive;
+}
+
+size_t ProvenanceGraph::num_nodes() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) n += s.nodes.size();
+  return n;
+}
+
+size_t ProvenanceGraph::num_alive() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    for (const ProvNode& node : s.nodes) n += node.alive ? 1 : 0;
+  }
+  return n;
+}
+
+size_t ProvenanceGraph::num_edges() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    for (const ProvNode& node : s.nodes) {
+      if (!node.alive) continue;
+      for (NodeId p : node.parents) n += Contains(p) ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+std::vector<NodeId> ProvenanceGraph::AllNodeIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(num_nodes());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    for (uint64_t i = 0; i < shards_[s].nodes.size(); ++i) {
+      ids.push_back(MakeNodeId(s, i));
+    }
+  }
+  return ids;
+}
+
+void ProvenanceGraph::Seal() {
+  for (Shard& s : shards_) {
+    s.children.assign(s.nodes.size(), {});
+  }
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    for (uint64_t i = 0; i < shards_[s].nodes.size(); ++i) {
+      const ProvNode& node = shards_[s].nodes[i];
+      if (!node.alive) continue;
+      NodeId child = MakeNodeId(s, i);
+      for (NodeId p : node.parents) {
+        if (!Contains(p)) continue;
+        shards_[NodeShard(p)].children[NodeIndex(p)].push_back(child);
+      }
+    }
+  }
+  sealed_ = true;
+}
+
+const std::vector<NodeId>& ProvenanceGraph::Children(NodeId id) const {
+  assert(sealed_ && "call Seal() before Children()");
+  return shards_[NodeShard(id)].children[NodeIndex(id)];
+}
+
+std::vector<std::pair<std::string, size_t>> ProvenanceGraph::LabelHistogram()
+    const {
+  std::map<std::string, size_t> counts;
+  for (const Shard& s : shards_) {
+    for (const ProvNode& node : s.nodes) {
+      if (node.alive) ++counts[NodeLabelToString(node.label)];
+    }
+  }
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace lipstick

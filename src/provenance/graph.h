@@ -1,0 +1,244 @@
+#ifndef LIPSTICK_PROVENANCE_GRAPH_H_
+#define LIPSTICK_PROVENANCE_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace lipstick {
+
+/// Identifier of a node in a ProvenanceGraph. Ids pack (shard, index) so
+/// that concurrent workflow tasks can allocate nodes without coordination:
+/// shard s, index i  =>  id = (s+1) << 48 | i. Id 0 (== kNoProvenance) is
+/// never allocated and means "no annotation".
+using NodeId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = 0;
+inline constexpr uint32_t kNoInvocation = 0xffffffffu;
+
+inline uint32_t NodeShard(NodeId id) {
+  return static_cast<uint32_t>(id >> 48) - 1;
+}
+inline uint64_t NodeIndex(NodeId id) { return id & ((1ull << 48) - 1); }
+inline NodeId MakeNodeId(uint32_t shard, uint64_t index) {
+  return (static_cast<uint64_t>(shard + 1) << 48) | index;
+}
+
+/// Node labels. Labels kToken..kZoomedModule follow Section 3 of the paper:
+/// semiring operations (+, ·, δ), aggregation structure (⊗, aggregate op),
+/// black boxes, and the workflow-level structural nodes.
+enum class NodeLabel : uint8_t {
+  kToken,             // atomic provenance token (p-node)
+  kPlus,              // + : alternative derivation (p-node)
+  kTimes,             // · : joint derivation (p-node)
+  kDelta,             // δ : duplicate elimination (p-node)
+  kTensor,            // ⊗ : value-provenance pairing (v-node)
+  kAggregate,         // aggregate operation result, payload = op (v-node)
+  kConstValue,        // concrete value carried in the graph (v-node)
+  kBlackBox,          // UDF invocation, payload = function name
+  kModuleInvocation,  // "m" node, payload = module name
+  kZoomedModule,      // collapsed module created by ZoomOut, payload = module
+};
+
+/// Structural role in the workflow-level construction of Section 3.1.
+/// kIntermediate marks nodes produced by a module's internal Pig Latin
+/// computation — exactly the nodes ZoomOut removes (cf. Definition 4.1).
+enum class NodeRole : uint8_t {
+  kIntermediate,    // inside a module's computation
+  kWorkflowInput,   // "I" node: tuple supplied by a workflow input module
+  kModuleInput,     // "i" node: · of (tuple, invocation)
+  kModuleOutput,    // "o" node: · of (tuple, invocation)
+  kModuleState,     // "s" node: · of (state tuple, invocation)
+  kStateBase,       // token identifying an initial state tuple
+  kInvocation,      // "m" node
+  kZoom,            // synthetic node created by ZoomOut
+};
+
+const char* NodeLabelToString(NodeLabel label);
+const char* NodeRoleToString(NodeRole role);
+
+/// A provenance graph node. `parents` are the nodes this node was derived
+/// from (edges point parent -> child in derivation order; we store the
+/// incoming side). `children` adjacency is computed by Seal().
+struct ProvNode {
+  NodeLabel label = NodeLabel::kToken;
+  NodeRole role = NodeRole::kIntermediate;
+  bool is_value_node = false;   // v-node vs p-node
+  bool alive = true;            // false after zoom/deletion materialization
+  uint32_t invocation = kNoInvocation;
+  std::vector<NodeId> parents;
+  std::string payload;          // token / op / function / module name
+  Value value;                  // for v-nodes (aggregate results, constants)
+};
+
+/// Metadata for one module invocation ("m" node): which module, which
+/// workflow node, which execution of the sequence.
+struct InvocationInfo {
+  std::string module_name;      // module specification name (e.g. "dealer")
+  std::string instance_name;    // module identity (e.g. "dealer1")
+  uint32_t execution = 0;       // index in the execution sequence
+  NodeId m_node = kInvalidNode;
+  // Structural node sets recorded during tracking; used by ZoomOut.
+  std::vector<NodeId> input_nodes;
+  std::vector<NodeId> output_nodes;
+  std::vector<NodeId> state_nodes;
+};
+
+class ProvenanceGraph;
+
+/// Appends nodes to one shard of a ProvenanceGraph. Each concurrent task
+/// owns one ShardWriter; no locking is required because a writer only
+/// appends to its own shard and only references already-created nodes.
+class ShardWriter {
+ public:
+  ShardWriter(ProvenanceGraph* graph, uint32_t shard)
+      : graph_(graph), shard_(shard) {}
+
+  /// Atomic provenance token, e.g. an input or initial-state tuple id.
+  NodeId Token(std::string name, NodeRole role = NodeRole::kIntermediate);
+  /// + node over `parents` (alternative derivation).
+  NodeId Plus(std::vector<NodeId> parents);
+  /// · node over `parents` (joint derivation).
+  NodeId Times(std::vector<NodeId> parents,
+               NodeRole role = NodeRole::kIntermediate,
+               uint32_t invocation = kNoInvocation);
+  /// δ node over `parents` (duplicate elimination; GROUP/COGROUP/DISTINCT).
+  NodeId Delta(std::vector<NodeId> parents);
+  /// ⊗ v-node pairing a value v-node with a tuple p-node.
+  NodeId Tensor(NodeId value_node, NodeId prov_node);
+  /// Aggregate-result v-node, payload = op name ("COUNT", "SUM", ...).
+  NodeId Aggregate(std::string op, std::vector<NodeId> parents, Value result);
+  /// v-node carrying a constant value being aggregated.
+  NodeId ConstValue(Value v);
+  /// Black-box (UDF) node.
+  NodeId BlackBox(std::string function, std::vector<NodeId> parents);
+
+  /// Registers a module invocation and creates its "m" node.
+  uint32_t BeginInvocation(std::string module_name, std::string instance_name,
+                           uint32_t execution);
+  NodeId InvocationNode(uint32_t invocation) const;
+
+  /// Workflow-input "I" node for an externally supplied tuple.
+  NodeId WorkflowInput(std::string token_name);
+  /// Module input "i" node: ·(tuple, m-node); records it on the invocation.
+  NodeId ModuleInput(uint32_t invocation, NodeId tuple_node);
+  /// Module output "o" node: ·(tuple, m-node); records it on the invocation.
+  NodeId ModuleOutput(uint32_t invocation, NodeId tuple_node);
+  /// Module state "s" node: ·(state tuple, m-node).
+  NodeId ModuleState(uint32_t invocation, NodeId tuple_node);
+
+  /// Sets the invocation tag of subsequently interpreted intermediate nodes.
+  void set_current_invocation(uint32_t inv) { current_invocation_ = inv; }
+  uint32_t current_invocation() const { return current_invocation_; }
+
+  /// Lazy state wrapping. While a state scope is active, ResolveParent
+  /// wraps annotations in `eligible` (the module's current state tuples)
+  /// with an "s" node ·(tuple, m) on first use — so state tuples that never
+  /// contribute to a derivation cost no graph nodes, matching the paper's
+  /// observation that outputs depend on only ~2% of the state (§5.5).
+  void BeginStateScope(uint32_t invocation,
+                       const std::unordered_set<NodeId>* eligible);
+  void EndStateScope();
+
+  /// Returns the annotation to use as a derivation parent: the lazily
+  /// created state node if `annot` is an eligible state tuple, else
+  /// `annot` itself.
+  NodeId ResolveParent(NodeId annot);
+
+  uint32_t shard() const { return shard_; }
+
+ private:
+  NodeId Append(ProvNode node);
+
+  ProvenanceGraph* graph_;
+  uint32_t shard_;
+  uint32_t current_invocation_ = kNoInvocation;
+  uint32_t state_scope_invocation_ = kNoInvocation;
+  const std::unordered_set<NodeId>* state_eligible_ = nullptr;
+  std::unordered_map<NodeId, NodeId> state_wrap_cache_;
+};
+
+/// The provenance graph for a (sequence of) workflow execution(s).
+///
+/// Construction phase: ShardWriters append nodes recording only parent
+/// (incoming) edges. Query phase: Seal() derives the children adjacency;
+/// zoom / deletion / subgraph operations then run on the sealed graph.
+class ProvenanceGraph {
+ public:
+  ProvenanceGraph() { shards_.emplace_back(); }
+
+  /// Adds a shard and returns a writer for it. Not thread-safe; create all
+  /// writers before spawning tasks.
+  ShardWriter AddShard();
+  /// Writer for the default shard 0 (single-threaded use).
+  ShardWriter writer() { return ShardWriter(this, 0); }
+
+  const ProvNode& node(NodeId id) const {
+    return shards_[NodeShard(id)].nodes[NodeIndex(id)];
+  }
+  ProvNode& mutable_node(NodeId id) {
+    return shards_[NodeShard(id)].nodes[NodeIndex(id)];
+  }
+  bool Contains(NodeId id) const;
+
+  /// Total nodes ever created (including dead ones).
+  size_t num_nodes() const;
+  /// Number of currently-alive nodes.
+  size_t num_alive() const;
+  /// Number of edges among alive nodes.
+  size_t num_edges() const;
+
+  /// Iterates over all node ids (alive or dead) in a deterministic order.
+  std::vector<NodeId> AllNodeIds() const;
+
+  /// Builds the children adjacency. Must be called after tracking finishes
+  /// and before Children() / queries. Re-runs after mutations if dirty.
+  void Seal();
+  bool sealed() const { return sealed_; }
+  void MarkDirty() { sealed_ = false; }
+
+  /// Outgoing edges of `id`; graph must be sealed.
+  const std::vector<NodeId>& Children(NodeId id) const;
+
+  /// Registered invocations, indexed by invocation id.
+  const std::vector<InvocationInfo>& invocations() const {
+    return invocations_;
+  }
+  InvocationInfo& mutable_invocation(uint32_t id) { return invocations_[id]; }
+
+  /// Appends a fully-formed invocation record (deserialization path).
+  /// Returns its invocation id.
+  uint32_t RestoreInvocation(InvocationInfo info);
+
+  /// Per-label alive-node counts, for diagnostics and tests.
+  std::vector<std::pair<std::string, size_t>> LabelHistogram() const;
+
+ private:
+  friend class ShardWriter;
+
+  struct Shard {
+    std::vector<ProvNode> nodes;
+    std::vector<std::vector<NodeId>> children;  // built by Seal()
+  };
+
+  std::vector<Shard> shards_;
+  std::vector<InvocationInfo> invocations_;
+  // Guards invocations_: invocation registration and the per-invocation
+  // input/output/state node lists are shared across concurrent tasks
+  // (node creation itself is lock-free — each writer owns its shard).
+  // Held behind unique_ptr so the graph stays movable.
+  std::unique_ptr<std::mutex> invocations_mu_ =
+      std::make_unique<std::mutex>();
+  bool sealed_ = false;
+};
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_GRAPH_H_

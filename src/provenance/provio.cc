@@ -1,0 +1,219 @@
+#include "provenance/provio.h"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace lipstick {
+
+namespace {
+
+// Percent-encodes whitespace, '%', and non-printable bytes so every record
+// stays on one whitespace-delimited line.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c <= ' ' || c == '%' || c >= 127) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out.empty() ? "%00" : out;  // empty strings encode as NUL marker
+}
+
+Result<std::string> Unescape(const std::string& s) {
+  if (s == "%00") return std::string();
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) return Status::ParseError("truncated escape");
+      int hi = std::isxdigit(static_cast<unsigned char>(s[i + 1]))
+                   ? std::stoi(s.substr(i + 1, 2), nullptr, 16)
+                   : -1;
+      if (hi < 0) return Status::ParseError("bad escape");
+      out += static_cast<char>(hi);
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string EncodeValue(const Value& v) {
+  if (v.is_null()) return "N";
+  if (v.is_bool()) return v.bool_value() ? "B1" : "B0";
+  if (v.is_int()) return StrCat("I", v.int_value());
+  if (v.is_double()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "D%.17g", v.double_value());
+    return buf;
+  }
+  if (v.is_string()) return StrCat("S", Escape(v.string_value()));
+  return "N";  // nested values are not stored in graph v-nodes
+}
+
+Result<Value> DecodeValue(const std::string& s) {
+  if (s.empty()) return Status::ParseError("empty value");
+  switch (s[0]) {
+    case 'N':
+      return Value::Null();
+    case 'B':
+      return Value::Bool(s == "B1");
+    case 'I':
+      return Value::Int(std::strtoll(s.c_str() + 1, nullptr, 10));
+    case 'D':
+      return Value::Double(std::strtod(s.c_str() + 1, nullptr));
+    case 'S': {
+      LIPSTICK_ASSIGN_OR_RETURN(std::string str, Unescape(s.substr(1)));
+      return Value::String(std::move(str));
+    }
+    default:
+      return Status::ParseError(StrCat("bad value encoding: ", s));
+  }
+}
+
+std::string EncodeIdList(const std::vector<NodeId>& ids) {
+  if (ids.empty()) return "-";
+  std::vector<std::string> parts;
+  parts.reserve(ids.size());
+  for (NodeId id : ids) parts.push_back(StrCat(id));
+  return Join(parts, ",");
+}
+
+Result<std::vector<NodeId>> DecodeIdList(const std::string& s) {
+  std::vector<NodeId> out;
+  if (s == "-") return out;
+  for (const std::string& part : Split(s, ',')) {
+    if (part.empty()) return Status::ParseError("empty id in list");
+    out.push_back(std::strtoull(part.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveGraph(const ProvenanceGraph& graph, std::ostream& os) {
+  os << "LIPSTICKGRAPH v1\n";
+  // Shard sizes, recovered exactly on load so node ids stay stable.
+  std::vector<NodeId> ids = graph.AllNodeIds();
+  uint32_t max_shard = 0;
+  for (NodeId id : ids) max_shard = std::max(max_shard, NodeShard(id));
+  os << "shards " << (max_shard + 1) << "\n";
+  for (NodeId id : ids) {
+    const ProvNode& n = graph.node(id);
+    os << "n " << id << ' ' << static_cast<int>(n.label) << ' '
+       << static_cast<int>(n.role) << ' ' << (n.is_value_node ? 1 : 0) << ' '
+       << (n.alive ? 1 : 0) << ' ' << n.invocation << ' '
+       << EncodeIdList(n.parents) << ' ' << Escape(n.payload) << ' '
+       << EncodeValue(n.value) << "\n";
+  }
+  for (const InvocationInfo& inv : graph.invocations()) {
+    os << "v " << Escape(inv.module_name) << ' ' << Escape(inv.instance_name)
+       << ' ' << inv.execution << ' ' << inv.m_node << ' '
+       << EncodeIdList(inv.input_nodes) << ' '
+       << EncodeIdList(inv.output_nodes) << ' '
+       << EncodeIdList(inv.state_nodes) << "\n";
+  }
+  os << "end\n";
+  if (!os.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status SaveGraphToFile(const ProvenanceGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path, " for writing"));
+  }
+  return SaveGraph(graph, out);
+}
+
+Result<ProvenanceGraph> LoadGraph(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header) || header != "LIPSTICKGRAPH v1") {
+    return Status::ParseError("bad graph file header");
+  }
+  std::string tag;
+  size_t num_shards = 0;
+  if (!(is >> tag >> num_shards) || tag != "shards" || num_shards == 0) {
+    return Status::ParseError("bad shard count");
+  }
+
+  ProvenanceGraph graph;
+  std::vector<ShardWriter> writers;
+  writers.push_back(graph.writer());
+  for (size_t s = 1; s < num_shards; ++s) writers.push_back(graph.AddShard());
+
+  while (is >> tag) {
+    if (tag == "end") break;
+    if (tag == "n") {
+      NodeId id;
+      int label, role, vflag, alive;
+      uint32_t invocation;
+      std::string parents_s, payload_s, value_s;
+      if (!(is >> id >> label >> role >> vflag >> alive >> invocation >>
+            parents_s >> payload_s >> value_s)) {
+        return Status::ParseError("bad node record");
+      }
+      ProvNode n;
+      n.label = static_cast<NodeLabel>(label);
+      n.role = static_cast<NodeRole>(role);
+      n.is_value_node = vflag != 0;
+      n.alive = alive != 0;
+      n.invocation = invocation;
+      LIPSTICK_ASSIGN_OR_RETURN(n.parents, DecodeIdList(parents_s));
+      LIPSTICK_ASSIGN_OR_RETURN(n.payload, Unescape(payload_s));
+      LIPSTICK_ASSIGN_OR_RETURN(n.value, DecodeValue(value_s));
+      uint32_t shard = NodeShard(id);
+      if (shard >= writers.size()) {
+        return Status::ParseError("node references unknown shard");
+      }
+      // Nodes must arrive in id order within each shard.
+      NodeId got = shard == 0 ? writers[0].Plus({}) : writers[shard].Plus({});
+      if (got != id) {
+        return Status::ParseError(
+            StrCat("node id mismatch: expected ", id, " got ", got));
+      }
+      graph.mutable_node(id) = std::move(n);
+    } else if (tag == "v") {
+      std::string module_s, instance_s, in_s, out_s, state_s;
+      uint32_t execution;
+      NodeId m_node;
+      if (!(is >> module_s >> instance_s >> execution >> m_node >> in_s >>
+            out_s >> state_s)) {
+        return Status::ParseError("bad invocation record");
+      }
+      InvocationInfo info;
+      LIPSTICK_ASSIGN_OR_RETURN(info.module_name, Unescape(module_s));
+      LIPSTICK_ASSIGN_OR_RETURN(info.instance_name, Unescape(instance_s));
+      info.execution = execution;
+      info.m_node = m_node;
+      LIPSTICK_ASSIGN_OR_RETURN(info.input_nodes, DecodeIdList(in_s));
+      LIPSTICK_ASSIGN_OR_RETURN(info.output_nodes, DecodeIdList(out_s));
+      LIPSTICK_ASSIGN_OR_RETURN(info.state_nodes, DecodeIdList(state_s));
+      graph.RestoreInvocation(std::move(info));
+    } else {
+      return Status::ParseError(StrCat("unknown record tag: ", tag));
+    }
+  }
+  return graph;
+}
+
+Result<ProvenanceGraph> LoadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path));
+  }
+  return LoadGraph(in);
+}
+
+}  // namespace lipstick

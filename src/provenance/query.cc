@@ -1,0 +1,142 @@
+#include "provenance/query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+#include "provenance/deletion.h"
+
+namespace lipstick {
+
+NodePredicate ByLabel(NodeLabel label) {
+  return [label](NodeId, const ProvNode& n) { return n.label == label; };
+}
+
+NodePredicate ByRole(NodeRole role) {
+  return [role](NodeId, const ProvNode& n) { return n.role == role; };
+}
+
+NodePredicate ByPayload(const std::string& substring) {
+  return [substring](NodeId, const ProvNode& n) {
+    return n.payload.find(substring) != std::string::npos;
+  };
+}
+
+NodePredicate ByModule(const ProvenanceGraph& graph, std::string module) {
+  const ProvenanceGraph* g = &graph;
+  return [g, module = std::move(module)](NodeId, const ProvNode& n) {
+    if (n.invocation == kNoInvocation) return false;
+    if (n.invocation >= g->invocations().size()) return false;
+    return g->invocations()[n.invocation].module_name == module;
+  };
+}
+
+NodePredicate And(NodePredicate a, NodePredicate b) {
+  return [a = std::move(a), b = std::move(b)](NodeId id, const ProvNode& n) {
+    return a(id, n) && b(id, n);
+  };
+}
+
+NodePredicate Or(NodePredicate a, NodePredicate b) {
+  return [a = std::move(a), b = std::move(b)](NodeId id, const ProvNode& n) {
+    return a(id, n) || b(id, n);
+  };
+}
+
+NodePredicate Not(NodePredicate p) {
+  return [p = std::move(p)](NodeId id, const ProvNode& n) {
+    return !p(id, n);
+  };
+}
+
+std::vector<NodeId> FindNodes(const ProvenanceGraph& graph,
+                              const NodePredicate& pred) {
+  std::vector<NodeId> out;
+  for (NodeId id : graph.AllNodeIds()) {
+    if (!graph.Contains(id)) continue;
+    if (pred(id, graph.node(id))) out.push_back(id);
+  }
+  return out;
+}
+
+bool PathExists(const ProvenanceGraph& graph, NodeId from, NodeId to) {
+  return !ShortestDerivationPath(graph, from, to).empty();
+}
+
+std::vector<NodeId> ShortestDerivationPath(const ProvenanceGraph& graph,
+                                           NodeId from, NodeId to) {
+  assert(graph.sealed() && "seal the graph before path queries");
+  if (!graph.Contains(from) || !graph.Contains(to)) return {};
+  if (from == to) return {from};
+  std::unordered_map<NodeId, NodeId> parent_of;  // BFS predecessor
+  std::deque<NodeId> queue{from};
+  parent_of[from] = from;
+  while (!queue.empty()) {
+    NodeId id = queue.front();
+    queue.pop_front();
+    for (NodeId child : graph.Children(id)) {
+      if (!graph.Contains(child) || parent_of.count(child)) continue;
+      parent_of[child] = id;
+      if (child == to) {
+        std::vector<NodeId> path{to};
+        for (NodeId at = to; at != from;) {
+          at = parent_of[at];
+          path.push_back(at);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(child);
+    }
+  }
+  return {};
+}
+
+bool DependsOnSet(const ProvenanceGraph& graph, NodeId target,
+                  const std::vector<NodeId>& sources) {
+  if (!graph.Contains(target)) return false;
+  return ComputeDeletionSet(graph, sources).count(target) > 0;
+}
+
+GraphStats ComputeGraphStats(const ProvenanceGraph& graph) {
+  assert(graph.sealed());
+  GraphStats stats;
+  stats.invocations = graph.invocations().size();
+  // Longest path via DP over a topological order; the construction order
+  // within each shard is already topological (parents precede children),
+  // but cross-shard edges may go either way, so iterate to a fixpoint.
+  std::unordered_map<NodeId, size_t> depth;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id : graph.AllNodeIds()) {
+      if (!graph.Contains(id)) continue;
+      const ProvNode& n = graph.node(id);
+      size_t best = 0;
+      for (NodeId p : n.parents) {
+        if (graph.Contains(p)) best = std::max(best, depth[p] + 1);
+      }
+      if (best > depth[id]) {
+        depth[id] = best;
+        changed = true;
+      }
+    }
+  }
+  for (NodeId id : graph.AllNodeIds()) {
+    if (!graph.Contains(id)) continue;
+    const ProvNode& n = graph.node(id);
+    ++stats.nodes;
+    size_t fan_in = 0;
+    for (NodeId p : n.parents) fan_in += graph.Contains(p) ? 1 : 0;
+    stats.edges += fan_in;
+    stats.max_fan_in = std::max(stats.max_fan_in, fan_in);
+    stats.max_fan_out = std::max(stats.max_fan_out,
+                                 graph.Children(id).size());
+    stats.tokens += n.label == NodeLabel::kToken ? 1 : 0;
+    stats.depth = std::max(stats.depth, depth[id]);
+  }
+  return stats;
+}
+
+}  // namespace lipstick

@@ -1,0 +1,59 @@
+#include "provenance/subgraph.h"
+
+#include <cassert>
+#include <deque>
+
+namespace lipstick {
+
+namespace {
+
+enum class Direction { kUp, kDown };
+
+std::unordered_set<NodeId> Reach(const ProvenanceGraph& graph, NodeId start,
+                                 Direction dir) {
+  std::unordered_set<NodeId> seen;
+  std::deque<NodeId> queue{start};
+  while (!queue.empty()) {
+    NodeId id = queue.front();
+    queue.pop_front();
+    const auto& next = dir == Direction::kUp ? graph.node(id).parents
+                                             : graph.Children(id);
+    for (NodeId n : next) {
+      if (!graph.Contains(n)) continue;
+      if (seen.insert(n).second) queue.push_back(n);
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::unordered_set<NodeId> Ancestors(const ProvenanceGraph& graph,
+                                     NodeId node) {
+  return Reach(graph, node, Direction::kUp);
+}
+
+std::unordered_set<NodeId> Descendants(const ProvenanceGraph& graph,
+                                       NodeId node) {
+  assert(graph.sealed() && "seal the graph before descendant queries");
+  return Reach(graph, node, Direction::kDown);
+}
+
+std::unordered_set<NodeId> SubgraphQuery(const ProvenanceGraph& graph,
+                                         NodeId node) {
+  assert(graph.sealed() && "seal the graph before subgraph queries");
+  if (!graph.Contains(node)) return {};
+  std::unordered_set<NodeId> result = Ancestors(graph, node);
+  std::unordered_set<NodeId> down = Descendants(graph, node);
+  // Siblings of descendants: every co-parent a descendant is derived from.
+  for (NodeId d : down) {
+    for (NodeId p : graph.node(d).parents) {
+      if (graph.Contains(p)) result.insert(p);
+    }
+  }
+  result.insert(down.begin(), down.end());
+  result.insert(node);
+  return result;
+}
+
+}  // namespace lipstick

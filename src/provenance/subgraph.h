@@ -1,0 +1,28 @@
+#ifndef LIPSTICK_PROVENANCE_SUBGRAPH_H_
+#define LIPSTICK_PROVENANCE_SUBGRAPH_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "provenance/graph.h"
+
+namespace lipstick {
+
+/// All transitive ancestors of `node` (derivation inputs), excluding itself.
+std::unordered_set<NodeId> Ancestors(const ProvenanceGraph& graph,
+                                     NodeId node);
+
+/// All transitive descendants of `node` (derived data), excluding itself.
+std::unordered_set<NodeId> Descendants(const ProvenanceGraph& graph,
+                                       NodeId node);
+
+/// The subgraph query of Section 5.1: given a node, returns the node itself,
+/// all its ancestors and descendants, and all siblings of its descendants
+/// (the co-parents needed to re-derive each descendant). The graph must be
+/// sealed.
+std::unordered_set<NodeId> SubgraphQuery(const ProvenanceGraph& graph,
+                                         NodeId node);
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_SUBGRAPH_H_

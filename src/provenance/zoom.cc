@@ -1,0 +1,208 @@
+#include "provenance/zoom.h"
+
+#include <cassert>
+#include <deque>
+
+#include "common/str_util.h"
+
+namespace lipstick {
+
+std::unordered_set<NodeId> IntermediateNodesByDefinition(
+    const ProvenanceGraph& graph, const std::string& module_name) {
+  assert(graph.sealed());
+  // Seed the reachability with the input and state nodes of every invocation
+  // of the module; expand through children, stopping at (and excluding)
+  // module output nodes, per Definition 4.1.
+  std::deque<NodeId> queue;
+  std::unordered_set<NodeId> seeds;
+  for (const InvocationInfo& inv : graph.invocations()) {
+    if (inv.module_name != module_name) continue;
+    for (NodeId n : inv.input_nodes) {
+      if (graph.Contains(n)) {
+        queue.push_back(n);
+        seeds.insert(n);
+      }
+    }
+    for (NodeId n : inv.state_nodes) {
+      if (graph.Contains(n)) {
+        queue.push_back(n);
+        seeds.insert(n);
+      }
+    }
+  }
+  std::unordered_set<NodeId> result;
+  std::unordered_set<NodeId> visited(queue.begin(), queue.end());
+  while (!queue.empty()) {
+    NodeId id = queue.front();
+    queue.pop_front();
+    for (NodeId child : graph.Children(id)) {
+      if (!graph.Contains(child)) continue;
+      if (graph.node(child).role == NodeRole::kModuleOutput) continue;
+      if (!visited.insert(child).second) continue;
+      result.insert(child);
+      queue.push_back(child);
+    }
+  }
+  // Input/state seeds themselves are not intermediate nodes.
+  for (NodeId s : seeds) result.erase(s);
+  // Closure for condition (iii): parentless value nodes (the constants
+  // created for aggregation) belong to an intermediate computation when
+  // everything they feed does.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id : graph.AllNodeIds()) {
+      if (!graph.Contains(id) || result.count(id)) continue;
+      const ProvNode& n = graph.node(id);
+      if (n.label != NodeLabel::kConstValue) continue;
+      const auto& children = graph.Children(id);
+      if (children.empty()) continue;
+      bool all_intermediate = true;
+      for (NodeId c : children) {
+        if (graph.Contains(c) && !result.count(c)) {
+          all_intermediate = false;
+          break;
+        }
+      }
+      if (all_intermediate) {
+        result.insert(id);
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
+  if (!graph_->sealed()) graph_->Seal();
+  auto writer = graph_->writer();
+
+  for (const std::string& module : module_names) {
+    if (IsZoomedOut(module)) continue;
+    std::vector<InvocationDetail> details;
+
+    // Pass 1: gather all invocation ids of this module.
+    std::vector<uint32_t> inv_ids;
+    for (uint32_t i = 0; i < graph_->invocations().size(); ++i) {
+      if (graph_->invocations()[i].module_name == module) inv_ids.push_back(i);
+    }
+    if (inv_ids.empty()) {
+      return Status::NotFound(
+          StrCat("no invocations of module '", module, "' in graph"));
+    }
+    std::unordered_set<uint32_t> inv_set(inv_ids.begin(), inv_ids.end());
+
+    // Pass 2: intermediate nodes are tagged with their invocation id during
+    // tracking; collect the ones belonging to zoomed invocations.
+    std::unordered_set<NodeId> removed;
+    for (NodeId id : graph_->AllNodeIds()) {
+      const ProvNode& n = graph_->node(id);
+      if (!n.alive) continue;
+      if (n.role == NodeRole::kIntermediate &&
+          n.invocation != kNoInvocation && inv_set.count(n.invocation)) {
+        removed.insert(id);
+      }
+    }
+
+    // Pass 3: state nodes, and state-base tokens used only by removed
+    // state nodes ("the basic tuple nodes ... adjacent to those state
+    // nodes", ZoomOut step 4).
+    std::unordered_set<NodeId> removed_state;
+    for (uint32_t inv : inv_ids) {
+      for (NodeId s : graph_->invocations()[inv].state_nodes) {
+        if (graph_->Contains(s)) removed_state.insert(s);
+      }
+    }
+    removed.insert(removed_state.begin(), removed_state.end());
+    // State-base tokens of zoomed invocations go too, unless something
+    // outside the removal set still derives from them. Bases that were
+    // never used (lazy "s" wrapping means they have no children) are part
+    // of the hidden module state and disappear with it.
+    for (NodeId id : graph_->AllNodeIds()) {
+      if (!graph_->Contains(id)) continue;
+      const ProvNode& n = graph_->node(id);
+      if (n.role != NodeRole::kStateBase) continue;
+      if (n.invocation == kNoInvocation || !inv_set.count(n.invocation)) {
+        continue;
+      }
+      bool only_removed_uses = true;
+      for (NodeId child : graph_->Children(id)) {
+        if (graph_->Contains(child) && !removed.count(child)) {
+          only_removed_uses = false;
+          break;
+        }
+      }
+      if (only_removed_uses) removed.insert(id);
+    }
+
+    // Pass 4: per invocation, create the collapsed module p-node and rewire
+    // outputs through it.
+    for (uint32_t inv_id : inv_ids) {
+      const InvocationInfo& inv = graph_->invocations()[inv_id];
+      InvocationDetail detail;
+      detail.invocation = inv_id;
+
+      std::vector<NodeId> zoom_parents;
+      for (NodeId in : inv.input_nodes) {
+        if (graph_->Contains(in)) zoom_parents.push_back(in);
+      }
+      ProvNode zn;
+      zn.label = NodeLabel::kZoomedModule;
+      zn.role = NodeRole::kZoom;
+      zn.payload = module;
+      zn.invocation = inv_id;
+      zn.parents = std::move(zoom_parents);
+      // Appending via the writer keeps id allocation uniform.
+      detail.zoom_node = writer.Plus({});  // placeholder, replaced below
+      graph_->mutable_node(detail.zoom_node) = std::move(zn);
+
+      for (NodeId out : inv.output_nodes) {
+        if (!graph_->Contains(out)) continue;
+        ProvNode& on = graph_->mutable_node(out);
+        detail.output_parents.emplace_back(out, on.parents);
+        on.parents = {detail.zoom_node, inv.m_node};
+      }
+      details.push_back(std::move(detail));
+    }
+
+    // Record removals on the module's first detail entry for restoration.
+    for (NodeId id : removed) graph_->mutable_node(id).alive = false;
+    if (!details.empty()) {
+      details.front().removed.assign(removed.begin(), removed.end());
+    }
+    store_[module] = std::move(details);
+  }
+
+  graph_->Seal();
+  return Status::OK();
+}
+
+Status Zoomer::ZoomIn(const std::set<std::string>& module_names) {
+  for (const std::string& module : module_names) {
+    auto it = store_.find(module);
+    if (it == store_.end()) {
+      return Status::InvalidArgument(
+          StrCat("module '", module, "' is not zoomed out"));
+    }
+    for (const InvocationDetail& detail : it->second) {
+      for (NodeId id : detail.removed) graph_->mutable_node(id).alive = true;
+      for (const auto& [out, parents] : detail.output_parents) {
+        graph_->mutable_node(out).parents = parents;
+      }
+      graph_->mutable_node(detail.zoom_node).alive = false;
+    }
+    store_.erase(it);
+  }
+  graph_->Seal();
+  return Status::OK();
+}
+
+Status Zoomer::ZoomOutAll() {
+  std::set<std::string> names;
+  for (const InvocationInfo& inv : graph_->invocations()) {
+    names.insert(inv.module_name);
+  }
+  return ZoomOut(names);
+}
+
+}  // namespace lipstick

@@ -1,0 +1,69 @@
+#ifndef LIPSTICK_PROVENANCE_ZOOM_H_
+#define LIPSTICK_PROVENANCE_ZOOM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "provenance/graph.h"
+
+namespace lipstick {
+
+/// Identifies the nodes that belong to intermediate computations of any
+/// invocation of `module_name`, by the path-based criterion of
+/// Definition 4.1: v is intermediate iff there is a directed path to v from
+/// an input, state, or intermediate node of such an invocation with no
+/// output node on the path (v included). Used to cross-validate the
+/// tag-based identification ZoomOut relies on. Graph must be sealed.
+std::unordered_set<NodeId> IntermediateNodesByDefinition(
+    const ProvenanceGraph& graph, const std::string& module_name);
+
+/// Implements the ZoomOut / ZoomIn graph transformations of Section 4.1.
+///
+/// ZoomOut(M) removes, for every invocation of every module named in M, all
+/// intermediate-computation nodes and state nodes (plus state-base tokens
+/// used only by those state nodes), then adds one module p-node per
+/// invocation wired input-nodes -> module-node -> output-nodes. Because
+/// invocations of a module may share state, ZoomOut always applies to all
+/// invocations of a module, never a proper subset.
+///
+/// The removed structure is retained in this object (the "detail store") so
+/// that ZoomIn is an exact inverse: ZoomIn(ZoomOut(G, M), M) == G.
+class Zoomer {
+ public:
+  explicit Zoomer(ProvenanceGraph* graph) : graph_(graph) {}
+
+  /// Collapses all invocations of the given module names. Modules already
+  /// zoomed out are ignored. Re-seals the graph.
+  Status ZoomOut(const std::set<std::string>& module_names);
+
+  /// Restores all invocations of the given module names. It is an error to
+  /// zoom in on a module that is not currently zoomed out.
+  Status ZoomIn(const std::set<std::string>& module_names);
+
+  /// Convenience: zoom out every module, producing the coarse-grained view.
+  Status ZoomOutAll();
+
+  bool IsZoomedOut(const std::string& module_name) const {
+    return store_.count(module_name) > 0;
+  }
+
+ private:
+  struct InvocationDetail {
+    uint32_t invocation = 0;
+    NodeId zoom_node = kInvalidNode;
+    std::vector<NodeId> removed;  // intermediates + state (+ base tokens)
+    // Original parent lists of the invocation's output nodes.
+    std::vector<std::pair<NodeId, std::vector<NodeId>>> output_parents;
+  };
+
+  ProvenanceGraph* graph_;
+  std::map<std::string, std::vector<InvocationDetail>> store_;
+};
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_ZOOM_H_

@@ -1,0 +1,213 @@
+#include "relational/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace lipstick {
+
+namespace {
+
+/// Splits one CSV record, honoring quotes. Returns false at end of input.
+bool ReadRecord(std::istream& is, char delimiter,
+                std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  int c;
+  while ((c = is.get()) != EOF) {
+    any = true;
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (is.peek() == '"') {
+          field += '"';
+          is.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      break;
+    } else if (ch == '\r') {
+      // swallow; \r\n handled by the following \n
+    } else {
+      field += ch;
+    }
+  }
+  if (!any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+Result<Value> ParseField(const std::string& text, const FieldType& type,
+                         const CsvOptions& options, size_t row, size_t col) {
+  if (text == options.null_text) return Value::Null();
+  auto err = [&](const char* what) {
+    return Status::ParseError(StrCat("row ", row, " column ", col + 1, ": '",
+                                     text, "' is not a valid ", what));
+  };
+  switch (type.kind()) {
+    case FieldType::Kind::kBool:
+      if (text == "true" || text == "1") return Value::Bool(true);
+      if (text == "false" || text == "0") return Value::Bool(false);
+      return err("bool");
+    case FieldType::Kind::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') return err("int");
+      return Value::Int(v);
+    }
+    case FieldType::Kind::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') return err("double");
+      return Value::Double(v);
+    }
+    case FieldType::Kind::kString:
+      return Value::String(text);
+    default:
+      return Status::InvalidArgument(
+          "CSV supports scalar fields only (no bags/tuples)");
+  }
+}
+
+std::string FormatField(const Value& v, const CsvOptions& options) {
+  if (v.is_null()) return options.null_text;
+  if (v.is_bool()) return v.bool_value() ? "true" : "false";
+  if (v.is_int()) return StrCat(v.int_value());
+  if (v.is_double()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.double_value());
+    return buf;
+  }
+  return v.is_string() ? v.string_value() : v.ToString();
+}
+
+std::string QuoteIfNeeded(const std::string& s, char delimiter) {
+  bool needs = s.find(delimiter) != std::string::npos ||
+               s.find('"') != std::string::npos ||
+               s.find('\n') != std::string::npos ||
+               s.find('\r') != std::string::npos;
+  if (!needs) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CheckScalarSchema(const Schema& schema) {
+  for (const Field& f : schema.fields()) {
+    if (!f.type.is_scalar()) {
+      return Status::InvalidArgument(
+          StrCat("CSV supports scalar fields only; '", f.name, "' is ",
+                 f.type.ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Bag> ReadCsv(std::istream& is, const Schema& schema,
+                    const CsvOptions& options) {
+  LIPSTICK_RETURN_IF_ERROR(CheckScalarSchema(schema));
+  Bag bag;
+  std::vector<std::string> fields;
+  size_t row = 0;
+  if (options.header) {
+    if (!ReadRecord(is, options.delimiter, &fields)) {
+      return Status::ParseError("missing CSV header row");
+    }
+    ++row;
+    if (fields.size() != schema.num_fields()) {
+      return Status::ParseError(
+          StrCat("header has ", fields.size(), " columns, schema has ",
+                 schema.num_fields()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i] != schema.field(i).name) {
+        return Status::ParseError(
+            StrCat("header column ", i + 1, " is '", fields[i],
+                   "', expected '", schema.field(i).name, "'"));
+      }
+    }
+  }
+  while (ReadRecord(is, options.delimiter, &fields)) {
+    ++row;
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != schema.num_fields()) {
+      return Status::ParseError(StrCat("row ", row, " has ", fields.size(),
+                                       " columns, expected ",
+                                       schema.num_fields()));
+    }
+    Tuple tuple;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      LIPSTICK_ASSIGN_OR_RETURN(
+          Value v,
+          ParseField(fields[i], schema.field(i).type, options, row, i));
+      tuple.Append(std::move(v));
+    }
+    bag.Add(std::move(tuple));
+  }
+  return bag;
+}
+
+Result<Bag> ReadCsvFile(const std::string& path, const Schema& schema,
+                        const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError(StrCat("cannot open ", path));
+  Result<Bag> bag = ReadCsv(in, schema, options);
+  if (!bag.ok()) return bag.status().WithContext(path);
+  return bag;
+}
+
+Status WriteCsv(std::ostream& os, const Relation& relation,
+                const CsvOptions& options) {
+  if (relation.schema == nullptr) {
+    return Status::InvalidArgument("relation has no schema");
+  }
+  LIPSTICK_RETURN_IF_ERROR(CheckScalarSchema(*relation.schema));
+  if (options.header) {
+    std::vector<std::string> names;
+    for (const Field& f : relation.schema->fields()) {
+      names.push_back(QuoteIfNeeded(f.name, options.delimiter));
+    }
+    os << Join(names, std::string(1, options.delimiter)) << "\n";
+  }
+  for (const AnnotatedTuple& t : relation.bag) {
+    std::vector<std::string> cells;
+    cells.reserve(t.tuple.size());
+    for (const Value& v : t.tuple.values()) {
+      cells.push_back(QuoteIfNeeded(FormatField(v, options),
+                                    options.delimiter));
+    }
+    os << Join(cells, std::string(1, options.delimiter)) << "\n";
+  }
+  if (!os.good()) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const std::string& path, const Relation& relation,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError(StrCat("cannot open ", path));
+  return WriteCsv(out, relation, options);
+}
+
+}  // namespace lipstick

@@ -1,0 +1,41 @@
+#ifndef LIPSTICK_RELATIONAL_CSV_H_
+#define LIPSTICK_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace lipstick {
+
+/// Delimited-text I/O for flat (scalar-field) relations: the format used
+/// to feed workflow inputs and initial module state from files, e.g. by
+/// the lipstick CLI. RFC-4180-style quoting: fields containing the
+/// delimiter, quotes, or newlines are wrapped in double quotes; embedded
+/// quotes double.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Expect / emit a header row with the schema's field names.
+  bool header = true;
+  /// Text representing SQL-ish NULL on read and write.
+  std::string null_text = "";
+};
+
+/// Parses rows into a bag conforming to `schema` (types enforced per
+/// field: bool accepts true/false/0/1). Bags/tuples in the schema are
+/// rejected. Annotations are left empty.
+Result<Bag> ReadCsv(std::istream& is, const Schema& schema,
+                    const CsvOptions& options = {});
+Result<Bag> ReadCsvFile(const std::string& path, const Schema& schema,
+                        const CsvOptions& options = {});
+
+/// Writes the relation's tuples (scalar fields only).
+Status WriteCsv(std::ostream& os, const Relation& relation,
+                const CsvOptions& options = {});
+Status WriteCsvFile(const std::string& path, const Relation& relation,
+                    const CsvOptions& options = {});
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_RELATIONAL_CSV_H_

@@ -1,0 +1,88 @@
+#include "relational/schema.h"
+
+#include "common/str_util.h"
+
+namespace lipstick {
+
+bool FieldType::Equals(const FieldType& other) const {
+  if (kind_ != other.kind_) return false;
+  if (is_scalar()) return true;
+  if (nested_ == nullptr || other.nested_ == nullptr)
+    return nested_ == other.nested_;
+  return nested_->Equals(*other.nested_);
+}
+
+std::string FieldType::ToString() const {
+  switch (kind_) {
+    case Kind::kBool:
+      return "bool";
+    case Kind::kInt:
+      return "int";
+    case Kind::kDouble:
+      return "double";
+    case Kind::kString:
+      return "chararray";
+    case Kind::kBag:
+      return StrCat("bag", nested_ ? nested_->ToString() : "{}");
+    case Kind::kTuple:
+      return StrCat("tuple", nested_ ? nested_->ToString() : "()");
+  }
+  return "?";
+}
+
+std::optional<size_t> Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  // Unqualified-suffix resolution: "Model" matches "Cars::Model" when unique.
+  std::optional<size_t> found;
+  const std::string suffix = "::" + name;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const std::string& fname = fields_[i].name;
+    if (fname.size() > suffix.size() &&
+        fname.compare(fname.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      if (found.has_value()) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Result<size_t> Schema::ResolveField(const std::string& name) const {
+  auto idx = FindField(name);
+  if (!idx.has_value()) {
+    return Status::NotFound(
+        StrCat("field '", name, "' not found (or ambiguous) in schema ",
+               ToString()));
+  }
+  return *idx;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name) return false;
+    if (!fields_[i].type.Equals(other.fields_[i].type)) return false;
+  }
+  return true;
+}
+
+bool Schema::EqualsIgnoreNames(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (!fields_[i].type.Equals(other.fields_[i].type)) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    parts.push_back(StrCat(f.name, ":", f.type.ToString()));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace lipstick

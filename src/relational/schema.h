@@ -1,0 +1,105 @@
+#ifndef LIPSTICK_RELATIONAL_SCHEMA_H_
+#define LIPSTICK_RELATIONAL_SCHEMA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lipstick {
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// The type of a single field in a (possibly nested) Pig Latin relation.
+/// Bags and tuples are the nesting constructors: a kBag field holds an
+/// unordered bag of tuples conforming to `nested`, a kTuple field holds one
+/// such tuple.
+class FieldType {
+ public:
+  enum class Kind { kBool, kInt, kDouble, kString, kBag, kTuple };
+
+  FieldType() : kind_(Kind::kInt) {}
+  explicit FieldType(Kind kind) : kind_(kind) {}
+  FieldType(Kind kind, SchemaPtr nested)
+      : kind_(kind), nested_(std::move(nested)) {}
+
+  static FieldType Bool() { return FieldType(Kind::kBool); }
+  static FieldType Int() { return FieldType(Kind::kInt); }
+  static FieldType Double() { return FieldType(Kind::kDouble); }
+  static FieldType String() { return FieldType(Kind::kString); }
+  static FieldType Bag(SchemaPtr element_schema) {
+    return FieldType(Kind::kBag, std::move(element_schema));
+  }
+  static FieldType Tuple(SchemaPtr tuple_schema) {
+    return FieldType(Kind::kTuple, std::move(tuple_schema));
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_scalar() const {
+    return kind_ != Kind::kBag && kind_ != Kind::kTuple;
+  }
+  bool is_numeric() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  /// Element/tuple schema for kBag / kTuple fields; null for scalars.
+  const SchemaPtr& nested() const { return nested_; }
+
+  bool Equals(const FieldType& other) const;
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  SchemaPtr nested_;
+};
+
+/// A named, typed field.
+struct Field {
+  std::string name;
+  FieldType type;
+
+  Field() = default;
+  Field(std::string n, FieldType t) : name(std::move(n)), type(std::move(t)) {}
+};
+
+/// An ordered list of fields describing the tuples of a relation.
+///
+/// Field lookup supports Pig Latin's qualified names: a JOIN output contains
+/// fields like "Cars::Model" and "ReqModel::Model"; looking up "Model"
+/// resolves if exactly one field has that unqualified suffix.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  static SchemaPtr Make(std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Finds a field by exact name, or — failing that — by unambiguous
+  /// "::"-qualified suffix. Returns nullopt if absent or ambiguous.
+  std::optional<size_t> FindField(const std::string& name) const;
+
+  /// Like FindField but returns a descriptive error.
+  Result<size_t> ResolveField(const std::string& name) const;
+
+  bool Equals(const Schema& other) const;
+  /// Structural equality ignoring field names (used to validate workflow
+  /// edges where renaming is routine).
+  bool EqualsIgnoreNames(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,173 @@
+#include "relational/value.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace lipstick {
+
+namespace {
+
+// Stable kind rank for the cross-kind total order.
+int KindRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_bool()) return 1;
+  if (v.is_numeric()) return 2;  // int and double compare numerically
+  if (v.is_string()) return 3;
+  if (v.is_tuple()) return 4;
+  return 5;  // bag
+}
+
+int CompareDouble(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = KindRank(*this), rb = KindRank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;  // null == null
+    case 1:
+      return (bool_value() ? 1 : 0) - (other.bool_value() ? 1 : 0);
+    case 2:
+      if (is_int() && other.is_int()) {
+        int64_t a = int_value(), b = other.int_value();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      return CompareDouble(AsDouble(), other.AsDouble());
+    case 3:
+      return string_value().compare(other.string_value());
+    case 4:
+      return tuple()->Compare(*other.tuple());
+    default: {
+      // Bags compare as sorted multisets of tuple contents.
+      const Bag& a = *bag();
+      const Bag& b = *other.bag();
+      std::vector<const Tuple*> ta, tb;
+      ta.reserve(a.size());
+      tb.reserve(b.size());
+      for (const auto& t : a) ta.push_back(&t.tuple);
+      for (const auto& t : b) tb.push_back(&t.tuple);
+      auto less = [](const Tuple* x, const Tuple* y) {
+        return x->Compare(*y) < 0;
+      };
+      std::sort(ta.begin(), ta.end(), less);
+      std::sort(tb.begin(), tb.end(), less);
+      size_t n = std::min(ta.size(), tb.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = ta[i]->Compare(*tb[i]);
+        if (c != 0) return c;
+      }
+      if (ta.size() != tb.size()) return ta.size() < tb.size() ? -1 : 1;
+      return 0;
+    }
+  }
+}
+
+namespace {
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+}  // namespace
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x517cc1b7;
+  if (is_bool()) return bool_value() ? 0x9e3779b9 : 0x85ebca6b;
+  if (is_numeric()) {
+    // Ints and doubles that compare equal must hash equal.
+    double d = AsDouble();
+    if (is_int() || d == std::floor(d)) {
+      return std::hash<int64_t>{}(static_cast<int64_t>(d)) ^ 0xc2b2ae35;
+    }
+    return std::hash<double>{}(d) ^ 0xc2b2ae35;
+  }
+  if (is_string()) return std::hash<std::string>{}(string_value());
+  if (is_tuple()) return tuple()->Hash();
+  // Bag: order-insensitive combination.
+  size_t h = 0x27d4eb2f;
+  for (const auto& t : *bag()) h += t.tuple.Hash();
+  return h;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_bool()) return bool_value() ? "true" : "false";
+  if (is_int()) return StrCat(int_value());
+  if (is_double()) {
+    // Keep a decimal marker so doubles survive a print/parse round trip
+    // (e.g. 2.0 must not come back as the integer 2).
+    std::string s = StrCat(double_value());
+    if (s.find('.') == std::string::npos &&
+        s.find('e') == std::string::npos &&
+        s.find("inf") == std::string::npos &&
+        s.find("nan") == std::string::npos) {
+      s += ".0";
+    }
+    return s;
+  }
+  if (is_string()) return StrCat("'", string_value(), "'");
+  if (is_tuple()) return tuple()->ToString();
+  return bag()->ToString();
+}
+
+int Tuple::Compare(const Tuple& other) const {
+  size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() != other.values_.size()) {
+    return values_.size() < other.values_.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x811c9dc5;
+  for (const Value& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Value& v : values_) parts.push_back(v.ToString());
+  return StrCat("(", Join(parts, ","), ")");
+}
+
+bool Bag::ContentEquals(const Bag& other) const {
+  if (size() != other.size()) return false;
+  std::vector<const Tuple*> a, b;
+  a.reserve(size());
+  b.reserve(size());
+  for (const auto& t : tuples_) a.push_back(&t.tuple);
+  for (const auto& t : other.tuples_) b.push_back(&t.tuple);
+  auto less = [](const Tuple* x, const Tuple* y) { return x->Compare(*y) < 0; };
+  std::sort(a.begin(), a.end(), less);
+  std::sort(b.begin(), b.end(), less);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]->Equals(*b[i])) return false;
+  }
+  return true;
+}
+
+std::string Bag::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(tuples_.size());
+  for (const auto& t : tuples_) parts.push_back(t.tuple.ToString());
+  std::sort(parts.begin(), parts.end());
+  return StrCat("{", Join(parts, ","), "}");
+}
+
+std::string Relation::ToString() const {
+  return StrCat(name, schema ? schema->ToString() : "()", " = ",
+                bag.ToString());
+}
+
+}  // namespace lipstick

@@ -1,0 +1,365 @@
+#include "workflow/executor.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "pig/interpreter.h"
+
+namespace lipstick {
+
+namespace {
+
+/// Checks that nodes sharing a module instance are totally ordered by the
+/// DAG, so state threading is deterministic and parallel execution safe.
+Status CheckInstanceOrdering(const Workflow& wf) {
+  // Reachability via DFS from each node (workflows are small).
+  std::map<std::string, std::set<std::string>> reach;
+  Result<std::vector<std::string>> topo = wf.TopologicalOrder();
+  LIPSTICK_RETURN_IF_ERROR(topo.status());
+  for (auto it = topo.value().rbegin(); it != topo.value().rend(); ++it) {
+    std::set<std::string>& r = reach[*it];
+    for (const WorkflowEdge* e : wf.OutgoingEdges(*it)) {
+      r.insert(e->to);
+      const std::set<std::string>& down = reach[e->to];
+      r.insert(down.begin(), down.end());
+    }
+  }
+  for (size_t i = 0; i < wf.nodes().size(); ++i) {
+    for (size_t j = i + 1; j < wf.nodes().size(); ++j) {
+      const WorkflowNode& a = wf.nodes()[i];
+      const WorkflowNode& b = wf.nodes()[j];
+      if (a.instance != b.instance) continue;
+      if (!reach[a.id].count(b.id) && !reach[b.id].count(a.id)) {
+        return Status::InvalidArgument(
+            StrCat("nodes '", a.id, "' and '", b.id,
+                   "' share instance '", a.instance,
+                   "' but are not ordered by the DAG"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WorkflowExecutor::Initialize() {
+  LIPSTICK_RETURN_IF_ERROR(workflow_->Validate(udfs_));
+  LIPSTICK_RETURN_IF_ERROR(CheckInstanceOrdering(*workflow_));
+  LIPSTICK_ASSIGN_OR_RETURN(topo_order_, workflow_->TopologicalOrder());
+  // Materialize empty state instances for every module identity.
+  for (const WorkflowNode& n : workflow_->nodes()) {
+    LIPSTICK_ASSIGN_OR_RETURN(const ModuleSpec* spec,
+                              workflow_->FindModule(n.module));
+    for (const auto& [rel_name, schema] : spec->state_schemas) {
+      auto& rel = state_[n.instance][rel_name];
+      if (rel.schema == nullptr) rel = Relation(rel_name, schema);
+    }
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status WorkflowExecutor::SetInitialState(const std::string& instance,
+                                         const std::string& relation,
+                                         Bag bag) {
+  if (!initialized_) return Status::Internal("Initialize() not called");
+  auto inst_it = state_.find(instance);
+  if (inst_it == state_.end()) {
+    return Status::NotFound(StrCat("unknown module instance '", instance,
+                                   "'"));
+  }
+  auto rel_it = inst_it->second.find(relation);
+  if (rel_it == inst_it->second.end()) {
+    return Status::NotFound(StrCat("instance '", instance,
+                                   "' has no state relation '", relation,
+                                   "'"));
+  }
+  rel_it->second.bag = std::move(bag);
+  return Status::OK();
+}
+
+Result<const Relation*> WorkflowExecutor::GetState(
+    const std::string& instance, const std::string& relation) const {
+  auto inst_it = state_.find(instance);
+  if (inst_it == state_.end()) {
+    return Status::NotFound(StrCat("unknown module instance '", instance,
+                                   "'"));
+  }
+  auto rel_it = inst_it->second.find(relation);
+  if (rel_it == inst_it->second.end()) {
+    return Status::NotFound(StrCat("instance '", instance,
+                                   "' has no state relation '", relation,
+                                   "'"));
+  }
+  return &rel_it->second;
+}
+
+/// Executes one node (one module invocation). Not a member to keep the
+/// threading interface narrow: everything it touches is passed explicitly.
+struct WorkflowExecutor::NodeRun {
+  const Workflow* workflow;
+  const pig::UdfRegistry* udfs;
+  const WorkflowNode* node;
+  const ModuleSpec* spec;
+  const WorkflowInputs* external_inputs;
+  // Module-identity state (owned by the executor; exclusive access is
+  // guaranteed by DAG ordering of same-instance nodes).
+  std::map<std::string, Relation>* state;
+  uint32_t execution = 0;
+  ShardWriter* writer = nullptr;  // null -> no tracking
+  bool eager_state_nodes = false;
+
+  Result<std::map<std::string, Relation>> Run(
+      const std::map<std::string, Bag>& edge_inputs) {
+    uint32_t inv = kNoInvocation;
+    if (writer != nullptr) {
+      inv = writer->BeginInvocation(spec->name, node->instance, execution);
+      writer->set_current_invocation(inv);
+    }
+
+    pig::Environment env;
+    bool is_input_node = workflow->IncomingEdges(node->id).empty();
+
+    // Bind input relations. Input-node tuples get workflow-input "I"
+    // tokens; all input tuples are wrapped with "i" nodes ·(tuple, m).
+    for (const auto& [rel_name, schema] : spec->input_schemas) {
+      Bag bag;
+      const Bag* source = nullptr;
+      if (is_input_node) {
+        auto node_it = external_inputs->find(node->id);
+        if (node_it != external_inputs->end()) {
+          auto rel_it = node_it->second.find(rel_name);
+          if (rel_it != node_it->second.end()) source = &rel_it->second;
+        }
+      } else {
+        auto it = edge_inputs.find(rel_name);
+        if (it != edge_inputs.end()) source = &it->second;
+      }
+      if (source != nullptr) {
+        bag.Reserve(source->size());
+        size_t i = 0;
+        for (const AnnotatedTuple& t : *source) {
+          ProvAnnotation annot = t.annot;
+          if (writer != nullptr) {
+            NodeId base = annot;
+            if (is_input_node || base == kNoProvenance) {
+              base = writer->WorkflowInput(StrCat(
+                  "I", execution, ".", node->id, ".", rel_name, "[", i, "]"));
+            }
+            annot = writer->ModuleInput(inv, base);
+          }
+          bag.Add(t.tuple, annot);
+          ++i;
+        }
+      }
+      env.Bind(rel_name, Relation(rel_name, schema, std::move(bag)));
+    }
+
+    // Bind state relations with their stored annotations; tuples that have
+    // never been annotated get a one-time base token. "s" nodes are
+    // created lazily (only for tuples that contribute to derivations).
+    std::unordered_set<NodeId> state_eligible;
+    for (auto& [rel_name, rel] : *state) {
+      if (writer != nullptr) {
+        Bag rebuilt;
+        rebuilt.Reserve(rel.bag.size());
+        size_t i = 0;
+        for (const AnnotatedTuple& t : rel.bag) {
+          ProvAnnotation annot = t.annot;
+          if (annot == kNoProvenance) {
+            annot = writer->Token(
+                StrCat(node->instance, ".", rel_name, "[", i, "]"),
+                NodeRole::kStateBase);
+          }
+          state_eligible.insert(annot);
+          rebuilt.Add(t.tuple, annot);
+          ++i;
+        }
+        rel.bag = std::move(rebuilt);  // persist the base tokens
+      }
+      env.Bind(rel_name, rel);
+    }
+    if (writer != nullptr) {
+      writer->BeginStateScope(inv, &state_eligible);
+      if (eager_state_nodes) {
+        // Literal Section 3.2 construction: an "s" node per state tuple
+        // per invocation, whether or not the tuple is ever used.
+        for (NodeId base : state_eligible) writer->ResolveParent(base);
+      }
+    }
+
+    // Qstate then Qout; Qout sees the post-Qstate bindings.
+    pig::Interpreter interp(udfs);
+    Status status = interp.Run(spec->qstate, &env, writer);
+    if (status.ok()) status = interp.Run(spec->qout, &env, writer);
+    if (writer != nullptr) writer->EndStateScope();
+    if (!status.ok()) {
+      return status.WithContext(
+          StrCat("node ", node->id, " (module ", spec->name, ", execution ",
+                 execution, ")"));
+    }
+
+    // Persist new state (annotations carried through).
+    for (auto& [rel_name, rel] : *state) {
+      Result<const Relation*> bound = env.Lookup(rel_name);
+      if (bound.ok()) {
+        rel.bag = bound.value()->bag;
+      }
+    }
+
+    // Collect outputs, wrapping each tuple with an "o" node ·(tuple, m).
+    std::map<std::string, Relation> outputs;
+    for (const auto& [rel_name, schema] : spec->output_schemas) {
+      Result<const Relation*> bound = env.Lookup(rel_name);
+      if (!bound.ok()) {
+        return Status::ExecutionError(
+            StrCat("node ", node->id, ": Qout did not bind output '",
+                   rel_name, "'"));
+      }
+      Relation out(rel_name, schema);
+      out.bag.Reserve(bound.value()->bag.size());
+      for (const AnnotatedTuple& t : bound.value()->bag) {
+        ProvAnnotation annot = t.annot;
+        if (writer != nullptr) {
+          annot = writer->ModuleOutput(inv, annot);
+        }
+        out.bag.Add(t.tuple, annot);
+      }
+      outputs.emplace(rel_name, std::move(out));
+    }
+    return outputs;
+  }
+};
+
+Result<WorkflowOutputs> WorkflowExecutor::Execute(const WorkflowInputs& inputs,
+                                                  ProvenanceGraph* graph,
+                                                  int num_workers) {
+  if (!initialized_) return Status::Internal("Initialize() not called");
+  uint32_t execution = execution_count_++;
+
+  WorkflowOutputs outputs;
+  std::mutex outputs_mu;
+
+  // Collects the input bags a node receives over its in-edges, unioning
+  // bags when several edges feed the same input relation.
+  auto gather_edge_inputs = [&](const std::string& node_id) {
+    std::map<std::string, Bag> in;
+    for (const WorkflowEdge* e : workflow_->IncomingEdges(node_id)) {
+      auto from_it = outputs.find(e->from);
+      if (from_it == outputs.end()) continue;
+      for (const EdgeRelation& rel : e->relations) {
+        auto rel_it = from_it->second.find(rel.from_relation);
+        if (rel_it == from_it->second.end()) continue;
+        Bag& dst = in[rel.to_relation];
+        for (const AnnotatedTuple& t : rel_it->second.bag) dst.Add(t);
+      }
+    }
+    return in;
+  };
+
+  last_node_times_.clear();
+  auto run_node = [&](const std::string& node_id,
+                      ShardWriter* writer) -> Status {
+    WallTimer timer;
+    const WorkflowNode* node = workflow_->FindNode(node_id).value();
+    LIPSTICK_ASSIGN_OR_RETURN(const ModuleSpec* spec,
+                              workflow_->FindModule(node->module));
+    NodeRun run{workflow_, udfs_,     node,
+                spec,      &inputs,   &state_[node->instance],
+                execution, writer,    eager_state_nodes_};
+    std::map<std::string, Bag> edge_inputs;
+    {
+      std::lock_guard<std::mutex> lock(outputs_mu);
+      edge_inputs = gather_edge_inputs(node_id);
+    }
+    LIPSTICK_ASSIGN_OR_RETURN(auto node_outputs, run.Run(edge_inputs));
+    std::lock_guard<std::mutex> lock(outputs_mu);
+    outputs.emplace(node_id, std::move(node_outputs));
+    last_node_times_[node_id] = timer.ElapsedSeconds();
+    return Status::OK();
+  };
+
+  if (num_workers <= 1 || workflow_->nodes().size() <= 1) {
+    ShardWriter writer = graph ? graph->writer() : ShardWriter(nullptr, 0);
+    for (const std::string& node_id : topo_order_) {
+      LIPSTICK_RETURN_IF_ERROR(
+          run_node(node_id, graph ? &writer : nullptr));
+    }
+    return outputs;
+  }
+
+  // Parallel path: dependency-counting scheduler over a worker pool. Each
+  // worker owns a graph shard, so provenance appends never contend.
+  std::map<std::string, size_t> pending;
+  for (const WorkflowNode& n : workflow_->nodes()) {
+    pending[n.id] = workflow_->IncomingEdges(n.id).size();
+  }
+  // Same-instance nodes must also run in topological sequence even without
+  // a connecting edge; CheckInstanceOrdering guarantees an edge path
+  // exists, so edge counting suffices.
+  std::deque<std::string> ready;
+  for (const auto& [id, count] : pending) {
+    if (count == 0) ready.push_back(id);
+  }
+
+  std::vector<ShardWriter> writers;
+  if (graph != nullptr) {
+    writers.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) writers.push_back(graph->AddShard());
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+  Status first_error;
+  bool failed = false;
+
+  auto worker = [&](int worker_idx) {
+    ShardWriter* writer =
+        graph != nullptr ? &writers[worker_idx] : nullptr;
+    while (true) {
+      std::string node_id;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return failed || !ready.empty() ||
+                 completed == workflow_->nodes().size();
+        });
+        if (failed || completed == workflow_->nodes().size()) return;
+        node_id = ready.front();
+        ready.pop_front();
+      }
+      Status st = run_node(node_id, writer);
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (!st.ok()) {
+          if (!failed) first_error = st;
+          failed = true;
+        } else {
+          ++completed;
+          for (const WorkflowEdge* e : workflow_->OutgoingEdges(node_id)) {
+            if (--pending[e->to] == 0) ready.push_back(e->to);
+          }
+        }
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) threads.emplace_back(worker, w);
+  for (std::thread& t : threads) t.join();
+
+  if (failed) return first_error;
+  return outputs;
+}
+
+}  // namespace lipstick

@@ -1,0 +1,96 @@
+#ifndef LIPSTICK_WORKFLOW_EXECUTOR_H_
+#define LIPSTICK_WORKFLOW_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/graph.h"
+#include "workflow/workflow.h"
+
+namespace lipstick {
+
+/// External input for one execution: node id -> input relation name -> bag.
+/// Only nodes in In (no incoming edges) may receive external input.
+using WorkflowInputs = std::map<std::string, std::map<std::string, Bag>>;
+
+/// Results of one execution: node id -> output relation name -> relation.
+/// Contains every node's outputs; callers typically read the Out nodes.
+using WorkflowOutputs = std::map<std::string, std::map<std::string, Relation>>;
+
+/// Executes a workflow according to the reference semantics of
+/// Definition 2.3: nodes run in a fixed topological order; each invocation
+/// runs Qstate then Qout on the module's current input and state, producing
+/// new state (threaded to later invocations of the same module identity,
+/// within this execution and across the execution sequence) and outputs
+/// that are copied along the out-edges.
+///
+/// When a ProvenanceGraph is supplied to Execute, the executor records
+/// fine-grained provenance: workflow-input "I" tokens, per-invocation "m"
+/// nodes, "i"/"o" wrapper nodes for module inputs/outputs, lazily-created
+/// "s" nodes for state tuples that contribute to derivations, and all
+/// intermediate operator structure via the Pig interpreter.
+///
+/// With num_workers > 1, independent nodes execute concurrently on a
+/// thread pool; each worker appends provenance to its own graph shard, so
+/// tracking is lock-free on the hot path. Nodes that share a module
+/// instance must be ordered by the DAG (enforced by Initialize).
+class WorkflowExecutor {
+ public:
+  WorkflowExecutor(const Workflow* workflow, const pig::UdfRegistry* udfs)
+      : workflow_(workflow), udfs_(udfs) {}
+
+  /// Validates the workflow and prepares execution. Must be called before
+  /// Execute / SetInitialState.
+  Status Initialize();
+
+  /// Installs the initial state instance of one module identity.
+  Status SetInitialState(const std::string& instance,
+                         const std::string& relation, Bag bag);
+
+  /// Runs one execution of the sequence. `graph` may be null (tracking
+  /// off); `num_workers` > 1 enables the parallel executor.
+  Result<WorkflowOutputs> Execute(const WorkflowInputs& inputs,
+                                  ProvenanceGraph* graph,
+                                  int num_workers = 1);
+
+  /// Current state instance of a module identity (empty relation if the
+  /// identity never executed and no initial state was set).
+  Result<const Relation*> GetState(const std::string& instance,
+                                   const std::string& relation) const;
+
+  /// Number of executions performed so far (the sequence index).
+  uint32_t executions_run() const { return execution_count_; }
+
+  /// Wall-clock seconds spent in each node during the most recent
+  /// Execute() call. Used by the parallelism benchmark to replay the
+  /// execution on a simulated cluster.
+  const std::map<std::string, double>& last_node_times() const {
+    return last_node_times_;
+  }
+
+  /// Ablation switch: when true, every state tuple of every invocation
+  /// receives an "s" node up front (the literal construction of Section
+  /// 3.2). Default false: "s" nodes are created lazily, only for state
+  /// tuples that contribute to a derivation — same query semantics, far
+  /// smaller graphs (see bench_ablation_state_nodes).
+  void set_eager_state_nodes(bool eager) { eager_state_nodes_ = eager; }
+
+ private:
+  struct NodeRun;  // per-node execution task, defined in the .cc
+
+  const Workflow* workflow_;
+  const pig::UdfRegistry* udfs_;
+  std::vector<std::string> topo_order_;
+  // Module identity -> state relation name -> current instance.
+  std::map<std::string, std::map<std::string, Relation>> state_;
+  std::map<std::string, double> last_node_times_;
+  uint32_t execution_count_ = 0;
+  bool initialized_ = false;
+  bool eager_state_nodes_ = false;
+};
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_WORKFLOW_EXECUTOR_H_

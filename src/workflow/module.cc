@@ -1,0 +1,96 @@
+#include "workflow/module.h"
+
+#include "common/str_util.h"
+
+namespace lipstick {
+
+Status ModuleSpec::Validate(const pig::UdfRegistry* udfs) const {
+  if (name.empty()) return Status::InvalidArgument("module name is empty");
+  // Schema name disjointness (Definition 2.1 requires disjoint schemas).
+  for (const auto& [in_name, unused] : input_schemas) {
+    if (state_schemas.count(in_name) || output_schemas.count(in_name)) {
+      return Status::InvalidArgument(
+          StrCat("module ", name, ": relation '", in_name,
+                 "' appears in more than one of Sin/Sstate/Sout"));
+    }
+  }
+  for (const auto& [st_name, unused] : state_schemas) {
+    if (output_schemas.count(st_name)) {
+      return Status::InvalidArgument(
+          StrCat("module ", name, ": relation '", st_name,
+                 "' appears in both Sstate and Sout"));
+    }
+  }
+
+  std::map<std::string, SchemaPtr> bindings;
+  for (const auto& [n, s] : input_schemas) bindings[n] = s;
+  for (const auto& [n, s] : state_schemas) bindings[n] = s;
+
+  // Qstate must produce state relations with matching schemas.
+  Result<std::map<std::string, SchemaPtr>> after_state =
+      pig::AnalyzeProgram(qstate, bindings, udfs);
+  if (!after_state.ok()) {
+    return after_state.status().WithContext(
+        StrCat("module ", name, " Qstate"));
+  }
+  for (const auto& [st_name, schema] : state_schemas) {
+    auto it = after_state.value().find(st_name);
+    if (it == after_state.value().end()) continue;  // state left unchanged
+    if (!it->second->EqualsIgnoreNames(*schema)) {
+      return Status::TypeError(
+          StrCat("module ", name, " Qstate rebinds state '", st_name,
+                 "' with incompatible schema ", it->second->ToString(),
+                 " (expected ", schema->ToString(), ")"));
+    }
+  }
+
+  // Qout must bind every output relation with a matching schema. Qout sees
+  // the *post-Qstate* state (execution order runs Qstate first).
+  Result<std::map<std::string, SchemaPtr>> after_out =
+      pig::AnalyzeProgram(qout, after_state.value(), udfs);
+  if (!after_out.ok()) {
+    return after_out.status().WithContext(StrCat("module ", name, " Qout"));
+  }
+  for (const auto& [out_name, schema] : output_schemas) {
+    auto it = after_out.value().find(out_name);
+    if (it == after_out.value().end()) {
+      return Status::TypeError(StrCat("module ", name,
+                                      " Qout does not bind output '",
+                                      out_name, "'"));
+    }
+    if (!it->second->EqualsIgnoreNames(*schema)) {
+      return Status::TypeError(
+          StrCat("module ", name, " Qout binds output '", out_name,
+                 "' with incompatible schema ", it->second->ToString(),
+                 " (expected ", schema->ToString(), ")"));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ModuleSpec> MakeModule(std::string name,
+                              std::map<std::string, SchemaPtr> input_schemas,
+                              std::map<std::string, SchemaPtr> state_schemas,
+                              std::map<std::string, SchemaPtr> output_schemas,
+                              std::string_view qstate_src,
+                              std::string_view qout_src) {
+  ModuleSpec spec;
+  spec.name = std::move(name);
+  spec.input_schemas = std::move(input_schemas);
+  spec.state_schemas = std::move(state_schemas);
+  spec.output_schemas = std::move(output_schemas);
+  Result<pig::Program> qstate = pig::ParseProgram(qstate_src);
+  if (!qstate.ok()) {
+    return qstate.status().WithContext(StrCat("module ", spec.name,
+                                              " Qstate"));
+  }
+  spec.qstate = std::move(qstate).value();
+  Result<pig::Program> qout = pig::ParseProgram(qout_src);
+  if (!qout.ok()) {
+    return qout.status().WithContext(StrCat("module ", spec.name, " Qout"));
+  }
+  spec.qout = std::move(qout).value();
+  return spec;
+}
+
+}  // namespace lipstick

@@ -1,0 +1,46 @@
+#ifndef LIPSTICK_WORKFLOW_MODULE_H_
+#define LIPSTICK_WORKFLOW_MODULE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "pig/interpreter.h"
+#include "pig/parser.h"
+#include "relational/value.h"
+
+namespace lipstick {
+
+/// A workflow module specification (Definition 2.1): disjoint relational
+/// schemas Sin / Sstate / Sout plus two Pig Latin queries —
+///   Qstate : Sin × Sstate -> Sstate   (state manipulation)
+///   Qout   : Sin × Sstate -> Sout     (output)
+/// Both queries see the input and state relations bound by name; Qstate's
+/// final binding of each state relation name becomes the new state (names
+/// it does not rebind keep their previous instances), and Qout must bind
+/// every output relation name.
+struct ModuleSpec {
+  std::string name;
+  std::map<std::string, SchemaPtr> input_schemas;
+  std::map<std::string, SchemaPtr> state_schemas;
+  std::map<std::string, SchemaPtr> output_schemas;
+  pig::Program qstate;  // may be empty (stateless modules)
+  pig::Program qout;
+
+  /// Statically checks the specification: schema-name disjointness, and
+  /// that Qstate/Qout analyze cleanly against Sin ∪ Sstate, rebinding state
+  /// and output relations with compatible schemas.
+  Status Validate(const pig::UdfRegistry* udfs) const;
+};
+
+/// Parses Pig Latin source for the two queries and assembles a ModuleSpec.
+Result<ModuleSpec> MakeModule(std::string name,
+                              std::map<std::string, SchemaPtr> input_schemas,
+                              std::map<std::string, SchemaPtr> state_schemas,
+                              std::map<std::string, SchemaPtr> output_schemas,
+                              std::string_view qstate_src,
+                              std::string_view qout_src);
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_WORKFLOW_MODULE_H_

@@ -1,0 +1,310 @@
+#include "workflow/wfdsl.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "workflow/module.h"
+
+namespace lipstick {
+
+namespace {
+
+/// Minimal character-level parser for the workflow DSL. The embedded Pig
+/// Latin blocks are extracted verbatim (between braces) and handed to the
+/// Pig parser via MakeModule.
+class DslParser {
+ public:
+  explicit DslParser(std::string_view src) : src_(src) {}
+
+  Result<Workflow> Parse() {
+    Workflow workflow;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      LIPSTICK_ASSIGN_OR_RETURN(std::string keyword, ReadWord("declaration"));
+      std::string lower = ToLower(keyword);
+      if (lower == "module") {
+        LIPSTICK_RETURN_IF_ERROR(ParseModule(&workflow));
+      } else if (lower == "node") {
+        LIPSTICK_RETURN_IF_ERROR(ParseNode(&workflow));
+      } else if (lower == "edge") {
+        LIPSTICK_RETURN_IF_ERROR(ParseEdge(&workflow));
+      } else {
+        return Err(StrCat("expected 'module', 'node' or 'edge', got '",
+                          keyword, "'"));
+      }
+    }
+    return workflow;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+  void Advance() {
+    if (src_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(StrCat("workflow line ", line_, ": ", msg));
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      } else if (Peek() == '-' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<std::string> ReadWord(const char* what) {
+    SkipWhitespaceAndComments();
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      Advance();
+    }
+    if (pos_ == start) return Err(StrCat("expected ", what));
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  Status Expect(char c) {
+    SkipWhitespaceAndComments();
+    if (AtEnd() || Peek() != c) {
+      return Err(StrCat("expected '", std::string(1, c), "'"));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  bool TryConsume(char c) {
+    SkipWhitespaceAndComments();
+    if (AtEnd() || Peek() != c) return false;
+    Advance();
+    return true;
+  }
+
+  bool TryConsumeArrow() {
+    SkipWhitespaceAndComments();
+    if (pos_ + 1 < src_.size() && Peek() == '-' && src_[pos_ + 1] == '>') {
+      Advance();
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<FieldType> ParseFieldType() {
+    LIPSTICK_ASSIGN_OR_RETURN(std::string name, ReadWord("field type"));
+    std::string lower = ToLower(name);
+    if (lower == "int" || lower == "long") return FieldType::Int();
+    if (lower == "double" || lower == "float") return FieldType::Double();
+    if (lower == "chararray" || lower == "string") return FieldType::String();
+    if (lower == "boolean" || lower == "bool") return FieldType::Bool();
+    return Err(StrCat("unknown field type '", name,
+                      "' (use int, double, chararray, boolean)"));
+  }
+
+  /// Parses `Name(f1: type, f2: type, ...)`.
+  Result<std::pair<std::string, SchemaPtr>> ParseRelationDecl() {
+    LIPSTICK_ASSIGN_OR_RETURN(std::string name, ReadWord("relation name"));
+    LIPSTICK_RETURN_IF_ERROR(Expect('('));
+    std::vector<Field> fields;
+    if (!TryConsume(')')) {
+      do {
+        LIPSTICK_ASSIGN_OR_RETURN(std::string fname,
+                                  ReadWord("field name"));
+        LIPSTICK_RETURN_IF_ERROR(Expect(':'));
+        LIPSTICK_ASSIGN_OR_RETURN(FieldType type, ParseFieldType());
+        fields.emplace_back(std::move(fname), std::move(type));
+      } while (TryConsume(','));
+      LIPSTICK_RETURN_IF_ERROR(Expect(')'));
+    }
+    return std::make_pair(std::move(name), Schema::Make(std::move(fields)));
+  }
+
+  /// Reads a `{ ... }` block verbatim (Pig Latin text).
+  Result<std::string> ParseBraceBlock() {
+    LIPSTICK_RETURN_IF_ERROR(Expect('{'));
+    size_t start = pos_;
+    int depth = 1;
+    while (!AtEnd()) {
+      if (Peek() == '{') ++depth;
+      if (Peek() == '}') {
+        if (--depth == 0) {
+          std::string body(src_.substr(start, pos_ - start));
+          Advance();
+          return body;
+        }
+      }
+      Advance();
+    }
+    return Err("unterminated '{' block");
+  }
+
+  Status ParseModule(Workflow* workflow) {
+    LIPSTICK_ASSIGN_OR_RETURN(std::string name, ReadWord("module name"));
+    LIPSTICK_RETURN_IF_ERROR(Expect('{'));
+    std::map<std::string, SchemaPtr> inputs, state, outputs;
+    std::string qstate_src, qout_src;
+    while (!TryConsume('}')) {
+      LIPSTICK_ASSIGN_OR_RETURN(std::string keyword,
+                                ReadWord("module member"));
+      std::string lower = ToLower(keyword);
+      if (lower == "input" || lower == "state" || lower == "output") {
+        LIPSTICK_ASSIGN_OR_RETURN(auto decl, ParseRelationDecl());
+        LIPSTICK_RETURN_IF_ERROR(Expect(';'));
+        auto& target = lower == "input" ? inputs
+                       : lower == "state" ? state
+                                          : outputs;
+        if (!target.emplace(decl.first, decl.second).second) {
+          return Err(StrCat("duplicate ", lower, " relation '", decl.first,
+                            "' in module ", name));
+        }
+      } else if (lower == "qstate") {
+        LIPSTICK_ASSIGN_OR_RETURN(qstate_src, ParseBraceBlock());
+      } else if (lower == "qout") {
+        LIPSTICK_ASSIGN_OR_RETURN(qout_src, ParseBraceBlock());
+      } else {
+        return Err(StrCat("unexpected '", keyword, "' inside module ", name));
+      }
+    }
+    Result<ModuleSpec> spec =
+        MakeModule(name, std::move(inputs), std::move(state),
+                   std::move(outputs), qstate_src, qout_src);
+    LIPSTICK_RETURN_IF_ERROR(spec.status());
+    return workflow->AddModule(std::move(*spec));
+  }
+
+  Status ParseNode(Workflow* workflow) {
+    LIPSTICK_ASSIGN_OR_RETURN(std::string id, ReadWord("node id"));
+    LIPSTICK_RETURN_IF_ERROR(Expect('='));
+    LIPSTICK_ASSIGN_OR_RETURN(std::string module, ReadWord("module name"));
+    std::string instance;
+    SkipWhitespaceAndComments();
+    if (!AtEnd() && Peek() != ';') {
+      LIPSTICK_ASSIGN_OR_RETURN(std::string as_kw, ReadWord("'as'"));
+      if (ToLower(as_kw) != "as") return Err("expected 'as' or ';'");
+      LIPSTICK_ASSIGN_OR_RETURN(instance, ReadWord("instance name"));
+    }
+    LIPSTICK_RETURN_IF_ERROR(Expect(';'));
+    return workflow->AddNode(id, module, instance);
+  }
+
+  Status ParseEdge(Workflow* workflow) {
+    LIPSTICK_ASSIGN_OR_RETURN(std::string from, ReadWord("source node"));
+    if (!TryConsumeArrow()) return Err("expected '->'");
+    LIPSTICK_ASSIGN_OR_RETURN(std::string to, ReadWord("target node"));
+    LIPSTICK_RETURN_IF_ERROR(Expect(':'));
+    std::vector<EdgeRelation> relations;
+    do {
+      EdgeRelation rel;
+      LIPSTICK_ASSIGN_OR_RETURN(rel.from_relation,
+                                ReadWord("output relation"));
+      if (TryConsumeArrow()) {
+        LIPSTICK_ASSIGN_OR_RETURN(rel.to_relation,
+                                  ReadWord("input relation"));
+      } else {
+        rel.to_relation = rel.from_relation;
+      }
+      relations.push_back(std::move(rel));
+    } while (TryConsume(','));
+    LIPSTICK_RETURN_IF_ERROR(Expect(';'));
+    return workflow->AddEdge(from, to, std::move(relations));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+const char* FieldTypeToDsl(const FieldType& type) {
+  switch (type.kind()) {
+    case FieldType::Kind::kInt:
+      return "int";
+    case FieldType::Kind::kDouble:
+      return "double";
+    case FieldType::Kind::kString:
+      return "chararray";
+    case FieldType::Kind::kBool:
+      return "boolean";
+    default:
+      return "chararray";  // nested types are not declarable in the DSL
+  }
+}
+
+void AppendRelationDecls(std::ostringstream& os, const char* kind,
+                         const std::map<std::string, SchemaPtr>& relations) {
+  for (const auto& [name, schema] : relations) {
+    os << "  " << kind << " " << name << "(";
+    for (size_t i = 0; i < schema->num_fields(); ++i) {
+      if (i > 0) os << ", ";
+      os << schema->field(i).name << ": "
+         << FieldTypeToDsl(schema->field(i).type);
+    }
+    os << ");\n";
+  }
+}
+
+}  // namespace
+
+Result<Workflow> ParseWorkflow(std::string_view source) {
+  return DslParser(source).Parse();
+}
+
+Result<Workflow> ParseWorkflowFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError(StrCat("cannot open ", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Workflow> wf = ParseWorkflow(buffer.str());
+  if (!wf.ok()) return wf.status().WithContext(path);
+  return wf;
+}
+
+std::string WorkflowToDsl(const Workflow& workflow) {
+  std::ostringstream os;
+  // Modules in deterministic (name) order: collect names used by nodes.
+  std::map<std::string, const ModuleSpec*> modules;
+  for (const WorkflowNode& node : workflow.nodes()) {
+    Result<const ModuleSpec*> spec = workflow.FindModule(node.module);
+    if (spec.ok()) modules[node.module] = *spec;
+  }
+  for (const auto& [name, spec] : modules) {
+    os << "module " << name << " {\n";
+    AppendRelationDecls(os, "input", spec->input_schemas);
+    AppendRelationDecls(os, "state", spec->state_schemas);
+    AppendRelationDecls(os, "output", spec->output_schemas);
+    if (!spec->qstate.statements.empty()) {
+      os << "  qstate {\n" << spec->qstate.ToString() << "\n  }\n";
+    }
+    os << "  qout {\n" << spec->qout.ToString() << "\n  }\n";
+    os << "}\n\n";
+  }
+  for (const WorkflowNode& node : workflow.nodes()) {
+    os << "node " << node.id << " = " << node.module;
+    if (node.instance != node.id) os << " as " << node.instance;
+    os << ";\n";
+  }
+  for (const WorkflowEdge& edge : workflow.edges()) {
+    os << "edge " << edge.from << " -> " << edge.to << " : ";
+    for (size_t i = 0; i < edge.relations.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << edge.relations[i].from_relation;
+      if (edge.relations[i].to_relation != edge.relations[i].from_relation) {
+        os << " -> " << edge.relations[i].to_relation;
+      }
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace lipstick

@@ -1,0 +1,50 @@
+#ifndef LIPSTICK_WORKFLOW_WFDSL_H_
+#define LIPSTICK_WORKFLOW_WFDSL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "workflow/workflow.h"
+
+namespace lipstick {
+
+/// Parses a workflow definition in Lipstick's textual format:
+///
+///   -- modules declare their schemas and Pig Latin queries
+///   module dealer {
+///     input  Requests(UserId: chararray, BidId: int, Model: chararray);
+///     state  Cars(CarId: int, Model: chararray);
+///     output Bids(DealerId: int, Amount: double);
+///     qstate {
+///       ReqModel = FOREACH Requests GENERATE Model;
+///       ...
+///     }
+///     qout {
+///       Bids = ...;
+///     }
+///   }
+///
+///   -- nodes instantiate modules; `as` binds a shared module identity
+///   node req  = request;
+///   node bid1 = dealer as dealer1;
+///
+///   -- edges route output relations to input relations
+///   edge req -> bid1 : Requests -> Requests, EmptyPO -> PurchaseOrders;
+///
+/// Field types: int, double, chararray (string), boolean. Comments: `--`
+/// to end of line. Keywords are case-insensitive; `qstate` may be omitted
+/// for stateless modules. The resulting workflow still needs
+/// Workflow::Validate / WorkflowExecutor::Initialize (which will surface
+/// any semantic errors in the Pig queries).
+Result<Workflow> ParseWorkflow(std::string_view source);
+Result<Workflow> ParseWorkflowFile(const std::string& path);
+
+/// Renders `workflow` back into the DSL (modules, nodes, edges). The
+/// output reparses to an equivalent workflow; Pig queries are printed from
+/// their ASTs.
+std::string WorkflowToDsl(const Workflow& workflow);
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_WORKFLOW_WFDSL_H_

@@ -1,0 +1,233 @@
+#include "workflow/workflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace lipstick {
+
+Status Workflow::AddModule(ModuleSpec spec) {
+  if (modules_.count(spec.name)) {
+    return Status::AlreadyExists(
+        StrCat("module '", spec.name, "' already registered"));
+  }
+  modules_.emplace(spec.name, std::move(spec));
+  return Status::OK();
+}
+
+Status Workflow::AddNode(const std::string& id, const std::string& module,
+                         const std::string& instance) {
+  for (const WorkflowNode& n : nodes_) {
+    if (n.id == id) {
+      return Status::AlreadyExists(StrCat("node '", id, "' already exists"));
+    }
+  }
+  nodes_.push_back(WorkflowNode{id, module, instance.empty() ? id : instance});
+  return Status::OK();
+}
+
+Status Workflow::AddEdge(const std::string& from, const std::string& to,
+                         std::vector<EdgeRelation> relations) {
+  if (relations.empty()) {
+    return Status::InvalidArgument("edge must carry at least one relation");
+  }
+  edges_.push_back(WorkflowEdge{from, to, std::move(relations)});
+  return Status::OK();
+}
+
+Status Workflow::AddEdge(const std::string& from, const std::string& to,
+                         const std::string& relation) {
+  return AddEdge(from, to, {EdgeRelation{relation, relation}});
+}
+
+Result<std::vector<std::string>> Workflow::AddUnrolledLoop(
+    const std::string& module, const std::string& prefix, int iterations,
+    const std::vector<EdgeRelation>& loop_relations) {
+  if (iterations < 1) {
+    return Status::InvalidArgument("loop must run at least once");
+  }
+  std::vector<std::string> ids;
+  ids.reserve(iterations);
+  for (int i = 1; i <= iterations; ++i) {
+    std::string id = StrCat(prefix, i);
+    LIPSTICK_RETURN_IF_ERROR(AddNode(id, module));
+    if (i > 1) {
+      LIPSTICK_RETURN_IF_ERROR(AddEdge(ids.back(), id, loop_relations));
+    }
+    ids.push_back(std::move(id));
+  }
+  return ids;
+}
+
+Result<const WorkflowNode*> Workflow::FindNode(const std::string& id) const {
+  for (const WorkflowNode& n : nodes_) {
+    if (n.id == id) return &n;
+  }
+  return Status::NotFound(StrCat("node '", id, "' not found"));
+}
+
+Result<const ModuleSpec*> Workflow::FindModule(const std::string& name) const {
+  auto it = modules_.find(name);
+  if (it == modules_.end()) {
+    return Status::NotFound(StrCat("module '", name, "' not found"));
+  }
+  return &it->second;
+}
+
+std::vector<const WorkflowEdge*> Workflow::IncomingEdges(
+    const std::string& id) const {
+  std::vector<const WorkflowEdge*> out;
+  for (const WorkflowEdge& e : edges_) {
+    if (e.to == id) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const WorkflowEdge*> Workflow::OutgoingEdges(
+    const std::string& id) const {
+  std::vector<const WorkflowEdge*> out;
+  for (const WorkflowEdge& e : edges_) {
+    if (e.from == id) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<std::string> Workflow::InputNodes() const {
+  std::vector<std::string> out;
+  for (const WorkflowNode& n : nodes_) {
+    if (IncomingEdges(n.id).empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<std::string> Workflow::OutputNodes() const {
+  std::vector<std::string> out;
+  for (const WorkflowNode& n : nodes_) {
+    if (OutgoingEdges(n.id).empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> Workflow::TopologicalOrder() const {
+  std::map<std::string, int> in_degree;
+  for (const WorkflowNode& n : nodes_) in_degree[n.id] = 0;
+  for (const WorkflowEdge& e : edges_) ++in_degree[e.to];
+
+  std::deque<std::string> ready;
+  for (const WorkflowNode& n : nodes_) {
+    if (in_degree[n.id] == 0) ready.push_back(n.id);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    std::string id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const WorkflowEdge* e : OutgoingEdges(id)) {
+      if (--in_degree[e->to] == 0) ready.push_back(e->to);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::InvalidArgument("workflow graph contains a cycle");
+  }
+  return order;
+}
+
+Status Workflow::Validate(const pig::UdfRegistry* udfs) const {
+  if (nodes_.empty()) return Status::InvalidArgument("workflow has no nodes");
+
+  // Modules referenced by nodes exist and validate.
+  std::set<std::string> used_modules;
+  std::map<std::string, std::string> instance_module;
+  for (const WorkflowNode& n : nodes_) {
+    LIPSTICK_ASSIGN_OR_RETURN(const ModuleSpec* spec, FindModule(n.module));
+    (void)spec;
+    used_modules.insert(n.module);
+    auto [it, inserted] = instance_module.emplace(n.instance, n.module);
+    if (!inserted && it->second != n.module) {
+      return Status::InvalidArgument(
+          StrCat("instance '", n.instance, "' bound to modules '", it->second,
+                 "' and '", n.module, "'"));
+    }
+  }
+  for (const std::string& m : used_modules) {
+    LIPSTICK_RETURN_IF_ERROR(modules_.at(m).Validate(udfs));
+  }
+
+  // Acyclicity.
+  LIPSTICK_RETURN_IF_ERROR(TopologicalOrder().status());
+
+  // Edge endpoints and relation compatibility.
+  for (const WorkflowEdge& e : edges_) {
+    LIPSTICK_ASSIGN_OR_RETURN(const WorkflowNode* from, FindNode(e.from));
+    LIPSTICK_ASSIGN_OR_RETURN(const WorkflowNode* to, FindNode(e.to));
+    const ModuleSpec& from_spec = modules_.at(from->module);
+    const ModuleSpec& to_spec = modules_.at(to->module);
+    for (const EdgeRelation& rel : e.relations) {
+      auto out_it = from_spec.output_schemas.find(rel.from_relation);
+      if (out_it == from_spec.output_schemas.end()) {
+        return Status::InvalidArgument(
+            StrCat("edge ", e.from, "->", e.to, ": '", rel.from_relation,
+                   "' is not an output of module ", from_spec.name));
+      }
+      auto in_it = to_spec.input_schemas.find(rel.to_relation);
+      if (in_it == to_spec.input_schemas.end()) {
+        return Status::InvalidArgument(
+            StrCat("edge ", e.from, "->", e.to, ": '", rel.to_relation,
+                   "' is not an input of module ", to_spec.name));
+      }
+      if (!out_it->second->EqualsIgnoreNames(*in_it->second)) {
+        return Status::TypeError(
+            StrCat("edge ", e.from, "->", e.to, ": schema mismatch ",
+                   out_it->second->ToString(), " vs ",
+                   in_it->second->ToString()));
+      }
+    }
+  }
+
+  // Input coverage: every input relation of every non-input node must be
+  // fed by at least one incoming edge (Definition 2.2, last condition).
+  for (const WorkflowNode& n : nodes_) {
+    std::vector<const WorkflowEdge*> incoming = IncomingEdges(n.id);
+    if (incoming.empty()) continue;  // In node: fed externally
+    const ModuleSpec& spec = modules_.at(n.module);
+    for (const auto& [in_name, unused] : spec.input_schemas) {
+      bool covered = false;
+      for (const WorkflowEdge* e : incoming) {
+        for (const EdgeRelation& rel : e->relations) {
+          if (rel.to_relation == in_name) covered = true;
+        }
+      }
+      if (!covered) {
+        return Status::InvalidArgument(
+            StrCat("node ", n.id, ": input relation '", in_name,
+                   "' is not fed by any incoming edge"));
+      }
+    }
+  }
+
+  // Weak connectivity (Definition 2.2 requires a connected DAG).
+  if (nodes_.size() > 1) {
+    std::map<std::string, std::vector<std::string>> undirected;
+    for (const WorkflowEdge& e : edges_) {
+      undirected[e.from].push_back(e.to);
+      undirected[e.to].push_back(e.from);
+    }
+    std::set<std::string> seen{nodes_[0].id};
+    std::deque<std::string> queue{nodes_[0].id};
+    while (!queue.empty()) {
+      std::string id = queue.front();
+      queue.pop_front();
+      for (const std::string& next : undirected[id]) {
+        if (seen.insert(next).second) queue.push_back(next);
+      }
+    }
+    if (seen.size() != nodes_.size()) {
+      return Status::InvalidArgument("workflow graph is not connected");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lipstick

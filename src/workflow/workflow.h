@@ -1,0 +1,104 @@
+#ifndef LIPSTICK_WORKFLOW_WORKFLOW_H_
+#define LIPSTICK_WORKFLOW_WORKFLOW_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workflow/module.h"
+
+namespace lipstick {
+
+/// A node of the workflow DAG, labeled with a module name (LV). Two nodes
+/// may bind the same `instance` name, in which case they denote the same
+/// module identity and share its state — e.g. the dealership modules, which
+/// are invoked once in the bidding phase and once in the purchase phase of
+/// the same execution.
+struct WorkflowNode {
+  std::string id;
+  std::string module;    // ModuleSpec name
+  std::string instance;  // module identity (defaults to id)
+};
+
+/// A routing entry on an edge: output relation `from_relation` of the
+/// source node is delivered as input relation `to_relation` of the target.
+struct EdgeRelation {
+  std::string from_relation;
+  std::string to_relation;
+};
+
+/// An edge of the DAG (LE), carrying one or more relations.
+struct WorkflowEdge {
+  std::string from;
+  std::string to;
+  std::vector<EdgeRelation> relations;
+};
+
+/// A workflow per Definition 2.2: a connected DAG whose nodes are labeled
+/// with module names and whose edges carry relations between compatible
+/// module ports. Extension over the paper: several edges may feed the same
+/// input relation of a node, in which case their bags are unioned — this
+/// models the Arctic-stations topologies where a station receives a
+/// minTemp value from each of its predecessors.
+class Workflow {
+ public:
+  /// Registers a module specification (validated on Workflow::Validate).
+  Status AddModule(ModuleSpec spec);
+
+  /// Adds a node labeled with `module`; `instance` defaults to `id`.
+  Status AddNode(const std::string& id, const std::string& module,
+                 const std::string& instance = "");
+
+  /// Adds an edge carrying `relations` (pairs may use the same name on both
+  /// sides via MakeSameName below).
+  Status AddEdge(const std::string& from, const std::string& to,
+                 std::vector<EdgeRelation> relations);
+  /// Convenience: edge carrying `relation` under the same name at both ends.
+  Status AddEdge(const std::string& from, const std::string& to,
+                 const std::string& relation);
+
+  /// Unfolds a bounded loop into an acyclic chain (the paper restricts
+  /// workflows to DAGs but notes that "workflows with bounded looping can
+  /// be unfolded into acyclic ones", Definition 2.2). Creates nodes
+  /// `<prefix>1 .. <prefix>N` labeled `module` and wires `loop_relations`
+  /// from each iteration to the next. Returns the created node ids; the
+  /// caller wires the chain's external inputs into `<prefix>1` and reads
+  /// results from `<prefix>N`.
+  Result<std::vector<std::string>> AddUnrolledLoop(
+      const std::string& module, const std::string& prefix, int iterations,
+      const std::vector<EdgeRelation>& loop_relations);
+
+  /// Full validation per Definition 2.2: every node's module exists,
+  /// acyclicity, edge relations exist in the endpoint schemas with
+  /// compatible types, every non-input module input is covered by incoming
+  /// edges, instances are module-consistent, and all module specs validate.
+  Status Validate(const pig::UdfRegistry* udfs) const;
+
+  /// Topological order of node ids (the reference execution semantics picks
+  /// this fixed order; ties broken by insertion order for determinism).
+  Result<std::vector<std::string>> TopologicalOrder() const;
+
+  /// Nodes with no incoming edges (workflow inputs, Definition 2.2 In).
+  std::vector<std::string> InputNodes() const;
+  /// Nodes with no outgoing edges (Out).
+  std::vector<std::string> OutputNodes() const;
+
+  const std::vector<WorkflowNode>& nodes() const { return nodes_; }
+  const std::vector<WorkflowEdge>& edges() const { return edges_; }
+  Result<const WorkflowNode*> FindNode(const std::string& id) const;
+  Result<const ModuleSpec*> FindModule(const std::string& name) const;
+
+  /// Incoming/outgoing edges of a node.
+  std::vector<const WorkflowEdge*> IncomingEdges(const std::string& id) const;
+  std::vector<const WorkflowEdge*> OutgoingEdges(const std::string& id) const;
+
+ private:
+  std::vector<WorkflowNode> nodes_;
+  std::vector<WorkflowEdge> edges_;
+  std::map<std::string, ModuleSpec> modules_;
+};
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_WORKFLOW_WORKFLOW_H_

@@ -1,0 +1,321 @@
+#include "workflowgen/arctic.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+#include "workflow/module.h"
+
+namespace lipstick::workflowgen {
+
+const char* ArcticTopologyName(ArcticTopology t) {
+  switch (t) {
+    case ArcticTopology::kSerial:
+      return "serial";
+    case ArcticTopology::kParallel:
+      return "parallel";
+    case ArcticTopology::kDense:
+      return "dense";
+  }
+  return "?";
+}
+
+const char* SelectivityName(Selectivity s) {
+  switch (s) {
+    case Selectivity::kAll:
+      return "all";
+    case Selectivity::kSeason:
+      return "season";
+    case Selectivity::kMonth:
+      return "month";
+    case Selectivity::kYear:
+      return "year";
+  }
+  return "?";
+}
+
+namespace {
+
+SchemaPtr QuerySchema() {
+  return Schema::Make({{"Year", FieldType::Int()},
+                       {"Month", FieldType::Int()},
+                       {"Sel", FieldType::String()}});
+}
+SchemaPtr ObservationsSchema() {
+  return Schema::Make({{"Year", FieldType::Int()},
+                       {"Month", FieldType::Int()},
+                       {"Temp", FieldType::Double()},
+                       {"Pressure", FieldType::Double()},
+                       {"Humidity", FieldType::Double()},
+                       {"Wind", FieldType::Double()},
+                       {"Precip", FieldType::Double()},
+                       {"Cloud", FieldType::Double()}});
+}
+SchemaPtr StationInfoSchema() {
+  return Schema::Make({{"StationId", FieldType::Int()}});
+}
+SchemaPtr MinTempSchema() {
+  return Schema::Make({{"Value", FieldType::Double()}});
+}
+
+uint64_t Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double Noise(uint64_t key, double lo, double hi) {
+  double u = static_cast<double>(Mix(key) >> 11) / 9007199254740992.0;
+  return lo + u * (hi - lo);
+}
+
+/// One synthetic monthly observation for a station: a seasonal temperature
+/// curve (cold Arctic winters) plus station offset and deterministic noise.
+Tuple MakeObservation(int station, int year, int month, uint64_t seed) {
+  double temp =
+      ArcticWorkflow::SyntheticTemperature(station, year, month, seed);
+  uint64_t key = seed ^ (static_cast<uint64_t>(station) << 40) ^
+                 (static_cast<uint64_t>(year) << 16) ^
+                 static_cast<uint64_t>(month);
+  Tuple t;
+  t.Append(Value::Int(year));
+  t.Append(Value::Int(month));
+  t.Append(Value::Double(temp));
+  t.Append(Value::Double(Noise(key * 3 + 1, 980.0, 1040.0)));   // pressure
+  t.Append(Value::Double(Noise(key * 5 + 2, 55.0, 95.0)));      // humidity
+  t.Append(Value::Double(Noise(key * 7 + 3, 0.0, 22.0)));       // wind
+  t.Append(Value::Double(Noise(key * 11 + 4, 0.0, 60.0)));      // precip
+  t.Append(Value::Double(Noise(key * 13 + 5, 0.0, 100.0)));     // cloud
+  return t;
+}
+
+constexpr char kStationQstate[] = R"PIG(
+-- Take this month's measurement (instrument black box) and append it to
+-- the station's observation history.
+QInfo = CROSS Query, StationInfo;
+NewObs = FOREACH QInfo
+    GENERATE FLATTEN(TakeMeasurement(StationInfo::StationId, Query::Year,
+                                     Query::Month));
+Observations = UNION Observations, NewObs;
+)PIG";
+
+constexpr char kStationQout[] = R"PIG(
+-- Lowest air temperature observed to date under the query selectivity,
+-- folded with the minima received from predecessor stations. Each
+-- selectivity is a join against the (filtered) query tuple, so only the
+-- observations that actually match contribute provenance — graph size
+-- therefore scales with selectivity, as in the paper's Figure 6.
+QAll = FILTER Query BY Sel == 'all';
+MAll = CROSS Observations, QAll;
+TAll = FOREACH MAll GENERATE Observations::Temp AS Value;
+QYear = FILTER Query BY Sel == 'year';
+MYear = JOIN Observations BY Year, QYear BY Year;
+TYear = FOREACH MYear GENERATE Observations::Temp AS Value;
+QMonth = FILTER Query BY Sel == 'month';
+MMonth = JOIN Observations BY Month, QMonth BY Month;
+TMonth = FOREACH MMonth GENERATE Observations::Temp AS Value;
+QSeason = FILTER Query BY Sel == 'season';
+MSeason = JOIN Observations BY (Month - 1) / 3, QSeason BY (Month - 1) / 3;
+TSeason = FOREACH MSeason GENERATE Observations::Temp AS Value;
+Temps = UNION TAll, TYear, TMonth, TSeason;
+TempsAll = GROUP Temps ALL;
+LocalMin = FOREACH TempsAll GENERATE MIN(Temps) AS Value;
+AllMins = UNION LocalMin, MinTempIn;
+MinsAll = GROUP AllMins ALL;
+MinTempOut = FOREACH MinsAll GENERATE MIN(AllMins) AS Value;
+)PIG";
+
+constexpr char kOutQout[] = R"PIG(
+MinsAll = GROUP MinTemps ALL;
+GlobalMin = FOREACH MinsAll GENERATE MIN(MinTemps) AS Value;
+)PIG";
+
+Result<Value> TakeMeasurement(const std::vector<Value>& args, uint64_t seed) {
+  if (args.size() != 3 || !args[0].is_int() || !args[1].is_int() ||
+      !args[2].is_int()) {
+    return Status::InvalidArgument(
+        "TakeMeasurement expects (StationId, Year, Month) integers");
+  }
+  auto out = std::make_shared<Bag>();
+  out->Add(MakeObservation(static_cast<int>(args[0].int_value()),
+                           static_cast<int>(args[1].int_value()),
+                           static_cast<int>(args[2].int_value()), seed));
+  return Value::OfBag(std::move(out));
+}
+
+}  // namespace
+
+double ArcticWorkflow::SyntheticTemperature(int station, int year, int month,
+                                            uint64_t seed) {
+  // Seasonal curve: July warmest (~6C), January coldest (~-28C), with a
+  // per-station offset and per-observation noise.
+  double seasonal = -11.0 - 17.0 * std::cos(2.0 * M_PI * (month - 7) / 12.0);
+  double station_offset =
+      Noise(seed ^ (static_cast<uint64_t>(station) * 0x5bd1e995ull), -6.0,
+            6.0);
+  uint64_t key = seed ^ (static_cast<uint64_t>(station) << 40) ^
+                 (static_cast<uint64_t>(year) << 16) ^
+                 static_cast<uint64_t>(month);
+  return seasonal + station_offset + Noise(key, -4.0, 4.0);
+}
+
+Result<std::unique_ptr<ArcticWorkflow>> ArcticWorkflow::Create(
+    const ArcticConfig& config) {
+  if (config.num_stations < 1) {
+    return Status::InvalidArgument("need at least one station");
+  }
+  if (config.topology == ArcticTopology::kDense &&
+      (config.fan_out < 1 || config.num_stations % config.fan_out != 0)) {
+    return Status::InvalidArgument(
+        "dense topology requires num_stations divisible by fan_out");
+  }
+  auto wf = std::unique_ptr<ArcticWorkflow>(new ArcticWorkflow());
+  wf->config_ = config;
+  wf->udfs_ = std::make_unique<pig::UdfRegistry>();
+  uint64_t seed = config.seed;
+  LIPSTICK_RETURN_IF_ERROR(wf->udfs_->Register(
+      "TakeMeasurement",
+      pig::UdfEntry{[seed](const std::vector<Value>& args) {
+                      return TakeMeasurement(args, seed);
+                    },
+                    [](const std::vector<FieldType>&) {
+                      return Result<FieldType>(
+                          FieldType::Bag(ObservationsSchema()));
+                    }}));
+
+  wf->workflow_ = std::make_unique<Workflow>();
+  Workflow& w = *wf->workflow_;
+
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec in_spec,
+      MakeModule("arctic_in", {{"QueryIn", QuerySchema()}}, {},
+                 {{"Query", QuerySchema()}, {"EmptyMinTemp", MinTempSchema()}},
+                 "",
+                 R"PIG(
+Query = FOREACH QueryIn GENERATE Year, Month, Sel;
+None = FILTER QueryIn BY false;
+EmptyMinTemp = FOREACH None GENERATE 0.0 AS Value;
+)PIG"));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(in_spec)));
+
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec station_spec,
+      MakeModule("station",
+                 {{"Query", QuerySchema()}, {"MinTempIn", MinTempSchema()}},
+                 {{"Observations", ObservationsSchema()},
+                  {"StationInfo", StationInfoSchema()}},
+                 {{"MinTempOut", MinTempSchema()}}, kStationQstate,
+                 kStationQout));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(station_spec)));
+
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec out_spec,
+      MakeModule("arctic_out", {{"MinTemps", MinTempSchema()}}, {},
+                 {{"GlobalMin", MinTempSchema()}}, "", kOutQout));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(out_spec)));
+
+  // --- DAG ---
+  LIPSTICK_RETURN_IF_ERROR(w.AddNode("in", "arctic_in"));
+  LIPSTICK_RETURN_IF_ERROR(w.AddNode("out", "arctic_out"));
+  auto sta = [](int i) { return StrCat("sta", i); };
+  for (int i = 1; i <= config.num_stations; ++i) {
+    LIPSTICK_RETURN_IF_ERROR(w.AddNode(sta(i), "station"));
+    // Every station receives the query from the input module; the empty
+    // MinTemp relation keeps the MinTempIn port fed for first-layer
+    // stations (later layers additionally union their predecessors' minima).
+    LIPSTICK_RETURN_IF_ERROR(
+        w.AddEdge("in", sta(i),
+                  {EdgeRelation{"Query", "Query"},
+                   EdgeRelation{"EmptyMinTemp", "MinTempIn"}}));
+  }
+
+  // MinTemp chain edges and output edges depend on the topology.
+  std::vector<int> terminal_stations;
+  switch (config.topology) {
+    case ArcticTopology::kSerial:
+      for (int i = 2; i <= config.num_stations; ++i) {
+        LIPSTICK_RETURN_IF_ERROR(
+            w.AddEdge(sta(i - 1), sta(i),
+                      {EdgeRelation{"MinTempOut", "MinTempIn"}}));
+      }
+      terminal_stations.push_back(config.num_stations);
+      break;
+    case ArcticTopology::kParallel:
+      for (int i = 1; i <= config.num_stations; ++i) {
+        terminal_stations.push_back(i);
+      }
+      break;
+    case ArcticTopology::kDense: {
+      int layers = config.num_stations / config.fan_out;
+      for (int layer = 1; layer < layers; ++layer) {
+        for (int a = 1; a <= config.fan_out; ++a) {
+          for (int b = 1; b <= config.fan_out; ++b) {
+            int from = (layer - 1) * config.fan_out + a;
+            int to = layer * config.fan_out + b;
+            LIPSTICK_RETURN_IF_ERROR(
+                w.AddEdge(sta(from), sta(to),
+                          {EdgeRelation{"MinTempOut", "MinTempIn"}}));
+          }
+        }
+      }
+      for (int b = 1; b <= config.fan_out; ++b) {
+        terminal_stations.push_back((layers - 1) * config.fan_out + b);
+      }
+      break;
+    }
+  }
+  for (int i : terminal_stations) {
+    LIPSTICK_RETURN_IF_ERROR(
+        w.AddEdge(sta(i), "out", {EdgeRelation{"MinTempOut", "MinTemps"}}));
+  }
+
+  wf->executor_ =
+      std::make_unique<WorkflowExecutor>(wf->workflow_.get(), wf->udfs_.get());
+  LIPSTICK_RETURN_IF_ERROR(wf->executor_->Initialize());
+
+  // --- Initial state: 1961-2000 monthly observation history per station ---
+  for (int i = 1; i <= config.num_stations; ++i) {
+    Bag obs;
+    obs.Reserve(static_cast<size_t>(config.history_years) * 12);
+    for (int year = 2001 - config.history_years; year <= 2000; ++year) {
+      for (int month = 1; month <= 12; ++month) {
+        obs.Add(MakeObservation(i, year, month, config.seed));
+      }
+    }
+    LIPSTICK_RETURN_IF_ERROR(
+        wf->executor_->SetInitialState(sta(i), "Observations",
+                                       std::move(obs)));
+    Bag info;
+    info.Add(Tuple({Value::Int(i)}));
+    LIPSTICK_RETURN_IF_ERROR(
+        wf->executor_->SetInitialState(sta(i), "StationInfo",
+                                       std::move(info)));
+  }
+  return wf;
+}
+
+Result<WorkflowOutputs> ArcticWorkflow::ExecuteOnce(ProvenanceGraph* graph) {
+  int e = next_execution_++;
+  int year = 2001 + e / 12;
+  int month = 1 + e % 12;
+  WorkflowInputs inputs;
+  Bag query;
+  query.Add(Tuple({Value::Int(year), Value::Int(month),
+                   Value::String(SelectivityName(config_.selectivity))}));
+  inputs["in"]["QueryIn"] = std::move(query);
+  return executor_->Execute(inputs, graph, config_.num_workers);
+}
+
+Result<double> ArcticWorkflow::RunSeries(int num_executions,
+                                         ProvenanceGraph* graph) {
+  double last_min = 0;
+  for (int e = 0; e < num_executions; ++e) {
+    LIPSTICK_ASSIGN_OR_RETURN(WorkflowOutputs outputs, ExecuteOnce(graph));
+    const Relation& result = outputs.at("out").at("GlobalMin");
+    if (!result.bag.empty()) {
+      last_min = result.bag.at(0).tuple.at(0).AsDouble();
+    }
+  }
+  return last_min;
+}
+
+}  // namespace lipstick::workflowgen

@@ -1,0 +1,83 @@
+#ifndef LIPSTICK_WORKFLOWGEN_ARCTIC_H_
+#define LIPSTICK_WORKFLOWGEN_ARCTIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "provenance/graph.h"
+#include "workflow/executor.h"
+#include "workflow/workflow.h"
+
+namespace lipstick::workflowgen {
+
+/// Topologies of the Arctic-stations workflow family (Section 5.2, Fig. 4).
+enum class ArcticTopology { kSerial, kParallel, kDense };
+
+const char* ArcticTopologyName(ArcticTopology t);
+
+/// Query selectivity: which stored observations the per-station minimum is
+/// computed over. all = every observation, season = 1/4, month = 1/12,
+/// year = at most 12 observations.
+enum class Selectivity { kAll, kSeason, kMonth, kYear };
+
+const char* SelectivityName(Selectivity s);
+
+struct ArcticConfig {
+  ArcticTopology topology = ArcticTopology::kParallel;
+  int num_stations = 24;  // between 2 and 24 in the paper
+  int fan_out = 2;        // dense topology: stations per layer
+  Selectivity selectivity = Selectivity::kMonth;
+  int history_years = 40;  // monthly observations 1961-2000
+  uint64_t seed = 7;
+  int num_workers = 1;
+};
+
+/// Workflows modeling meteorological stations in the Russian Arctic. Each
+/// station stores historical observations (six meteorological variables) in
+/// its state, takes a new measurement per execution (a black-box UDF
+/// standing in for the physical instrument), computes its lowest observed
+/// air temperature under the query selectivity, folds in the minima
+/// received from its predecessor stations, and forwards the result; the
+/// output module reports the overall minimum.
+///
+/// The real NSIDC dataset [27] is replaced by a seeded synthetic generator
+/// with the same shape: 480 monthly observations per station with seasonal
+/// temperature structure (see DESIGN.md, substitutions).
+class ArcticWorkflow {
+ public:
+  static Result<std::unique_ptr<ArcticWorkflow>> Create(
+      const ArcticConfig& config);
+
+  /// Runs one execution: the query (year, month, selectivity) advances one
+  /// month per execution starting at 2001-01.
+  Result<WorkflowOutputs> ExecuteOnce(ProvenanceGraph* graph);
+
+  /// Runs `num_executions` executions; returns the last global minimum.
+  Result<double> RunSeries(int num_executions, ProvenanceGraph* graph);
+
+  const Workflow& workflow() const { return *workflow_; }
+  WorkflowExecutor& executor() { return *executor_; }
+  const pig::UdfRegistry& udfs() const { return *udfs_; }
+  const ArcticConfig& config() const { return config_; }
+
+  /// Synthetic monthly temperature for (station, year, month); exposed so
+  /// tests can cross-check workflow results against direct computation.
+  static double SyntheticTemperature(int station, int year, int month,
+                                     uint64_t seed);
+
+ private:
+  ArcticWorkflow() = default;
+
+  ArcticConfig config_;
+  std::unique_ptr<pig::UdfRegistry> udfs_;
+  std::unique_ptr<Workflow> workflow_;
+  std::unique_ptr<WorkflowExecutor> executor_;
+  int next_execution_ = 0;
+};
+
+}  // namespace lipstick::workflowgen
+
+#endif  // LIPSTICK_WORKFLOWGEN_ARCTIC_H_

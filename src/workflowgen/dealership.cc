@@ -1,0 +1,446 @@
+#include "workflowgen/dealership.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+#include "workflow/module.h"
+
+namespace lipstick::workflowgen {
+
+namespace {
+
+SchemaPtr RequestsSchema() {
+  return Schema::Make({{"UserId", FieldType::String()},
+                       {"BidId", FieldType::Int()},
+                       {"Model", FieldType::String()}});
+}
+SchemaPtr ChoiceSchema() {
+  return Schema::Make({{"BidId", FieldType::Int()},
+                       {"Accept", FieldType::Bool()},
+                       {"MaxPrice", FieldType::Double()}});
+}
+SchemaPtr CarsSchema() {
+  return Schema::Make(
+      {{"CarId", FieldType::Int()}, {"Model", FieldType::String()}});
+}
+SchemaPtr SoldCarsSchema() {
+  return Schema::Make(
+      {{"CarId", FieldType::Int()}, {"BidId", FieldType::Int()}});
+}
+SchemaPtr InventoryBidsSchema() {
+  return Schema::Make({{"BidId", FieldType::Int()},
+                       {"UserId", FieldType::String()},
+                       {"Model", FieldType::String()},
+                       {"Amount", FieldType::Double()}});
+}
+SchemaPtr DealerInfoSchema() {
+  return Schema::Make({{"DealerId", FieldType::Int()}});
+}
+SchemaPtr BidsSchema() {
+  return Schema::Make({{"DealerId", FieldType::Int()},
+                       {"BidId", FieldType::Int()},
+                       {"Model", FieldType::String()},
+                       {"Amount", FieldType::Double()}});
+}
+SchemaPtr PurchaseOrderSchema() {
+  return Schema::Make({{"BidId", FieldType::Int()},
+                       {"Model", FieldType::String()},
+                       {"Amount", FieldType::Double()}});
+}
+SchemaPtr SoldCarSchema() {
+  return Schema::Make(
+      {{"CarId", FieldType::Int()}, {"Model", FieldType::String()}});
+}
+
+/// Deterministic base price per model, in dollars.
+double BasePrice(const std::string& model) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : model) h = (h ^ c) * 1099511628211ull;
+  return 15000.0 + static_cast<double>(h % 30000ull);
+}
+
+/// The CalcBid black-box pricing function (paper Example 2.1). Takes the
+/// nested bags of one AllInfoByModel group — Requests, NumCarsByModel,
+/// NumSoldByModel, PriorBids — and emits one InventoryBids tuple per
+/// request. Pricing: scarcer / better-selling models cost more; repeated
+/// requests for the same model receive the same or a lower amount (the
+/// dealer consults its bid history).
+Result<Value> CalcBid(const std::vector<Value>& args) {
+  if (args.size() != 4) {
+    return Status::InvalidArgument("CalcBid expects 4 bag arguments");
+  }
+  for (const Value& v : args) {
+    if (!v.is_bag()) {
+      return Status::InvalidArgument("CalcBid arguments must be bags");
+    }
+  }
+  const Bag& requests = *args[0].bag();
+  const Bag& num_cars = *args[1].bag();
+  const Bag& num_sold = *args[2].bag();
+  const Bag& prior_bids = *args[3].bag();
+
+  auto out = std::make_shared<Bag>();
+  if (num_cars.empty()) {
+    return Value::OfBag(out);  // no inventory for this model: no bid
+  }
+  // NumCarsByModel / NumSoldByModel tuples: (Model, count).
+  double avail = num_cars.at(0).tuple.at(1).AsDouble();
+  double sold =
+      num_sold.empty() ? 0.0 : num_sold.at(0).tuple.at(1).AsDouble();
+
+  // Lowest prior bid for this model, if any (PriorBids: BidId, Amount,
+  // Model).
+  double prior_best = 0;
+  bool has_prior = false;
+  for (const AnnotatedTuple& t : prior_bids) {
+    double amount = t.tuple.at(1).AsDouble();
+    if (!has_prior || amount < prior_best) {
+      prior_best = amount;
+      has_prior = true;
+    }
+  }
+
+  for (const AnnotatedTuple& req : requests) {
+    // Requests tuples: (UserId, BidId, Model).
+    const std::string& user = req.tuple.at(0).string_value();
+    int64_t bid_id = req.tuple.at(1).int_value();
+    const std::string& model = req.tuple.at(2).string_value();
+
+    double price = BasePrice(model);
+    price *= 1.0 + 0.2 * (sold / (avail + 1.0));  // demand pressure
+    price *= 1.0 + 2.0 / (avail + 4.0);           // scarcity premium
+    if (has_prior && prior_best < price) {
+      price = prior_best * 0.98;  // same-or-lower repeat offer
+    }
+    price = std::floor(price);
+
+    Tuple t;
+    t.Append(Value::Int(bid_id));
+    t.Append(Value::String(user));
+    t.Append(Value::String(model));
+    t.Append(Value::Double(price));
+    out->Add(std::move(t));
+  }
+  return Value::OfBag(out);
+}
+
+constexpr char kDealerQstate[] = R"PIG(
+-- Bid phase (paper Example 2.1, with qualified-name projections made
+-- explicit and a PriorBids extension so repeat requests bid lower).
+ReqModel = FOREACH Requests GENERATE Model;
+Inventory0 = JOIN Cars BY Model, ReqModel BY Model;
+Inventory = FOREACH Inventory0 GENERATE Cars::CarId AS CarId,
+                                        Cars::Model AS Model;
+SoldInventory0 = JOIN Inventory BY CarId, SoldCars BY CarId;
+SoldInventory = FOREACH SoldInventory0
+    GENERATE Inventory::CarId AS CarId, Inventory::Model AS Model;
+CarsByModel = GROUP Inventory BY Model;
+SoldByModel = GROUP SoldInventory BY Model;
+NumCarsByModel = FOREACH CarsByModel
+    GENERATE group AS Model, COUNT(Inventory) AS NumAvail;
+NumSoldByModel = FOREACH SoldByModel
+    GENERATE group AS Model, COUNT(SoldInventory) AS NumSold;
+PriorBids0 = JOIN InventoryBids BY Model, ReqModel BY Model;
+PriorBids = FOREACH PriorBids0
+    GENERATE InventoryBids::BidId AS BidId,
+             InventoryBids::Amount AS Amount,
+             ReqModel::Model AS Model;
+AllInfoByModel = COGROUP Requests BY Model, NumCarsByModel BY Model,
+                         NumSoldByModel BY Model, PriorBids BY Model;
+NewBids = FOREACH AllInfoByModel
+    GENERATE FLATTEN(CalcBid(Requests, NumCarsByModel, NumSoldByModel,
+                             PriorBids));
+InventoryBids = UNION InventoryBids, NewBids;
+
+-- Purchase phase: pick the lowest-id unsold car of the ordered model.
+POModel = FOREACH PurchaseOrders GENERATE BidId, Model;
+AvailCars0 = JOIN Cars BY Model, POModel BY Model;
+AvailCars = FOREACH AvailCars0
+    GENERATE Cars::CarId AS CarId, POModel::BidId AS BidId;
+ByCar = COGROUP AvailCars BY CarId, SoldCars BY CarId;
+CarStatus = FOREACH ByCar
+    GENERATE group AS CarId, COUNT(AvailCars) AS NumAvail,
+             COUNT(SoldCars) AS NumSold, MIN(AvailCars.BidId) AS BidId;
+UnsoldCars = FILTER CarStatus BY NumAvail > 0 AND NumSold == 0;
+PickGroups = GROUP UnsoldCars BY BidId;
+Picked = FOREACH PickGroups
+    GENERATE MIN(UnsoldCars.CarId) AS CarId, group AS BidId;
+NewSold = FOREACH Picked GENERATE CarId, BidId;
+SoldCars = UNION SoldCars, NewSold;
+)PIG";
+
+constexpr char kDealerQout[] = R"PIG(
+BidsWithDealer = CROSS NewBids, DealerInfo;
+Bids = FOREACH BidsWithDealer
+    GENERATE DealerInfo::DealerId AS DealerId, NewBids::BidId AS BidId,
+             NewBids::Model AS Model, NewBids::Amount AS Amount;
+SoldJoin = JOIN NewSold BY CarId, Cars BY CarId;
+SoldCar = FOREACH SoldJoin
+    GENERATE NewSold::CarId AS CarId, Cars::Model AS Model;
+)PIG";
+
+constexpr char kAggQout[] = R"PIG(
+AllBids = UNION Bids1, Bids2, Bids3, Bids4;
+ByBid = GROUP AllBids BY BidId;
+Best0 = FOREACH ByBid GENERATE group AS BidId, MIN(AllBids.Amount) AS Amount;
+Joined = JOIN AllBids BY BidId, Best0 BY BidId;
+Winners = FILTER Joined BY AllBids::Amount <= Best0::Amount;
+WinnerGroups = GROUP Winners BY AllBids::BidId;
+MinDealer = FOREACH WinnerGroups
+    GENERATE group AS BidId, MIN(Winners.AllBids::DealerId) AS DealerId;
+Final = JOIN Winners BY (AllBids::BidId, AllBids::DealerId),
+             MinDealer BY (BidId, DealerId);
+BestBid = FOREACH Final
+    GENERATE MinDealer::DealerId AS DealerId, MinDealer::BidId AS BidId,
+             Winners::AllBids::Model AS Model,
+             Winners::AllBids::Amount AS Amount;
+)PIG";
+
+constexpr char kAndQout[] = R"PIG(
+Combined = JOIN BestBid BY BidId, Choice BY BidId;
+Accepted = FILTER Combined
+    BY Choice::Accept AND BestBid::Amount <= Choice::MaxPrice;
+Decision = FOREACH Accepted
+    GENERATE BestBid::DealerId AS DealerId, BestBid::BidId AS BidId,
+             BestBid::Model AS Model, BestBid::Amount AS Amount;
+)PIG";
+
+std::string XorQout(int num_dealers) {
+  // The xor module routes the accepted decision to the winning dealership
+  // only — a SPLIT with one branch per dealer.
+  std::vector<std::string> branches;
+  for (int k = 1; k <= num_dealers; ++k) {
+    branches.push_back(StrCat("D", k, " IF DealerId == ", k));
+  }
+  std::string out =
+      StrCat("SPLIT Decision INTO ", Join(branches, ", "), ";\n");
+  for (int k = 1; k <= num_dealers; ++k) {
+    out += StrCat("PO", k, " = FOREACH D", k,
+                  " GENERATE BidId, Model, Amount;\n");
+  }
+  out +=
+      "EmptyDecision = FILTER Decision BY false;\n"
+      "EmptyRequests = FOREACH EmptyDecision GENERATE 'none' AS UserId, "
+      "BidId, Model;\n";
+  return out;
+}
+
+std::string CarQout(int num_dealers) {
+  std::vector<std::string> names;
+  for (int k = 1; k <= num_dealers; ++k) names.push_back(StrCat("Sold", k));
+  return StrCat("PurchasedCar = UNION ", Join(names, ", "), ";\n");
+}
+
+}  // namespace
+
+const std::vector<std::string>& DealershipWorkflow::Models() {
+  static const std::vector<std::string>* kModels = new std::vector<std::string>{
+      "VW Golf",    "VW Passat",  "VW Jetta",   "BMW 3",
+      "BMW 5",      "BMW X3",     "Audi A3",    "Audi A4",
+      "Audi A6",    "Mercedes C", "Mercedes E", "Porsche 911"};
+  return *kModels;
+}
+
+Result<std::unique_ptr<DealershipWorkflow>> DealershipWorkflow::Create(
+    const DealershipConfig& config) {
+  if (config.num_dealers != 4) {
+    return Status::InvalidArgument(
+        "the dealership workflow is specified for exactly 4 dealerships");
+  }
+  auto wf = std::unique_ptr<DealershipWorkflow>(new DealershipWorkflow());
+  wf->config_ = config;
+  wf->rng_ = std::make_unique<Rng>(config.seed);
+  wf->udfs_ = std::make_unique<pig::UdfRegistry>();
+
+  LIPSTICK_RETURN_IF_ERROR(wf->udfs_->Register(
+      "CalcBid", pig::UdfEntry{
+                     CalcBid, [](const std::vector<FieldType>&) {
+                       return Result<FieldType>(
+                           FieldType::Bag(InventoryBidsSchema()));
+                     }}));
+
+  wf->workflow_ = std::make_unique<Workflow>();
+  Workflow& w = *wf->workflow_;
+
+  // --- Module specifications ---
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec req_spec,
+      MakeModule("request", {{"BuyerRequests", RequestsSchema()}}, {},
+                 {{"Requests", RequestsSchema()},
+                  {"EmptyPO", PurchaseOrderSchema()}},
+                 "",
+                 R"PIG(
+Requests = FOREACH BuyerRequests GENERATE UserId, BidId, Model;
+None = FILTER BuyerRequests BY false;
+EmptyPO = FOREACH None GENERATE BidId, Model, 0.0 AS Amount;
+)PIG"));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(req_spec)));
+
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec choice_spec,
+      MakeModule("choice", {{"BuyerChoice", ChoiceSchema()}}, {},
+                 {{"Choice", ChoiceSchema()}}, "",
+                 "Choice = FOREACH BuyerChoice GENERATE BidId, Accept, "
+                 "MaxPrice;\n"));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(choice_spec)));
+
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec dealer_spec,
+      MakeModule("dealer",
+                 {{"Requests", RequestsSchema()},
+                  {"PurchaseOrders", PurchaseOrderSchema()}},
+                 {{"Cars", CarsSchema()},
+                  {"SoldCars", SoldCarsSchema()},
+                  {"InventoryBids", InventoryBidsSchema()},
+                  {"DealerInfo", DealerInfoSchema()}},
+                 {{"Bids", BidsSchema()}, {"SoldCar", SoldCarSchema()}},
+                 kDealerQstate, kDealerQout));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(dealer_spec)));
+
+  std::map<std::string, SchemaPtr> agg_inputs;
+  for (int k = 1; k <= config.num_dealers; ++k) {
+    agg_inputs[StrCat("Bids", k)] = BidsSchema();
+  }
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec agg_spec,
+      MakeModule("aggregate", std::move(agg_inputs), {},
+                 {{"BestBid", BidsSchema()}}, "", kAggQout));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(agg_spec)));
+
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec and_spec,
+      MakeModule("and",
+                 {{"BestBid", BidsSchema()}, {"Choice", ChoiceSchema()}}, {},
+                 {{"Decision", BidsSchema()}}, "", kAndQout));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(and_spec)));
+
+  std::map<std::string, SchemaPtr> xor_outputs;
+  for (int k = 1; k <= config.num_dealers; ++k) {
+    xor_outputs[StrCat("PO", k)] = PurchaseOrderSchema();
+  }
+  xor_outputs["EmptyRequests"] = RequestsSchema();
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec xor_spec,
+      MakeModule("xor", {{"Decision", BidsSchema()}}, {},
+                 std::move(xor_outputs), "", XorQout(config.num_dealers)));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(xor_spec)));
+
+  std::map<std::string, SchemaPtr> car_inputs;
+  for (int k = 1; k <= config.num_dealers; ++k) {
+    car_inputs[StrCat("Sold", k)] = SoldCarSchema();
+  }
+  LIPSTICK_ASSIGN_OR_RETURN(
+      ModuleSpec car_spec,
+      MakeModule("car", std::move(car_inputs), {},
+                 {{"PurchasedCar", SoldCarSchema()}}, "",
+                 CarQout(config.num_dealers)));
+  LIPSTICK_RETURN_IF_ERROR(w.AddModule(std::move(car_spec)));
+
+  // --- DAG ---
+  LIPSTICK_RETURN_IF_ERROR(w.AddNode("req", "request"));
+  LIPSTICK_RETURN_IF_ERROR(w.AddNode("choice", "choice"));
+  LIPSTICK_RETURN_IF_ERROR(w.AddNode("agg", "aggregate"));
+  LIPSTICK_RETURN_IF_ERROR(w.AddNode("and", "and"));
+  LIPSTICK_RETURN_IF_ERROR(w.AddNode("xor", "xor"));
+  LIPSTICK_RETURN_IF_ERROR(w.AddNode("car", "car"));
+  for (int k = 1; k <= config.num_dealers; ++k) {
+    std::string bid_node = StrCat("dealer_bid_", k);
+    std::string buy_node = StrCat("dealer_buy_", k);
+    std::string instance = StrCat("dealer", k);
+    LIPSTICK_RETURN_IF_ERROR(w.AddNode(bid_node, "dealer", instance));
+    LIPSTICK_RETURN_IF_ERROR(w.AddNode(buy_node, "dealer", instance));
+    LIPSTICK_RETURN_IF_ERROR(
+        w.AddEdge("req", bid_node,
+                  {EdgeRelation{"Requests", "Requests"},
+                   EdgeRelation{"EmptyPO", "PurchaseOrders"}}));
+    LIPSTICK_RETURN_IF_ERROR(
+        w.AddEdge(bid_node, "agg",
+                  {EdgeRelation{"Bids", StrCat("Bids", k)}}));
+    LIPSTICK_RETURN_IF_ERROR(
+        w.AddEdge("xor", buy_node,
+                  {EdgeRelation{StrCat("PO", k), "PurchaseOrders"},
+                   EdgeRelation{"EmptyRequests", "Requests"}}));
+    LIPSTICK_RETURN_IF_ERROR(
+        w.AddEdge(buy_node, "car",
+                  {EdgeRelation{"SoldCar", StrCat("Sold", k)}}));
+  }
+  LIPSTICK_RETURN_IF_ERROR(w.AddEdge("agg", "and", "BestBid"));
+  LIPSTICK_RETURN_IF_ERROR(
+      w.AddEdge("choice", "and", {EdgeRelation{"Choice", "Choice"}}));
+  LIPSTICK_RETURN_IF_ERROR(w.AddEdge("and", "xor", "Decision"));
+
+  wf->executor_ =
+      std::make_unique<WorkflowExecutor>(wf->workflow_.get(), wf->udfs_.get());
+  LIPSTICK_RETURN_IF_ERROR(wf->executor_->Initialize());
+
+  // --- Initial state: cars split across dealerships, random models ---
+  int per_dealer = config.num_cars / config.num_dealers;
+  int car_id = 1;
+  for (int k = 1; k <= config.num_dealers; ++k) {
+    Bag cars;
+    cars.Reserve(per_dealer);
+    for (int i = 0; i < per_dealer; ++i) {
+      Tuple t;
+      t.Append(Value::Int(car_id++));
+      t.Append(Value::String(wf->rng_->Pick(Models())));
+      cars.Add(std::move(t));
+    }
+    std::string instance = StrCat("dealer", k);
+    LIPSTICK_RETURN_IF_ERROR(
+        wf->executor_->SetInitialState(instance, "Cars", std::move(cars)));
+    Bag info;
+    info.Add(Tuple({Value::Int(k)}));
+    LIPSTICK_RETURN_IF_ERROR(
+        wf->executor_->SetInitialState(instance, "DealerInfo",
+                                       std::move(info)));
+  }
+
+  // --- Buyer model: fixed per run ---
+  wf->buyer_model_ = config.buyer_model.empty() ? wf->rng_->Pick(Models())
+                                                : config.buyer_model;
+  wf->reserve_price_ = BasePrice(wf->buyer_model_) * 1.35;
+  wf->accept_probability_ = config.accept_probability >= 0
+                                ? config.accept_probability
+                                : 0.15 + 0.5 * wf->rng_->UniformDouble();
+  return wf;
+}
+
+Result<WorkflowOutputs> DealershipWorkflow::ExecuteOnce(
+    int bid_id, ProvenanceGraph* graph) {
+  WorkflowInputs inputs;
+  Bag requests;
+  requests.Add(Tuple({Value::String("buyer1"), Value::Int(bid_id),
+                      Value::String(buyer_model_)}));
+  inputs["req"]["BuyerRequests"] = std::move(requests);
+
+  Bag choice;
+  bool accept = rng_->Chance(accept_probability_);
+  choice.Add(Tuple({Value::Int(bid_id), Value::Bool(accept),
+                    Value::Double(reserve_price_)}));
+  inputs["choice"]["BuyerChoice"] = std::move(choice);
+
+  return executor_->Execute(inputs, graph, config_.num_workers);
+}
+
+Result<DealershipRunStats> DealershipWorkflow::Run(ProvenanceGraph* graph) {
+  DealershipRunStats stats;
+  stats.buyer_model = buyer_model_;
+  for (int e = 0; e < config_.num_executions; ++e) {
+    LIPSTICK_ASSIGN_OR_RETURN(WorkflowOutputs outputs,
+                              ExecuteOnce(e + 1, graph));
+    ++stats.executions;
+    const Relation& best = outputs.at("agg").at("BestBid");
+    if (!best.bag.empty()) {
+      stats.best_bid = best.bag.at(0).tuple.at(3).AsDouble();
+    }
+    const Relation& purchased = outputs.at("car").at("PurchasedCar");
+    if (!purchased.bag.empty()) {
+      stats.purchased = true;
+      break;
+    }
+  }
+  if (graph != nullptr) stats.graph_nodes = graph->num_nodes();
+  return stats;
+}
+
+}  // namespace lipstick::workflowgen

@@ -1,0 +1,81 @@
+#ifndef LIPSTICK_WORKFLOWGEN_DEALERSHIP_H_
+#define LIPSTICK_WORKFLOWGEN_DEALERSHIP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "provenance/graph.h"
+#include "workflow/executor.h"
+#include "workflow/workflow.h"
+
+namespace lipstick::workflowgen {
+
+/// Configuration of the Car-dealerships benchmark workflow (Section 5.2).
+struct DealershipConfig {
+  int num_dealers = 4;
+  int num_cars = 20000;      // total cars, split evenly across dealerships
+  int num_executions = 10;   // maximum executions per run
+  uint64_t seed = 42;
+  int num_workers = 1;       // parallel executor width
+  // Benchmark overrides: fixes the buyer's acceptance probability (< 0
+  // draws it randomly, the paper's setup); 0 forces full-length runs.
+  double accept_probability = -1.0;
+  // Fixes the requested model (empty -> random).
+  std::string buyer_model;
+};
+
+/// Statistics of one run (a series of consecutive executions with a fixed
+/// buyer; terminates on purchase or when num_executions is reached).
+struct DealershipRunStats {
+  int executions = 0;
+  bool purchased = false;
+  double best_bid = 0;            // last best bid seen
+  std::string buyer_model;
+  size_t graph_nodes = 0;         // 0 when tracking is off
+};
+
+/// The running-example workflow: a bid-request input, four dealership
+/// modules (invoked in a bid phase and a purchase phase, sharing state), a
+/// minimum-bid aggregator, the accept/decline combinator, a router, and the
+/// purchased-car output. Dealership pricing is the CalcBid black-box UDF.
+class DealershipWorkflow {
+ public:
+  /// Builds the workflow, registers the CalcBid UDF, validates everything,
+  /// and installs the initial car inventory.
+  static Result<std::unique_ptr<DealershipWorkflow>> Create(
+      const DealershipConfig& config);
+
+  /// Runs a full buyer run: consecutive executions until purchase or the
+  /// execution budget is exhausted. Provenance goes to `graph` when given.
+  Result<DealershipRunStats> Run(ProvenanceGraph* graph);
+
+  /// Runs exactly one execution with the given bid id; exposed for tests.
+  Result<WorkflowOutputs> ExecuteOnce(int bid_id, ProvenanceGraph* graph);
+
+  const Workflow& workflow() const { return *workflow_; }
+  WorkflowExecutor& executor() { return *executor_; }
+  const pig::UdfRegistry& udfs() const { return *udfs_; }
+  const std::string& buyer_model() const { return buyer_model_; }
+
+  /// The 12 German car models used by WorkflowGen.
+  static const std::vector<std::string>& Models();
+
+ private:
+  DealershipWorkflow() = default;
+
+  DealershipConfig config_;
+  std::unique_ptr<pig::UdfRegistry> udfs_;
+  std::unique_ptr<Workflow> workflow_;
+  std::unique_ptr<WorkflowExecutor> executor_;
+  std::unique_ptr<Rng> rng_;
+  std::string buyer_model_;
+  double reserve_price_ = 0;
+  double accept_probability_ = 0;
+};
+
+}  // namespace lipstick::workflowgen
+
+#endif  // LIPSTICK_WORKFLOWGEN_DEALERSHIP_H_

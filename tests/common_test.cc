@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+
+namespace lipstick {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("field x").WithContext("module dealer");
+  EXPECT_EQ(s.ToString(), "NotFound: module dealer: field x");
+  // WithContext on OK is a no-op.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError,
+        StatusCode::kTypeError, StatusCode::kExecutionError,
+        StatusCode::kIOError, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  LIPSTICK_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_EQ(Doubler(Status::Internal("x")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(StrUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("FOREACH"), "foreach");
+  EXPECT_EQ(ToUpper("count"), "COUNT");
+  EXPECT_TRUE(StartsWith("Lipstick", "Lip"));
+  EXPECT_FALSE(StartsWith("Lip", "Lipstick"));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, PickCoversAllElements) {
+  Rng rng(13);
+  std::vector<int> items{1, 2, 3, 4};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Pick(items));
+  EXPECT_EQ(seen.size(), items.size());
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(1);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());  // scaled views agree
+}
+
+}  // namespace
+}  // namespace lipstick

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "relational/csv.h"
+#include "test_util.h"
+#include "workflow/executor.h"
+#include "workflow/wfdsl.h"
+
+namespace lipstick {
+namespace {
+
+using ::lipstick::testing::I;
+using ::lipstick::testing::MakeSchema;
+using ::lipstick::testing::S;
+using ::lipstick::testing::T;
+
+SchemaPtr CarSchema() {
+  return MakeSchema({{"CarId", FieldType::Int()},
+                     {"Model", FieldType::String()},
+                     {"Price", FieldType::Double()},
+                     {"Sold", FieldType::Bool()}});
+}
+
+TEST(CsvTest, ReadTypedRows) {
+  std::istringstream in(
+      "CarId,Model,Price,Sold\n"
+      "1,Golf,19999.5,false\n"
+      "2,Jetta,23000,1\n");
+  Result<Bag> bag = ReadCsv(in, *CarSchema());
+  LIPSTICK_ASSERT_OK(bag.status());
+  ASSERT_EQ(bag->size(), 2u);
+  EXPECT_EQ(bag->at(0).tuple.at(0).int_value(), 1);
+  EXPECT_EQ(bag->at(0).tuple.at(1).string_value(), "Golf");
+  EXPECT_DOUBLE_EQ(bag->at(0).tuple.at(2).double_value(), 19999.5);
+  EXPECT_FALSE(bag->at(0).tuple.at(3).bool_value());
+  EXPECT_TRUE(bag->at(1).tuple.at(3).bool_value());
+}
+
+TEST(CsvTest, QuotingRoundTrip) {
+  Relation rel("R",
+               MakeSchema({{"a", FieldType::String()},
+                           {"b", FieldType::String()}}));
+  rel.bag.Add(T({S("with,comma"), S("with \"quotes\"")}));
+  rel.bag.Add(T({S("line\nbreak"), S("plain")}));
+  std::ostringstream out;
+  LIPSTICK_ASSERT_OK(WriteCsv(out, rel));
+  std::istringstream in(out.str());
+  Result<Bag> bag = ReadCsv(in, *rel.schema);
+  LIPSTICK_ASSERT_OK(bag.status());
+  EXPECT_TRUE(bag->ContentEquals(rel.bag));
+}
+
+TEST(CsvTest, NullHandling) {
+  CsvOptions options;
+  options.null_text = "NULL";
+  std::istringstream in("a\nNULL\n3\n");
+  Result<Bag> bag =
+      ReadCsv(in, *MakeSchema({{"a", FieldType::Int()}}), options);
+  LIPSTICK_ASSERT_OK(bag.status());
+  EXPECT_TRUE(bag->at(0).tuple.at(0).is_null());
+  EXPECT_EQ(bag->at(1).tuple.at(0).int_value(), 3);
+}
+
+TEST(CsvTest, Errors) {
+  // Wrong header.
+  std::istringstream bad_header("x,y\n1,2\n");
+  EXPECT_FALSE(ReadCsv(bad_header, *MakeSchema({{"a", FieldType::Int()},
+                                                {"b", FieldType::Int()}}))
+                   .ok());
+  // Wrong column count.
+  std::istringstream bad_cols("a\n1,2\n");
+  EXPECT_FALSE(ReadCsv(bad_cols, *MakeSchema({{"a", FieldType::Int()}})).ok());
+  // Type error with location.
+  std::istringstream bad_type("a\nxyz\n");
+  Status st =
+      ReadCsv(bad_type, *MakeSchema({{"a", FieldType::Int()}})).status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("row 2"), std::string::npos);
+  // Nested schema rejected.
+  SchemaPtr nested = MakeSchema(
+      {{"bag", FieldType::Bag(MakeSchema({{"x", FieldType::Int()}}))}});
+  std::istringstream any("bag\n{}\n");
+  EXPECT_FALSE(ReadCsv(any, *nested).ok());
+}
+
+TEST(CsvTest, CustomDelimiterAndNoHeader) {
+  CsvOptions options;
+  options.delimiter = '\t';
+  options.header = false;
+  std::istringstream in("1\tGolf\n2\tJetta\n");
+  Result<Bag> bag = ReadCsv(
+      in, *MakeSchema({{"id", FieldType::Int()},
+                       {"m", FieldType::String()}}),
+      options);
+  LIPSTICK_ASSERT_OK(bag.status());
+  EXPECT_EQ(bag->size(), 2u);
+}
+
+constexpr char kDslSource[] = R"WF(
+-- two-module workflow used across the DSL tests
+module source {
+  input Ext(x: int);
+  output Out(x: int);
+  qout {
+    Out = FOREACH Ext GENERATE x;
+  }
+}
+
+module doubler {
+  input In(x: int);
+  output Out(y: double);
+  qout {
+    Out = FOREACH In GENERATE x * 2.0 AS y;
+  }
+}
+
+node in = source;
+node d1 = doubler;
+node d2 = doubler as d1_shared;
+edge in -> d1 : Out -> In;
+edge in -> d2 : Out -> In;
+)WF";
+
+TEST(WfDslTest, ParsesModulesNodesEdges) {
+  Result<Workflow> wf = ParseWorkflow(kDslSource);
+  LIPSTICK_ASSERT_OK(wf.status());
+  EXPECT_EQ(wf->nodes().size(), 3u);
+  EXPECT_EQ(wf->edges().size(), 2u);
+  LIPSTICK_EXPECT_OK(wf->Validate(nullptr));
+  // Instance binding via `as`.
+  EXPECT_EQ(wf->FindNode("d2").value()->instance, "d1_shared");
+  EXPECT_EQ(wf->FindNode("d1").value()->instance, "d1");
+  // Module schemas parsed with types.
+  const ModuleSpec* doubler = wf->FindModule("doubler").value();
+  EXPECT_EQ(doubler->output_schemas.at("Out")->field(0).type.kind(),
+            FieldType::Kind::kDouble);
+}
+
+TEST(WfDslTest, ParsedWorkflowExecutes) {
+  Result<Workflow> wf = ParseWorkflow(kDslSource);
+  LIPSTICK_ASSERT_OK(wf.status());
+  WorkflowExecutor exec(&*wf, nullptr);
+  LIPSTICK_ASSERT_OK(exec.Initialize());
+  WorkflowInputs inputs;
+  Bag ext;
+  ext.Add(T({I(21)}));
+  inputs["in"]["Ext"] = std::move(ext);
+  auto outputs = exec.Execute(inputs, nullptr);
+  LIPSTICK_ASSERT_OK(outputs.status());
+  EXPECT_DOUBLE_EQ(
+      outputs->at("d1").at("Out").bag.at(0).tuple.at(0).double_value(), 42.0);
+}
+
+TEST(WfDslTest, RoundTripThroughDsl) {
+  Result<Workflow> wf = ParseWorkflow(kDslSource);
+  LIPSTICK_ASSERT_OK(wf.status());
+  std::string dsl = WorkflowToDsl(*wf);
+  Result<Workflow> again = ParseWorkflow(dsl);
+  LIPSTICK_ASSERT_OK(again.status());
+  EXPECT_EQ(again->nodes().size(), wf->nodes().size());
+  EXPECT_EQ(again->edges().size(), wf->edges().size());
+  LIPSTICK_EXPECT_OK(again->Validate(nullptr));
+  // Printing the reparsed workflow reproduces the same DSL (fixpoint).
+  EXPECT_EQ(WorkflowToDsl(*again), dsl);
+}
+
+TEST(WfDslTest, StateAndQstate) {
+  const char* source = R"WF(
+module acc {
+  input In(x: int);
+  state Seen(x: int);
+  output Total(t: int);
+  qstate { Seen = UNION Seen, In; }
+  qout {
+    G = GROUP Seen ALL;
+    Total = FOREACH G GENERATE SUM(Seen.x) AS t;
+  }
+}
+node a = acc;
+)WF";
+  Result<Workflow> wf = ParseWorkflow(source);
+  LIPSTICK_ASSERT_OK(wf.status());
+  LIPSTICK_EXPECT_OK(wf->Validate(nullptr));
+  const ModuleSpec* acc = wf->FindModule("acc").value();
+  EXPECT_EQ(acc->qstate.statements.size(), 1u);
+  EXPECT_EQ(acc->state_schemas.size(), 1u);
+}
+
+TEST(WfDslTest, ErrorsCarryLineNumbers) {
+  Result<Workflow> bad1 = ParseWorkflow("module m {\n  bogus Foo(x: int);\n}");
+  EXPECT_EQ(bad1.status().code(), StatusCode::kParseError);
+  EXPECT_NE(bad1.status().message().find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(ParseWorkflow("node a = ;").ok());
+  EXPECT_FALSE(ParseWorkflow("edge a b : R;").ok());          // missing ->
+  EXPECT_FALSE(ParseWorkflow("module m { input R(x: blob); }").ok());
+  EXPECT_FALSE(ParseWorkflow("module m { qout { A = ").ok());  // open block
+  // Pig parse errors surface through MakeModule.
+  Result<Workflow> bad_pig =
+      ParseWorkflow("module m { qout { A = FILTER; } }\nnode n = m;");
+  EXPECT_EQ(bad_pig.status().code(), StatusCode::kParseError);
+}
+
+TEST(WfDslTest, FileNotFound) {
+  EXPECT_EQ(ParseWorkflowFile("/no/such/file.wf").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace lipstick

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "pig/lexer.h"
+#include "pig/parser.h"
+#include "test_util.h"
+
+namespace lipstick::pig {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("A = FILTER B BY x >= 3.5;");
+  LIPSTICK_ASSERT_OK(tokens.status());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdent, TokenKind::kEquals,
+                       TokenKind::kIdent, TokenKind::kIdent,
+                       TokenKind::kIdent, TokenKind::kIdent,
+                       TokenKind::kGe, TokenKind::kDouble,
+                       TokenKind::kSemicolon, TokenKind::kEof}));
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("foreach FOREACH ForEach");
+  LIPSTICK_ASSERT_OK(tokens.status());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*tokens)[i].IsKeyword("foreach"));
+    EXPECT_TRUE((*tokens)[i].IsKeyword("FOREACH"));
+    EXPECT_FALSE((*tokens)[i].IsKeyword("filter"));
+  }
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize(R"('it\'s' 'a\\b')");
+  LIPSTICK_ASSERT_OK(tokens.status());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+  EXPECT_EQ((*tokens)[1].text, "a\\b");
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Tokenize("A -- line comment\n/* block\ncomment */ = B;");
+  LIPSTICK_ASSERT_OK(tokens.status());
+  EXPECT_EQ((*tokens)[0].text, "A");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kEquals);
+}
+
+TEST(LexerTest, PositionalReference) {
+  auto tokens = Tokenize("$12");
+  LIPSTICK_ASSERT_OK(tokens.status());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kDollar);
+  EXPECT_EQ((*tokens)[0].int_value, 12);
+}
+
+TEST(LexerTest, NumberForms) {
+  auto tokens = Tokenize("1 2.5 1e3 7e");
+  LIPSTICK_ASSERT_OK(tokens.status());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDouble);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 1000.0);
+  // "7e" is the int 7 followed by identifier e (e belongs to next token).
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kIdent);
+}
+
+TEST(LexerTest, ErrorsCarryLocation) {
+  auto tokens = Tokenize("A = B ? C;");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 1:"), std::string::npos);
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("/* unterminated").ok());
+}
+
+TEST(ParserTest, ForEachWithAliases) {
+  auto program = ParseProgram(
+      "B = FOREACH A GENERATE Model, COUNT(Inv) AS n, FLATTEN(F(x)) ;");
+  LIPSTICK_ASSERT_OK(program.status());
+  ASSERT_EQ(program->statements.size(), 1u);
+  const Statement& s = program->statements[0];
+  EXPECT_EQ(s.kind, StatementKind::kForEach);
+  EXPECT_EQ(s.target, "B");
+  ASSERT_EQ(s.gen_items.size(), 3u);
+  EXPECT_EQ(s.gen_items[1].alias, "n");
+  EXPECT_TRUE(s.gen_items[2].flatten);
+}
+
+TEST(ParserTest, FilterConditionPrecedence) {
+  auto program =
+      ParseProgram("B = FILTER A BY x + 1 * 2 == 3 AND NOT y < 4 OR z > 5;");
+  LIPSTICK_ASSERT_OK(program.status());
+  // OR binds loosest: ((x + (1*2) == 3) AND (NOT (y<4))) OR (z>5).
+  EXPECT_EQ(program->statements[0].condition->ToString(),
+            "((((x + (1 * 2)) == 3) AND NOT (y < 4)) OR (z > 5))");
+}
+
+TEST(ParserTest, GroupCogroupJoin) {
+  auto program = ParseProgram(
+      "G = GROUP A BY f;\n"
+      "C = COGROUP A BY f, B BY g;\n"
+      "J = JOIN A BY (f, h), B BY (g, k);\n");
+  LIPSTICK_ASSERT_OK(program.status());
+  EXPECT_EQ(program->statements[0].kind, StatementKind::kGroup);
+  EXPECT_EQ(program->statements[1].kind, StatementKind::kCogroup);
+  EXPECT_EQ(program->statements[2].kind, StatementKind::kJoin);
+  EXPECT_EQ(program->statements[2].by_clauses[0].keys.size(), 2u);
+}
+
+TEST(ParserTest, GroupAll) {
+  auto program = ParseProgram("G = GROUP A ALL;");
+  LIPSTICK_ASSERT_OK(program.status());
+  EXPECT_EQ(program->statements[0].kind, StatementKind::kGroup);
+  EXPECT_TRUE(program->statements[0].by_clauses[0].keys.empty());
+}
+
+TEST(ParserTest, ParenthesizedKeyExpressionBacktracking) {
+  // "(Month - 1) / 3" must parse as ONE key, not a parenthesized list.
+  auto program =
+      ParseProgram("J = JOIN A BY (Month - 1) / 3, B BY (Month - 1) / 3;");
+  LIPSTICK_ASSERT_OK(program.status());
+  const Statement& s = program->statements[0];
+  ASSERT_EQ(s.by_clauses[0].keys.size(), 1u);
+  EXPECT_EQ(s.by_clauses[0].keys[0]->ToString(), "((Month - 1) / 3)");
+}
+
+TEST(ParserTest, UnionCrossDistinctOrderLimitAlias) {
+  auto program = ParseProgram(
+      "U = UNION A, B, C;\n"
+      "X = CROSS A, B;\n"
+      "D = DISTINCT A;\n"
+      "O = ORDER A BY f DESC, g;\n"
+      "L = LIMIT A 10;\n"
+      "Z = A;\n");
+  LIPSTICK_ASSERT_OK(program.status());
+  EXPECT_EQ(program->statements[0].inputs.size(), 3u);
+  EXPECT_EQ(program->statements[3].order_keys[0].ascending, false);
+  EXPECT_EQ(program->statements[3].order_keys[1].ascending, true);
+  EXPECT_EQ(program->statements[4].limit, 10);
+  EXPECT_EQ(program->statements[5].kind, StatementKind::kAlias);
+}
+
+TEST(ParserTest, QualifiedNamesAndBagProjection) {
+  auto expr = ParseExpression("Winners.AllBids::DealerId");
+  LIPSTICK_ASSERT_OK(expr.status());
+  EXPECT_EQ((*expr)->kind, ExprKind::kBagProject);
+  EXPECT_EQ((*expr)->name, "Winners");
+  EXPECT_EQ((*expr)->sub_name, "AllBids::DealerId");
+
+  auto ref = ParseExpression("Cars::Model");
+  LIPSTICK_ASSERT_OK(ref.status());
+  EXPECT_EQ((*ref)->kind, ExprKind::kFieldRef);
+  EXPECT_EQ((*ref)->name, "Cars::Model");
+}
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ((*ParseExpression("true"))->literal.bool_value(), true);
+  EXPECT_EQ((*ParseExpression("null"))->literal.is_null(), true);
+  EXPECT_EQ((*ParseExpression("'str'"))->literal.string_value(), "str");
+  EXPECT_EQ((*ParseExpression("$3"))->position, 3);
+  EXPECT_EQ((*ParseExpression("-2"))->kind, ExprKind::kUnaryOp);
+}
+
+TEST(ParserTest, ErrorsAreDescriptive) {
+  auto missing_semi = ParseProgram("B = FILTER A BY x");
+  EXPECT_FALSE(missing_semi.ok());
+  EXPECT_NE(missing_semi.status().message().find("';'"), std::string::npos);
+
+  EXPECT_FALSE(ParseProgram("B = FILTER A x > 1;").ok());   // missing BY
+  EXPECT_FALSE(ParseProgram("B = GROUP A BY f, B BY g;").ok());  // GROUP 2 rel
+  EXPECT_FALSE(ParseProgram("B = JOIN A BY f;").ok());      // JOIN 1 rel
+  EXPECT_FALSE(ParseProgram("B = UNION A;").ok());          // UNION 1 rel
+  EXPECT_FALSE(ParseProgram("= FILTER A BY x;").ok());      // no target
+  EXPECT_FALSE(ParseProgram("B = FOREACH A GENERATE ;").ok());
+}
+
+TEST(ParserTest, ProgramToStringRoundTrips) {
+  const char* source =
+      "B = FOREACH A GENERATE Model, COUNT(Inv) AS n;\n"
+      "C = FILTER B BY (n > 2) AND true;\n"
+      "G = COGROUP B BY Model, C BY Model;\n"
+      "J = JOIN B BY Model, C BY Model;\n"
+      "U = UNION B, C;\n"
+      "O = ORDER U BY Model DESC;\n"
+      "L = LIMIT O 5;";
+  auto program = ParseProgram(source);
+  LIPSTICK_ASSERT_OK(program.status());
+  // Re-parsing the printed form yields the same printed form (fixpoint).
+  auto reparsed = ParseProgram(program->ToString());
+  LIPSTICK_ASSERT_OK(reparsed.status());
+  EXPECT_EQ(program->ToString(), reparsed->ToString());
+}
+
+TEST(ParserTest, KeywordsNotReservedAsFieldNames) {
+  // "group" is routinely used as a field name after GROUP BY.
+  auto program = ParseProgram("B = FOREACH G GENERATE group AS Model;");
+  LIPSTICK_ASSERT_OK(program.status());
+  EXPECT_EQ(program->statements[0].gen_items[0].expr->name, "group");
+}
+
+}  // namespace
+}  // namespace lipstick::pig

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "provenance/graph.h"
+#include "provenance/provio.h"
+#include "provenance/semiring.h"
+#include "test_util.h"
+
+namespace lipstick {
+namespace {
+
+TEST(GraphTest, NodeIdPacking) {
+  NodeId id = MakeNodeId(3, 12345);
+  EXPECT_EQ(NodeShard(id), 3u);
+  EXPECT_EQ(NodeIndex(id), 12345u);
+  EXPECT_NE(MakeNodeId(0, 0), kInvalidNode);  // shard 0 index 0 is valid
+}
+
+TEST(GraphTest, BasicConstruction) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId x = w.Token("x");
+  NodeId y = w.Token("y");
+  NodeId sum = w.Plus({x, y});
+  NodeId prod = w.Times({x, y});
+  NodeId delta = w.Delta({sum});
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.node(sum).label, NodeLabel::kPlus);
+  EXPECT_EQ(g.node(prod).label, NodeLabel::kTimes);
+  EXPECT_EQ(g.node(delta).parents.size(), 1u);
+  EXPECT_EQ(g.node(x).payload, "x");
+  EXPECT_TRUE(g.Contains(x));
+  EXPECT_FALSE(g.Contains(kInvalidNode));
+  EXPECT_FALSE(g.Contains(MakeNodeId(7, 0)));  // unknown shard
+}
+
+TEST(GraphTest, SealBuildsChildren) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId x = w.Token("x");
+  NodeId a = w.Plus({x});
+  NodeId b = w.Times({x, a});
+  g.Seal();
+  ASSERT_TRUE(g.sealed());
+  const auto& children = g.Children(x);
+  EXPECT_EQ(children.size(), 2u);
+  EXPECT_EQ(g.Children(a), std::vector<NodeId>{b});
+  EXPECT_TRUE(g.Children(b).empty());
+}
+
+TEST(GraphTest, DeadNodesAreExcluded) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId x = w.Token("x");
+  NodeId a = w.Plus({x});
+  g.mutable_node(a).alive = false;
+  g.Seal();
+  EXPECT_EQ(g.num_alive(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.Children(x).empty());
+}
+
+TEST(GraphTest, ShardsAllocateIndependently) {
+  ProvenanceGraph g;
+  auto w0 = g.writer();
+  auto w1 = g.AddShard();
+  NodeId a = w0.Token("a");
+  NodeId b = w1.Token("b");
+  NodeId joint = w1.Times({a, b});
+  EXPECT_EQ(NodeShard(a), 0u);
+  EXPECT_EQ(NodeShard(b), 1u);
+  g.Seal();
+  EXPECT_EQ(g.Children(a), std::vector<NodeId>{joint});
+}
+
+TEST(GraphTest, InvocationRegistration) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  uint32_t inv = w.BeginInvocation("dealer", "dealer1", 0);
+  NodeId tok = w.WorkflowInput("I0");
+  NodeId in = w.ModuleInput(inv, tok);
+  NodeId out = w.ModuleOutput(inv, in);
+  NodeId st = w.ModuleState(inv, tok);
+  const InvocationInfo& info = g.invocations()[inv];
+  EXPECT_EQ(info.module_name, "dealer");
+  EXPECT_EQ(info.instance_name, "dealer1");
+  EXPECT_EQ(info.input_nodes, std::vector<NodeId>{in});
+  EXPECT_EQ(info.output_nodes, std::vector<NodeId>{out});
+  EXPECT_EQ(info.state_nodes, std::vector<NodeId>{st});
+  // i/o/s nodes are · of (tuple, m).
+  EXPECT_EQ(g.node(in).label, NodeLabel::kTimes);
+  EXPECT_EQ(g.node(in).role, NodeRole::kModuleInput);
+  ASSERT_EQ(g.node(in).parents.size(), 2u);
+  EXPECT_EQ(g.node(in).parents[1], info.m_node);
+}
+
+TEST(GraphTest, LazyStateScopeWrapsOnFirstUse) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  uint32_t inv = w.BeginInvocation("m", "m", 0);
+  NodeId base1 = w.Token("s1", NodeRole::kStateBase);
+  NodeId base2 = w.Token("s2", NodeRole::kStateBase);
+  std::unordered_set<NodeId> eligible{base1, base2};
+  w.BeginStateScope(inv, &eligible);
+  size_t before = g.num_nodes();
+  NodeId wrapped = w.ResolveParent(base1);
+  EXPECT_NE(wrapped, base1);
+  EXPECT_EQ(g.node(wrapped).role, NodeRole::kModuleState);
+  // Second use returns the cached wrapper; base2 is never wrapped.
+  EXPECT_EQ(w.ResolveParent(base1), wrapped);
+  EXPECT_EQ(g.num_nodes(), before + 1);
+  // Non-eligible nodes pass through.
+  NodeId other = w.Token("t");
+  EXPECT_EQ(w.ResolveParent(other), other);
+  w.EndStateScope();
+  EXPECT_EQ(w.ResolveParent(base2), base2);  // scope closed
+}
+
+TEST(GraphTest, LabelHistogram) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  w.Token("x");
+  w.Token("y");
+  w.Plus({});
+  auto hist = g.LabelHistogram();
+  bool found = false;
+  for (const auto& [label, count] : hist) {
+    if (label == "token") {
+      EXPECT_EQ(count, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+/// ----------------------------- semiring --------------------------------
+
+TEST(PolynomialTest, Arithmetic) {
+  Polynomial x = Polynomial::Var("x");
+  Polynomial y = Polynomial::Var("y");
+  Polynomial p = x.Plus(y).Times(x);  // x^2 + xy
+  EXPECT_EQ(p.ToString(), "x*y + x^2");
+  EXPECT_EQ(p.Plus(p).ToString(), "2*x*y + 2*x^2");
+  EXPECT_TRUE(Polynomial::Zero().IsZero());
+  EXPECT_EQ(Polynomial::One().Times(x), x);
+  EXPECT_EQ(Polynomial::Zero().Plus(x), x);
+}
+
+TEST(PolynomialTest, Evaluation) {
+  Polynomial x = Polynomial::Var("x");
+  Polynomial y = Polynomial::Var("y");
+  Polynomial p = x.Times(x).Plus(y);  // x^2 + y
+  EXPECT_EQ(p.Eval({{"x", 3}, {"y", 4}}), 13u);
+  EXPECT_EQ(p.Eval({}), 2u);          // absent tokens default to 1
+  EXPECT_EQ(p.Eval({{"x", 0}}), 1u);  // y defaults to 1
+}
+
+TEST(GraphEvaluatorTest, CountingSemantics) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId x = w.Token("x");
+  NodeId y = w.Token("y");
+  NodeId sum = w.Plus({x, y});
+  NodeId prod = w.Times({x, y});
+  NodeId delta = w.Delta({sum});
+
+  GraphEvaluator<CountingSemiring> eval(g, {{x, 2}, {y, 3}});
+  EXPECT_EQ(eval.Eval(sum), 5u);
+  EXPECT_EQ(eval.Eval(prod), 6u);
+  EXPECT_EQ(eval.Eval(delta), 1u);  // duplicate elimination
+
+  GraphEvaluator<CountingSemiring> zeroed(g, {{x, 0}, {y, 0}});
+  EXPECT_EQ(zeroed.Eval(delta), 0u);
+}
+
+TEST(GraphEvaluatorTest, BooleanSemantics) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId x = w.Token("x");
+  NodeId y = w.Token("y");
+  NodeId prod = w.Times({x, y});
+  GraphEvaluator<BooleanSemiring> eval(g, {{x, false}});
+  EXPECT_FALSE(eval.Eval(prod));  // joint derivation needs both
+  GraphEvaluator<BooleanSemiring> eval2(g, {{y, true}});
+  EXPECT_TRUE(eval2.Eval(prod));
+}
+
+TEST(GraphEvaluatorTest, TrustPropagation) {
+  // bid = delta(joint(request, car2) + joint(request, car3)): its trust is
+  // the best alternative, each limited by its least trusted input.
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId request = w.Token("request");
+  NodeId car2 = w.Token("car2");
+  NodeId car3 = w.Token("car3");
+  NodeId j2 = w.Times({request, car2});
+  NodeId j3 = w.Times({request, car3});
+  NodeId bid = w.Delta({j2, j3});
+  GraphEvaluator<TrustSemiring> eval(
+      g, {{request, 0.9}, {car2, 0.5}, {car3, 0.8}});
+  EXPECT_DOUBLE_EQ(eval.Eval(j2), 0.5);
+  EXPECT_DOUBLE_EQ(eval.Eval(j3), 0.8);
+  EXPECT_DOUBLE_EQ(eval.Eval(bid), 0.8);  // best witness wins
+}
+
+TEST(GraphEvaluatorTest, SecurityClearance) {
+  using S = SecuritySemiring;
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId pub = w.Token("public_record");
+  NodeId secret = w.Token("informant_tip");
+  NodeId joint = w.Times({pub, secret});
+  NodeId either = w.Plus({pub, secret});
+  GraphEvaluator<S> eval(g, {{secret, S::kSecret}});
+  // Joint derivation needs the most restrictive clearance; an alternative
+  // derivation through the public record stays public.
+  EXPECT_EQ(eval.Eval(joint), S::kSecret);
+  EXPECT_EQ(eval.Eval(either), S::kPublic);
+}
+
+TEST(GraphEvaluatorTest, WhyProvenance) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId x = w.Token("x");
+  NodeId y = w.Token("y");
+  NodeId sum = w.Plus({x, y});
+  GraphEvaluator<WhySemiring> eval(
+      g, {{x, {{"x"}}}, {y, {{"y"}}}});
+  WhySemiring::ValueType why = eval.Eval(sum);
+  // Two alternative witnesses: {x} and {y}.
+  EXPECT_EQ(why.size(), 2u);
+}
+
+TEST(GraphEvaluatorTest, StructuralNodes) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  uint32_t inv = w.BeginInvocation("m", "m", 0);
+  NodeId m = g.invocations()[inv].m_node;
+  NodeId x = w.Token("x");
+  NodeId in = w.ModuleInput(inv, x);
+  NodeId bb = w.BlackBox("f", {in});
+  GraphEvaluator<CountingSemiring> eval(g, {{x, 0}});
+  EXPECT_EQ(eval.Eval(m), 1u);   // invocations never data-dependent
+  EXPECT_EQ(eval.Eval(in), 0u);  // · with a zero factor
+  EXPECT_EQ(eval.Eval(bb), 0u);  // all inputs gone
+}
+
+TEST(ExpressionStringTest, RendersOperators) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId x = w.Token("x");
+  NodeId y = w.Token("y");
+  NodeId d = w.Delta({x, y});
+  NodeId t = w.Times({d, x});
+  EXPECT_EQ(ProvExpressionString(g, t), "(delta(x + y) * x)");
+  EXPECT_EQ(ProvExpressionString(g, kInvalidNode), "0");
+  // Depth limiting.
+  EXPECT_EQ(ProvExpressionString(g, t, 1), "(... * ...)");
+}
+
+/// --------------------------- serialization -----------------------------
+
+TEST(ProvIoTest, RoundTripPreservesEverything) {
+  ProvenanceGraph g;
+  auto w0 = g.writer();
+  auto w1 = g.AddShard();
+  uint32_t inv = w0.BeginInvocation("dealer", "dealer1", 3);
+  NodeId x = w0.Token("state tuple [0]", NodeRole::kStateBase);
+  NodeId in = w0.ModuleInput(inv, x);
+  NodeId agg = w1.Aggregate("COUNT", {in}, Value::Int(7));
+  NodeId cv = w1.ConstValue(Value::Double(2.5));
+  NodeId tens = w1.Tensor(cv, in);
+  NodeId bb = w0.BlackBox("calcbid", {tens, agg});
+  g.mutable_node(bb).alive = false;  // dead nodes round-trip too
+
+  std::ostringstream os;
+  LIPSTICK_ASSERT_OK(SaveGraph(g, os));
+  std::istringstream is(os.str());
+  Result<ProvenanceGraph> loaded = LoadGraph(is);
+  LIPSTICK_ASSERT_OK(loaded.status());
+
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_alive(), g.num_alive());
+  EXPECT_EQ(loaded->node(x).payload, "state tuple [0]");
+  EXPECT_EQ(loaded->node(x).role, NodeRole::kStateBase);
+  EXPECT_EQ(loaded->node(agg).payload, "COUNT");
+  EXPECT_EQ(loaded->node(agg).value.int_value(), 7);
+  EXPECT_DOUBLE_EQ(loaded->node(cv).value.double_value(), 2.5);
+  EXPECT_EQ(loaded->node(tens).parents, g.node(tens).parents);
+  EXPECT_FALSE(loaded->Contains(bb));
+  ASSERT_EQ(loaded->invocations().size(), 1u);
+  EXPECT_EQ(loaded->invocations()[0].module_name, "dealer");
+  EXPECT_EQ(loaded->invocations()[0].execution, 3u);
+  EXPECT_EQ(loaded->invocations()[0].input_nodes,
+            g.invocations()[0].input_nodes);
+
+  // A second round trip is byte-identical (canonical form).
+  std::ostringstream os2;
+  LIPSTICK_ASSERT_OK(SaveGraph(*loaded, os2));
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(ProvIoTest, RejectsCorruptInput) {
+  std::istringstream bad_header("NOTAGRAPH\n");
+  EXPECT_FALSE(LoadGraph(bad_header).ok());
+  std::istringstream bad_record(
+      "LIPSTICKGRAPH v1\nshards 1\nq wat\n");
+  EXPECT_FALSE(LoadGraph(bad_record).ok());
+  std::istringstream bad_shard("LIPSTICKGRAPH v1\nshards 0\n");
+  EXPECT_FALSE(LoadGraph(bad_shard).ok());
+}
+
+TEST(ProvIoTest, FileRoundTrip) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  w.Token("payload with spaces\nand newline");
+  std::string path = ::testing::TempDir() + "/lipstick_graph_test.txt";
+  LIPSTICK_ASSERT_OK(SaveGraphToFile(g, path));
+  Result<ProvenanceGraph> loaded = LoadGraphFromFile(path);
+  LIPSTICK_ASSERT_OK(loaded.status());
+  EXPECT_EQ(loaded->node(MakeNodeId(0, 0)).payload,
+            "payload with spaces\nand newline");
+  EXPECT_FALSE(LoadGraphFromFile("/nonexistent/path").ok());
+}
+
+}  // namespace
+}  // namespace lipstick

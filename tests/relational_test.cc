@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "test_util.h"
+
+namespace lipstick {
+namespace {
+
+using ::lipstick::testing::B;
+using ::lipstick::testing::D;
+using ::lipstick::testing::I;
+using ::lipstick::testing::S;
+using ::lipstick::testing::T;
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(B(true).bool_value());
+  EXPECT_EQ(I(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(D(2.5).double_value(), 2.5);
+  EXPECT_EQ(S("hi").string_value(), "hi");
+  EXPECT_TRUE(I(1).is_numeric());
+  EXPECT_TRUE(D(1).is_numeric());
+  EXPECT_FALSE(S("1").is_numeric());
+}
+
+TEST(ValueTest, IntDoubleCompareNumerically) {
+  EXPECT_TRUE(I(2).Equals(D(2.0)));
+  EXPECT_LT(I(1).Compare(D(1.5)), 0);
+  EXPECT_GT(D(3.0).Compare(I(2)), 0);
+}
+
+TEST(ValueTest, EqualValuesHashEqual) {
+  EXPECT_EQ(I(7).Hash(), D(7.0).Hash());
+  EXPECT_EQ(S("abc").Hash(), S("abc").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, CrossKindTotalOrder) {
+  // null < bool < numeric < string < tuple < bag, transitive and stable.
+  std::vector<Value> ordered{Value::Null(), B(false), I(0), S(""),
+                             Value::OfTuple(std::make_shared<Tuple>()),
+                             Value::OfBag(std::make_shared<Bag>())};
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    for (size_t j = 0; j < ordered.size(); ++j) {
+      int c = ordered[i].Compare(ordered[j]);
+      if (i < j) EXPECT_LT(c, 0) << i << " vs " << j;
+      if (i == j) EXPECT_EQ(c, 0);
+      if (i > j) EXPECT_GT(c, 0);
+    }
+  }
+}
+
+TEST(ValueTest, BagComparisonIsOrderInsensitive) {
+  auto bag1 = std::make_shared<Bag>();
+  bag1->Add(T({I(1)}));
+  bag1->Add(T({I(2)}));
+  auto bag2 = std::make_shared<Bag>();
+  bag2->Add(T({I(2)}));
+  bag2->Add(T({I(1)}));
+  EXPECT_TRUE(Value::OfBag(bag1).Equals(Value::OfBag(bag2)));
+  EXPECT_EQ(Value::OfBag(bag1).Hash(), Value::OfBag(bag2).Hash());
+}
+
+TEST(ValueTest, BagMultisetSemantics) {
+  auto one = std::make_shared<Bag>();
+  one->Add(T({I(1)}));
+  auto two = std::make_shared<Bag>();
+  two->Add(T({I(1)}));
+  two->Add(T({I(1)}));
+  EXPECT_FALSE(Value::OfBag(one).Equals(Value::OfBag(two)));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(B(true).ToString(), "true");
+  EXPECT_EQ(I(-3).ToString(), "-3");
+  EXPECT_EQ(S("x").ToString(), "'x'");
+  EXPECT_EQ(T({I(1), S("a")}).ToString(), "(1,'a')");
+}
+
+TEST(TupleTest, CompareLexicographic) {
+  EXPECT_LT(T({I(1), I(2)}).Compare(T({I(1), I(3)})), 0);
+  EXPECT_LT(T({I(1)}).Compare(T({I(1), I(0)})), 0);  // prefix is smaller
+  EXPECT_EQ(T({S("a")}).Compare(T({S("a")})), 0);
+}
+
+TEST(BagTest, ContentEqualsIgnoresOrderAndAnnotations) {
+  Bag a, b;
+  a.Add(T({I(1)}), 100);
+  a.Add(T({I(2)}), 101);
+  b.Add(T({I(2)}), 999);
+  b.Add(T({I(1)}), 998);
+  EXPECT_TRUE(a.ContentEquals(b));
+  b.Add(T({I(1)}));
+  EXPECT_FALSE(a.ContentEquals(b));
+}
+
+TEST(BagTest, ToStringIsDeterministic) {
+  Bag a, b;
+  a.Add(T({I(2)}));
+  a.Add(T({I(1)}));
+  b.Add(T({I(1)}));
+  b.Add(T({I(2)}));
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_EQ(a.ToString(), "{(1),(2)}");
+}
+
+TEST(SchemaTest, FindByExactName) {
+  SchemaPtr s = testing::MakeSchema(
+      {{"CarId", FieldType::Int()}, {"Model", FieldType::String()}});
+  EXPECT_EQ(s->FindField("Model").value(), 1u);
+  EXPECT_FALSE(s->FindField("Price").has_value());
+}
+
+TEST(SchemaTest, QualifiedSuffixResolution) {
+  SchemaPtr s = testing::MakeSchema({{"Cars::CarId", FieldType::Int()},
+                                     {"Cars::Model", FieldType::String()},
+                                     {"Req::Model", FieldType::String()}});
+  // "CarId" resolves through the unique suffix; "Model" is ambiguous.
+  EXPECT_EQ(s->FindField("CarId").value(), 0u);
+  EXPECT_FALSE(s->FindField("Model").has_value());
+  EXPECT_EQ(s->FindField("Cars::Model").value(), 1u);
+  // ResolveField reports the ambiguity as an error.
+  EXPECT_FALSE(s->ResolveField("Model").ok());
+}
+
+TEST(SchemaTest, NestedSuffixResolution) {
+  SchemaPtr s = testing::MakeSchema({{"A::B::Amount", FieldType::Double()}});
+  EXPECT_EQ(s->FindField("Amount").value(), 0u);
+  EXPECT_EQ(s->FindField("B::Amount").value(), 0u);
+}
+
+TEST(SchemaTest, EqualsAndIgnoreNames) {
+  SchemaPtr a = testing::MakeSchema(
+      {{"x", FieldType::Int()}, {"y", FieldType::String()}});
+  SchemaPtr b = testing::MakeSchema(
+      {{"u", FieldType::Int()}, {"v", FieldType::String()}});
+  EXPECT_FALSE(a->Equals(*b));
+  EXPECT_TRUE(a->EqualsIgnoreNames(*b));
+  SchemaPtr c = testing::MakeSchema({{"x", FieldType::Int()}});
+  EXPECT_FALSE(a->EqualsIgnoreNames(*c));
+}
+
+TEST(SchemaTest, NestedTypes) {
+  SchemaPtr inner = testing::MakeSchema({{"v", FieldType::Double()}});
+  FieldType bag = FieldType::Bag(inner);
+  FieldType tup = FieldType::Tuple(inner);
+  EXPECT_FALSE(bag.is_scalar());
+  EXPECT_FALSE(bag.Equals(tup));
+  EXPECT_TRUE(bag.Equals(FieldType::Bag(inner)));
+  // Bags of different element schemas differ.
+  SchemaPtr other = testing::MakeSchema({{"v", FieldType::Int()}});
+  EXPECT_FALSE(bag.Equals(FieldType::Bag(other)));
+}
+
+TEST(SchemaTest, ToStringMentionsFields) {
+  SchemaPtr s = testing::MakeSchema({{"a", FieldType::Int()}});
+  EXPECT_EQ(s->ToString(), "(a:int)");
+}
+
+}  // namespace
+}  // namespace lipstick

@@ -1,0 +1,384 @@
+// lipstick — command-line front end: run workflow definition files with
+// provenance tracking, and query saved provenance graphs (the standalone
+// "Query Processor" of the paper's architecture, Section 5.1).
+//
+// Usage:
+//   lipstick validate <workflow.wf>
+//   lipstick run <workflow.wf> [--execs N] [--input node.Rel=file.csv]...
+//                [--state instance.Rel=file.csv]... [--graph out.pg]
+//                [--workers N] [--print-outputs]
+//   lipstick query <graph.pg> stats
+//   lipstick query <graph.pg> find [--label L] [--role R] [--payload S]
+//   lipstick query <graph.pg> expr <node-id>
+//   lipstick query <graph.pg> depends <target-id> <source-id>
+//   lipstick query <graph.pg> subgraph <node-id>
+//   lipstick query <graph.pg> delete <node-id> [--out g.pg]
+//   lipstick query <graph.pg> zoomout <module> [<module>...] [--out g.pg]
+//   lipstick query <graph.pg> dot [--out graph.dot]
+//   lipstick query <graph.pg> opm --out graph.xml
+//
+// Workflows that rely on C++ UDFs cannot be run from the CLI (register
+// them via the library API instead); everything else works end to end.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "provenance/deletion.h"
+#include "provenance/dot.h"
+#include "provenance/opm.h"
+#include "provenance/provio.h"
+#include "provenance/query.h"
+#include "provenance/semiring.h"
+#include "provenance/subgraph.h"
+#include "provenance/zoom.h"
+#include "relational/csv.h"
+#include "workflow/executor.h"
+#include "workflow/wfdsl.h"
+
+using namespace lipstick;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "lipstick: %s\n", message.c_str());
+  return 1;
+}
+
+int FailUsage() {
+  std::fprintf(stderr,
+               "usage: lipstick validate <workflow.wf>\n"
+               "       lipstick run <workflow.wf> [--execs N] "
+               "[--input node.Rel=f.csv]... [--state inst.Rel=f.csv]... "
+               "[--graph out.pg] [--workers N] [--print-outputs]\n"
+               "       lipstick query <graph.pg> "
+               "stats|find|expr|depends|subgraph|delete|zoomout|dot|opm ...\n");
+  return 2;
+}
+
+struct Binding {
+  std::string owner;     // node id or instance name
+  std::string relation;  // relation name
+  std::string path;      // csv file
+};
+
+/// Parses "owner.Relation=path".
+Result<Binding> ParseBinding(const std::string& arg) {
+  size_t eq = arg.find('=');
+  size_t dot = arg.find('.');
+  if (eq == std::string::npos || dot == std::string::npos || dot > eq) {
+    return Status::InvalidArgument(
+        StrCat("expected owner.Relation=file.csv, got '", arg, "'"));
+  }
+  return Binding{arg.substr(0, dot), arg.substr(dot + 1, eq - dot - 1),
+                 arg.substr(eq + 1)};
+}
+
+int CmdValidate(const std::string& path) {
+  Result<Workflow> wf = ParseWorkflowFile(path);
+  if (!wf.ok()) return Fail(wf.status().ToString());
+  pig::UdfRegistry udfs;
+  Status st = wf->Validate(&udfs);
+  if (!st.ok()) return Fail(st.ToString());
+  Result<std::vector<std::string>> topo = wf->TopologicalOrder();
+  std::printf("workflow OK: %zu nodes, %zu edges\n", wf->nodes().size(),
+              wf->edges().size());
+  std::printf("inputs:  %s\n", Join(wf->InputNodes(), ", ").c_str());
+  std::printf("outputs: %s\n", Join(wf->OutputNodes(), ", ").c_str());
+  std::printf("order:   %s\n", Join(*topo, " -> ").c_str());
+  return 0;
+}
+
+int CmdRun(const std::vector<std::string>& args) {
+  if (args.empty()) return FailUsage();
+  const std::string& wf_path = args[0];
+  int execs = 1;
+  int workers = 1;
+  bool print_outputs = false;
+  std::string graph_path;
+  std::vector<Binding> inputs, states;
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto need_value = [&](const char* flag) -> Result<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument(StrCat(flag, " needs a value"));
+      }
+      return args[++i];
+    };
+    if (args[i] == "--execs") {
+      auto v = need_value("--execs");
+      if (!v.ok()) return Fail(v.status().ToString());
+      execs = std::atoi(v->c_str());
+    } else if (args[i] == "--workers") {
+      auto v = need_value("--workers");
+      if (!v.ok()) return Fail(v.status().ToString());
+      workers = std::atoi(v->c_str());
+    } else if (args[i] == "--graph") {
+      auto v = need_value("--graph");
+      if (!v.ok()) return Fail(v.status().ToString());
+      graph_path = *v;
+    } else if (args[i] == "--input" || args[i] == "--state") {
+      bool is_input = args[i] == "--input";
+      auto v = need_value(is_input ? "--input" : "--state");
+      if (!v.ok()) return Fail(v.status().ToString());
+      Result<Binding> binding = ParseBinding(*v);
+      if (!binding.ok()) return Fail(binding.status().ToString());
+      (is_input ? inputs : states).push_back(std::move(*binding));
+    } else if (args[i] == "--print-outputs") {
+      print_outputs = true;
+    } else {
+      return Fail(StrCat("unknown flag '", args[i], "'"));
+    }
+  }
+
+  Result<Workflow> wf = ParseWorkflowFile(wf_path);
+  if (!wf.ok()) return Fail(wf.status().ToString());
+  pig::UdfRegistry udfs;
+  WorkflowExecutor executor(&*wf, &udfs);
+  Status st = executor.Initialize();
+  if (!st.ok()) return Fail(st.ToString());
+
+  // Initial state from CSV files.
+  for (const Binding& b : states) {
+    // Find the schema through any node bound to this instance.
+    const ModuleSpec* spec = nullptr;
+    for (const WorkflowNode& node : wf->nodes()) {
+      if (node.instance == b.owner) {
+        auto found = wf->FindModule(node.module);
+        if (found.ok()) spec = *found;
+      }
+    }
+    if (spec == nullptr) {
+      return Fail(StrCat("--state: unknown instance '", b.owner, "'"));
+    }
+    auto schema_it = spec->state_schemas.find(b.relation);
+    if (schema_it == spec->state_schemas.end()) {
+      return Fail(StrCat("--state: module ", spec->name,
+                         " has no state relation '", b.relation, "'"));
+    }
+    Result<Bag> bag = ReadCsvFile(b.path, *schema_it->second);
+    if (!bag.ok()) return Fail(bag.status().ToString());
+    st = executor.SetInitialState(b.owner, b.relation, std::move(*bag));
+    if (!st.ok()) return Fail(st.ToString());
+  }
+
+  // Inputs (replayed identically on every execution).
+  WorkflowInputs workflow_inputs;
+  for (const Binding& b : inputs) {
+    Result<const WorkflowNode*> node = wf->FindNode(b.owner);
+    if (!node.ok()) return Fail(node.status().ToString());
+    Result<const ModuleSpec*> spec = wf->FindModule((*node)->module);
+    if (!spec.ok()) return Fail(spec.status().ToString());
+    auto schema_it = (*spec)->input_schemas.find(b.relation);
+    if (schema_it == (*spec)->input_schemas.end()) {
+      return Fail(StrCat("--input: module ", (*spec)->name,
+                         " has no input relation '", b.relation, "'"));
+    }
+    Result<Bag> bag = ReadCsvFile(b.path, *schema_it->second);
+    if (!bag.ok()) return Fail(bag.status().ToString());
+    workflow_inputs[b.owner][b.relation] = std::move(*bag);
+  }
+
+  ProvenanceGraph graph;
+  ProvenanceGraph* graph_ptr = graph_path.empty() ? nullptr : &graph;
+  WorkflowOutputs last_outputs;
+  for (int e = 0; e < execs; ++e) {
+    Result<WorkflowOutputs> outputs =
+        executor.Execute(workflow_inputs, graph_ptr, workers);
+    if (!outputs.ok()) return Fail(outputs.status().ToString());
+    last_outputs = std::move(*outputs);
+  }
+  std::printf("ran %d execution(s) of %zu node(s)\n", execs,
+              wf->nodes().size());
+
+  if (print_outputs) {
+    for (const std::string& node_id : wf->OutputNodes()) {
+      auto it = last_outputs.find(node_id);
+      if (it == last_outputs.end()) continue;
+      for (const auto& [rel_name, rel] : it->second) {
+        std::printf("%s.%s = %s\n", node_id.c_str(), rel_name.c_str(),
+                    rel.bag.ToString().c_str());
+      }
+    }
+  }
+  if (graph_ptr != nullptr) {
+    st = SaveGraphToFile(graph, graph_path);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("provenance graph: %zu nodes -> %s\n", graph.num_nodes(),
+                graph_path.c_str());
+  }
+  return 0;
+}
+
+Result<NodeId> ParseNodeId(const std::string& s) {
+  char* end = nullptr;
+  NodeId id = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrCat("bad node id '", s, "'"));
+  }
+  return id;
+}
+
+int CmdQuery(const std::vector<std::string>& args) {
+  if (args.size() < 2) return FailUsage();
+  Result<ProvenanceGraph> graph = LoadGraphFromFile(args[0]);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  graph->Seal();
+  const std::string& op = args[1];
+  std::vector<std::string> rest(args.begin() + 2, args.end());
+
+  std::string out_path;
+  for (size_t i = 0; i + 1 < rest.size(); ++i) {
+    if (rest[i] == "--out") {
+      out_path = rest[i + 1];
+      rest.erase(rest.begin() + i, rest.begin() + i + 2);
+      break;
+    }
+  }
+
+  if (op == "stats") {
+    GraphStats stats = ComputeGraphStats(*graph);
+    std::printf("nodes:        %zu\n", stats.nodes);
+    std::printf("edges:        %zu\n", stats.edges);
+    std::printf("tokens:       %zu\n", stats.tokens);
+    std::printf("invocations:  %zu\n", stats.invocations);
+    std::printf("max fan-in:   %zu\n", stats.max_fan_in);
+    std::printf("max fan-out:  %zu\n", stats.max_fan_out);
+    std::printf("depth:        %zu\n", stats.depth);
+    for (const auto& [label, count] : graph->LabelHistogram()) {
+      std::printf("  label %-10s %zu\n", label.c_str(), count);
+    }
+    return 0;
+  }
+  if (op == "find") {
+    NodePredicate pred = [](NodeId, const ProvNode&) { return true; };
+    for (size_t i = 0; i + 1 < rest.size(); i += 2) {
+      const std::string& flag = rest[i];
+      const std::string& value = rest[i + 1];
+      if (flag == "--payload") {
+        pred = And(std::move(pred), ByPayload(value));
+      } else if (flag == "--label") {
+        bool matched = false;
+        for (int l = 0; l <= static_cast<int>(NodeLabel::kZoomedModule);
+             ++l) {
+          if (value == NodeLabelToString(static_cast<NodeLabel>(l))) {
+            pred = And(std::move(pred), ByLabel(static_cast<NodeLabel>(l)));
+            matched = true;
+          }
+        }
+        if (!matched) return Fail(StrCat("unknown label '", value, "'"));
+      } else if (flag == "--role") {
+        bool matched = false;
+        for (int r = 0; r <= static_cast<int>(NodeRole::kZoom); ++r) {
+          if (value == NodeRoleToString(static_cast<NodeRole>(r))) {
+            pred = And(std::move(pred), ByRole(static_cast<NodeRole>(r)));
+            matched = true;
+          }
+        }
+        if (!matched) return Fail(StrCat("unknown role '", value, "'"));
+      } else {
+        return Fail(StrCat("unknown find flag '", flag, "'"));
+      }
+    }
+    std::vector<NodeId> found = FindNodes(*graph, pred);
+    for (NodeId id : found) {
+      const ProvNode& n = graph->node(id);
+      std::printf("%llu  %-9s %-13s %s\n",
+                  static_cast<unsigned long long>(id),
+                  NodeLabelToString(n.label), NodeRoleToString(n.role),
+                  n.payload.c_str());
+    }
+    std::printf("(%zu nodes)\n", found.size());
+    return 0;
+  }
+  if (op == "expr") {
+    if (rest.size() != 1) return FailUsage();
+    Result<NodeId> id = ParseNodeId(rest[0]);
+    if (!id.ok()) return Fail(id.status().ToString());
+    std::printf("%s\n", ProvExpressionString(*graph, *id, 12).c_str());
+    return 0;
+  }
+  if (op == "depends") {
+    if (rest.size() != 2) return FailUsage();
+    Result<NodeId> target = ParseNodeId(rest[0]);
+    Result<NodeId> source = ParseNodeId(rest[1]);
+    if (!target.ok() || !source.ok()) return Fail("bad node ids");
+    std::printf("%s\n", DependsOn(*graph, *target, *source) ? "yes" : "no");
+    return 0;
+  }
+  if (op == "subgraph") {
+    if (rest.size() != 1) return FailUsage();
+    Result<NodeId> id = ParseNodeId(rest[0]);
+    if (!id.ok()) return Fail(id.status().ToString());
+    auto sub = SubgraphQuery(*graph, *id);
+    std::printf("subgraph of %llu: %zu nodes\n",
+                static_cast<unsigned long long>(*id), sub.size());
+    if (!out_path.empty()) {
+      DotOptions options;
+      options.subset = {sub.begin(), sub.end()};
+      Status st = WriteDotToFile(*graph, out_path, options);
+      if (!st.ok()) return Fail(st.ToString());
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+  }
+  if (op == "delete") {
+    if (rest.size() != 1) return FailUsage();
+    Result<NodeId> id = ParseNodeId(rest[0]);
+    if (!id.ok()) return Fail(id.status().ToString());
+    size_t removed = PropagateDeletion(&*graph, *id);
+    std::printf("deleted %zu node(s); %zu remain\n", removed,
+                graph->num_alive());
+    if (!out_path.empty()) {
+      Status st = SaveGraphToFile(*graph, out_path);
+      if (!st.ok()) return Fail(st.ToString());
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+  }
+  if (op == "zoomout") {
+    if (rest.empty()) return FailUsage();
+    Zoomer zoomer(&*graph);
+    Status st = zoomer.ZoomOut({rest.begin(), rest.end()});
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("zoomed out of %zu module(s); %zu nodes remain\n",
+                rest.size(), graph->num_alive());
+    if (!out_path.empty()) {
+      st = SaveGraphToFile(*graph, out_path);
+      if (!st.ok()) return Fail(st.ToString());
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+  }
+  if (op == "opm") {
+    if (out_path.empty()) return Fail("opm requires --out <file>");
+    Status st = WriteOpmXmlToFile(*graph, out_path);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s (coarse-grained OPM view)\n", out_path.c_str());
+    return 0;
+  }
+  if (op == "dot") {
+    if (out_path.empty()) return Fail("dot requires --out <file>");
+    Status st = WriteDotToFile(*graph, out_path);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  }
+  return Fail(StrCat("unknown query operation '", op, "'"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return FailUsage();
+  const std::string& cmd = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (cmd == "validate" && rest.size() == 1) return CmdValidate(rest[0]);
+  if (cmd == "run") return CmdRun(rest);
+  if (cmd == "query") return CmdQuery(rest);
+  return FailUsage();
+}
