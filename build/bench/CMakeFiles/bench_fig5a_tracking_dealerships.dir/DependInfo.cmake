@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5a_tracking_dealerships.cc" "bench/CMakeFiles/bench_fig5a_tracking_dealerships.dir/bench_fig5a_tracking_dealerships.cc.o" "gcc" "bench/CMakeFiles/bench_fig5a_tracking_dealerships.dir/bench_fig5a_tracking_dealerships.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflowgen/CMakeFiles/lipstick_workflowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/lipstick_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pig/CMakeFiles/lipstick_pig.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/lipstick_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/lipstick_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lipstick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

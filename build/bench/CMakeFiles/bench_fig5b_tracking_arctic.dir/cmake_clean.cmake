@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_tracking_arctic.dir/bench_fig5b_tracking_arctic.cc.o"
+  "CMakeFiles/bench_fig5b_tracking_arctic.dir/bench_fig5b_tracking_arctic.cc.o.d"
+  "bench_fig5b_tracking_arctic"
+  "bench_fig5b_tracking_arctic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_tracking_arctic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

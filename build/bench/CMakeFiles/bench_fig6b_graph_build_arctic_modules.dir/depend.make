@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6b_graph_build_arctic_modules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_graph_build_arctic_topologies.dir/bench_fig6c_graph_build_arctic_topologies.cc.o"
+  "CMakeFiles/bench_fig6c_graph_build_arctic_topologies.dir/bench_fig6c_graph_build_arctic_topologies.cc.o.d"
+  "bench_fig6c_graph_build_arctic_topologies"
+  "bench_fig6c_graph_build_arctic_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_graph_build_arctic_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6c_graph_build_arctic_topologies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_zoom.dir/bench_fig7a_zoom.cc.o"
+  "CMakeFiles/bench_fig7a_zoom.dir/bench_fig7a_zoom.cc.o.d"
+  "bench_fig7a_zoom"
+  "bench_fig7a_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_subgraph_dealerships.dir/bench_fig7b_subgraph_dealerships.cc.o"
+  "CMakeFiles/bench_fig7b_subgraph_dealerships.dir/bench_fig7b_subgraph_dealerships.cc.o.d"
+  "bench_fig7b_subgraph_dealerships"
+  "bench_fig7b_subgraph_dealerships.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_subgraph_dealerships.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7c_subgraph_arctic.dir/bench_fig7c_subgraph_arctic.cc.o"
+  "CMakeFiles/bench_fig7c_subgraph_arctic.dir/bench_fig7c_subgraph_arctic.cc.o.d"
+  "bench_fig7c_subgraph_arctic"
+  "bench_fig7c_subgraph_arctic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c_subgraph_arctic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

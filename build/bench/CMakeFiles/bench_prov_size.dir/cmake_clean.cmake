@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prov_size.dir/bench_prov_size.cc.o"
+  "CMakeFiles/bench_prov_size.dir/bench_prov_size.cc.o.d"
+  "bench_prov_size"
+  "bench_prov_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prov_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

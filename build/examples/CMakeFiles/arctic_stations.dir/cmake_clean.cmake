@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arctic_stations.dir/arctic_stations.cpp.o"
+  "CMakeFiles/arctic_stations.dir/arctic_stations.cpp.o.d"
+  "arctic_stations"
+  "arctic_stations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arctic_stations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

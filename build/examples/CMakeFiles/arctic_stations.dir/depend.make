@@ -1,0 +1,2 @@
+# Empty dependencies file for arctic_stations.
+# This may be replaced when dependencies are built.

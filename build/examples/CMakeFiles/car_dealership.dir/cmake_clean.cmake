@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_dealership.dir/car_dealership.cpp.o"
+  "CMakeFiles/car_dealership.dir/car_dealership.cpp.o.d"
+  "car_dealership"
+  "car_dealership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_dealership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_assessment.dir/trust_assessment.cpp.o"
+  "CMakeFiles/trust_assessment.dir/trust_assessment.cpp.o.d"
+  "trust_assessment"
+  "trust_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

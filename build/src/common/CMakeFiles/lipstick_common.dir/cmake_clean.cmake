@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipstick_common.dir/status.cc.o"
+  "CMakeFiles/lipstick_common.dir/status.cc.o.d"
+  "CMakeFiles/lipstick_common.dir/str_util.cc.o"
+  "CMakeFiles/lipstick_common.dir/str_util.cc.o.d"
+  "liblipstick_common.a"
+  "liblipstick_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipstick_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

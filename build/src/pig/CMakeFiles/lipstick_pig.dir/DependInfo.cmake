@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pig/ast.cc" "src/pig/CMakeFiles/lipstick_pig.dir/ast.cc.o" "gcc" "src/pig/CMakeFiles/lipstick_pig.dir/ast.cc.o.d"
+  "/root/repo/src/pig/interpreter.cc" "src/pig/CMakeFiles/lipstick_pig.dir/interpreter.cc.o" "gcc" "src/pig/CMakeFiles/lipstick_pig.dir/interpreter.cc.o.d"
+  "/root/repo/src/pig/lexer.cc" "src/pig/CMakeFiles/lipstick_pig.dir/lexer.cc.o" "gcc" "src/pig/CMakeFiles/lipstick_pig.dir/lexer.cc.o.d"
+  "/root/repo/src/pig/parser.cc" "src/pig/CMakeFiles/lipstick_pig.dir/parser.cc.o" "gcc" "src/pig/CMakeFiles/lipstick_pig.dir/parser.cc.o.d"
+  "/root/repo/src/pig/udf.cc" "src/pig/CMakeFiles/lipstick_pig.dir/udf.cc.o" "gcc" "src/pig/CMakeFiles/lipstick_pig.dir/udf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/lipstick_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/lipstick_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lipstick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipstick_pig.dir/ast.cc.o"
+  "CMakeFiles/lipstick_pig.dir/ast.cc.o.d"
+  "CMakeFiles/lipstick_pig.dir/interpreter.cc.o"
+  "CMakeFiles/lipstick_pig.dir/interpreter.cc.o.d"
+  "CMakeFiles/lipstick_pig.dir/lexer.cc.o"
+  "CMakeFiles/lipstick_pig.dir/lexer.cc.o.d"
+  "CMakeFiles/lipstick_pig.dir/parser.cc.o"
+  "CMakeFiles/lipstick_pig.dir/parser.cc.o.d"
+  "CMakeFiles/lipstick_pig.dir/udf.cc.o"
+  "CMakeFiles/lipstick_pig.dir/udf.cc.o.d"
+  "liblipstick_pig.a"
+  "liblipstick_pig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipstick_pig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

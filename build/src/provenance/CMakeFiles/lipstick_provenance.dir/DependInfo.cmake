@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/deletion.cc" "src/provenance/CMakeFiles/lipstick_provenance.dir/deletion.cc.o" "gcc" "src/provenance/CMakeFiles/lipstick_provenance.dir/deletion.cc.o.d"
+  "/root/repo/src/provenance/dot.cc" "src/provenance/CMakeFiles/lipstick_provenance.dir/dot.cc.o" "gcc" "src/provenance/CMakeFiles/lipstick_provenance.dir/dot.cc.o.d"
+  "/root/repo/src/provenance/graph.cc" "src/provenance/CMakeFiles/lipstick_provenance.dir/graph.cc.o" "gcc" "src/provenance/CMakeFiles/lipstick_provenance.dir/graph.cc.o.d"
+  "/root/repo/src/provenance/opm.cc" "src/provenance/CMakeFiles/lipstick_provenance.dir/opm.cc.o" "gcc" "src/provenance/CMakeFiles/lipstick_provenance.dir/opm.cc.o.d"
+  "/root/repo/src/provenance/provio.cc" "src/provenance/CMakeFiles/lipstick_provenance.dir/provio.cc.o" "gcc" "src/provenance/CMakeFiles/lipstick_provenance.dir/provio.cc.o.d"
+  "/root/repo/src/provenance/query.cc" "src/provenance/CMakeFiles/lipstick_provenance.dir/query.cc.o" "gcc" "src/provenance/CMakeFiles/lipstick_provenance.dir/query.cc.o.d"
+  "/root/repo/src/provenance/semiring.cc" "src/provenance/CMakeFiles/lipstick_provenance.dir/semiring.cc.o" "gcc" "src/provenance/CMakeFiles/lipstick_provenance.dir/semiring.cc.o.d"
+  "/root/repo/src/provenance/subgraph.cc" "src/provenance/CMakeFiles/lipstick_provenance.dir/subgraph.cc.o" "gcc" "src/provenance/CMakeFiles/lipstick_provenance.dir/subgraph.cc.o.d"
+  "/root/repo/src/provenance/zoom.cc" "src/provenance/CMakeFiles/lipstick_provenance.dir/zoom.cc.o" "gcc" "src/provenance/CMakeFiles/lipstick_provenance.dir/zoom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/lipstick_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lipstick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

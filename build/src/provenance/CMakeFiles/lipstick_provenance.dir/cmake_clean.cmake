@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipstick_provenance.dir/deletion.cc.o"
+  "CMakeFiles/lipstick_provenance.dir/deletion.cc.o.d"
+  "CMakeFiles/lipstick_provenance.dir/dot.cc.o"
+  "CMakeFiles/lipstick_provenance.dir/dot.cc.o.d"
+  "CMakeFiles/lipstick_provenance.dir/graph.cc.o"
+  "CMakeFiles/lipstick_provenance.dir/graph.cc.o.d"
+  "CMakeFiles/lipstick_provenance.dir/opm.cc.o"
+  "CMakeFiles/lipstick_provenance.dir/opm.cc.o.d"
+  "CMakeFiles/lipstick_provenance.dir/provio.cc.o"
+  "CMakeFiles/lipstick_provenance.dir/provio.cc.o.d"
+  "CMakeFiles/lipstick_provenance.dir/query.cc.o"
+  "CMakeFiles/lipstick_provenance.dir/query.cc.o.d"
+  "CMakeFiles/lipstick_provenance.dir/semiring.cc.o"
+  "CMakeFiles/lipstick_provenance.dir/semiring.cc.o.d"
+  "CMakeFiles/lipstick_provenance.dir/subgraph.cc.o"
+  "CMakeFiles/lipstick_provenance.dir/subgraph.cc.o.d"
+  "CMakeFiles/lipstick_provenance.dir/zoom.cc.o"
+  "CMakeFiles/lipstick_provenance.dir/zoom.cc.o.d"
+  "liblipstick_provenance.a"
+  "liblipstick_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipstick_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipstick_relational.dir/csv.cc.o"
+  "CMakeFiles/lipstick_relational.dir/csv.cc.o.d"
+  "CMakeFiles/lipstick_relational.dir/schema.cc.o"
+  "CMakeFiles/lipstick_relational.dir/schema.cc.o.d"
+  "CMakeFiles/lipstick_relational.dir/value.cc.o"
+  "CMakeFiles/lipstick_relational.dir/value.cc.o.d"
+  "liblipstick_relational.a"
+  "liblipstick_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipstick_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

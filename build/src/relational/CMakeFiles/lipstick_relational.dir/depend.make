@@ -1,0 +1,2 @@
+# Empty dependencies file for lipstick_relational.
+# This may be replaced when dependencies are built.

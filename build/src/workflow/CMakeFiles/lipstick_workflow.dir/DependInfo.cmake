@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/executor.cc" "src/workflow/CMakeFiles/lipstick_workflow.dir/executor.cc.o" "gcc" "src/workflow/CMakeFiles/lipstick_workflow.dir/executor.cc.o.d"
+  "/root/repo/src/workflow/module.cc" "src/workflow/CMakeFiles/lipstick_workflow.dir/module.cc.o" "gcc" "src/workflow/CMakeFiles/lipstick_workflow.dir/module.cc.o.d"
+  "/root/repo/src/workflow/wfdsl.cc" "src/workflow/CMakeFiles/lipstick_workflow.dir/wfdsl.cc.o" "gcc" "src/workflow/CMakeFiles/lipstick_workflow.dir/wfdsl.cc.o.d"
+  "/root/repo/src/workflow/workflow.cc" "src/workflow/CMakeFiles/lipstick_workflow.dir/workflow.cc.o" "gcc" "src/workflow/CMakeFiles/lipstick_workflow.dir/workflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pig/CMakeFiles/lipstick_pig.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/lipstick_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/lipstick_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lipstick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipstick_workflow.dir/executor.cc.o"
+  "CMakeFiles/lipstick_workflow.dir/executor.cc.o.d"
+  "CMakeFiles/lipstick_workflow.dir/module.cc.o"
+  "CMakeFiles/lipstick_workflow.dir/module.cc.o.d"
+  "CMakeFiles/lipstick_workflow.dir/wfdsl.cc.o"
+  "CMakeFiles/lipstick_workflow.dir/wfdsl.cc.o.d"
+  "CMakeFiles/lipstick_workflow.dir/workflow.cc.o"
+  "CMakeFiles/lipstick_workflow.dir/workflow.cc.o.d"
+  "liblipstick_workflow.a"
+  "liblipstick_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipstick_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

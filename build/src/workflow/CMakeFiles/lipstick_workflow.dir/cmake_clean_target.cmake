@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblipstick_workflow.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipstick_workflowgen.dir/arctic.cc.o"
+  "CMakeFiles/lipstick_workflowgen.dir/arctic.cc.o.d"
+  "CMakeFiles/lipstick_workflowgen.dir/dealership.cc.o"
+  "CMakeFiles/lipstick_workflowgen.dir/dealership.cc.o.d"
+  "liblipstick_workflowgen.a"
+  "liblipstick_workflowgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipstick_workflowgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblipstick_workflowgen.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for lipstick_workflowgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pig_eval_test.dir/pig_eval_test.cc.o"
+  "CMakeFiles/pig_eval_test.dir/pig_eval_test.cc.o.d"
+  "pig_eval_test"
+  "pig_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pig_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

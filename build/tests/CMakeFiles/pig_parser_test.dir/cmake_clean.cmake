@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pig_parser_test.dir/pig_parser_test.cc.o"
+  "CMakeFiles/pig_parser_test.dir/pig_parser_test.cc.o.d"
+  "pig_parser_test"
+  "pig_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pig_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_ops_test.dir/provenance_ops_test.cc.o"
+  "CMakeFiles/provenance_ops_test.dir/provenance_ops_test.cc.o.d"
+  "provenance_ops_test"
+  "provenance_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

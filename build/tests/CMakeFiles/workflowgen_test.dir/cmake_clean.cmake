@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflowgen_test.dir/workflowgen_test.cc.o"
+  "CMakeFiles/workflowgen_test.dir/workflowgen_test.cc.o.d"
+  "workflowgen_test"
+  "workflowgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflowgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipstick_cli.dir/lipstick_cli.cc.o"
+  "CMakeFiles/lipstick_cli.dir/lipstick_cli.cc.o.d"
+  "lipstick"
+  "lipstick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipstick_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
