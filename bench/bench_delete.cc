@@ -45,7 +45,7 @@ int main() {
   size_t under_1ms = 0, max_deleted = 0;
   for (const auto& [children, id] : fanout) {
     WallTimer timer;
-    auto deleted = ComputeDeletionSet(graph, {id});
+    auto deleted = *ComputeDeletionSet(graph, {id});
     double ms = timer.ElapsedMillis();
     total_ms += ms;
     max_ms = std::max(max_ms, ms);

@@ -1,0 +1,207 @@
+// Fault-tolerance overhead: cost of the always-compiled-in failure hooks
+// (FaultInjector::Fire at UDF / statement / node boundaries) and of the
+// ExecutionOptions machinery (retry bookkeeping, per-attempt deadline,
+// state snapshots) on the happy path. The robustness layer is acceptable
+// only if a fault-free run pays well under 2% for it.
+
+#include <algorithm>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/fault.h"
+#include "provenance/graph.h"
+#include "workflow/executor.h"
+#include "workflow/module.h"
+#include "workflowgen/dealership.h"
+
+using namespace lipstick;
+using namespace lipstick::bench;
+using namespace lipstick::workflowgen;
+
+namespace {
+
+/// Nanoseconds per FaultInjector::Fire call in the current armed state.
+double FireNanos(size_t calls) {
+  WallTimer timer;
+  for (size_t i = 0; i < calls; ++i) {
+    Status st = FaultInjector::Fire("bench.point", "bench-key");
+    if (!st.ok()) Check(st);  // keeps the call from being optimized away
+  }
+  return timer.ElapsedSeconds() * 1e9 / calls;
+}
+
+/// Average seconds per dealership execution with the injector in its
+/// current state (ExecuteOnce uses default options: the exact code path
+/// production runs take).
+double DealershipSecPerExec(int num_cars, int num_exec) {
+  DealershipConfig cfg;
+  cfg.num_cars = num_cars;
+  cfg.num_executions = num_exec;
+  cfg.seed = 12345;
+  cfg.accept_probability = 0;
+  auto wf = DealershipWorkflow::Create(cfg);
+  Check(wf.status());
+  WallTimer timer;
+  for (int e = 1; e <= num_exec; ++e) {
+    Check((*wf)->ExecuteOnce(e, nullptr).status());
+  }
+  return timer.ElapsedSeconds() / num_exec;
+}
+
+SchemaPtr NumSchema() {
+  return Schema::Make({Field("x", FieldType::Int())});
+}
+
+/// A 6-node stateful chain driven directly through Execute(), so the
+/// options-bearing overload can be compared against the default one.
+struct Chain {
+  Workflow wf;
+  std::unique_ptr<WorkflowExecutor> exec;
+
+  explicit Chain(int num_nodes) {
+    auto source = MakeModule("source", {{"Ext", NumSchema()}}, {},
+                             {{"Out", NumSchema()}}, "",
+                             "Out = FOREACH Ext GENERATE x;");
+    Check(source.status());
+    Check(wf.AddModule(std::move(*source)));
+    // State accumulates (so per-attempt snapshots have real weight) but
+    // the output is the transformed *input*, keeping data volume flat
+    // along the chain.
+    auto acc = MakeModule(
+        "acc", {{"In", NumSchema()}}, {{"Seen", NumSchema()}},
+        {{"Out", NumSchema()}}, "Seen = UNION Seen, In;",
+        "F = FILTER In BY x >= 0;\n"
+        "Out = FOREACH F GENERATE x + 1 AS x;");
+    Check(acc.status());
+    Check(wf.AddModule(std::move(*acc)));
+    Check(wf.AddNode("in", "source"));
+    std::string prev = "in";
+    for (int i = 0; i < num_nodes; ++i) {
+      std::string id = "n" + std::to_string(i);
+      Check(wf.AddNode(id, "acc"));
+      Check(wf.AddEdge(prev, id, {EdgeRelation{"Out", "In"}}));
+      prev = id;
+    }
+    exec = std::make_unique<WorkflowExecutor>(&wf, nullptr);
+    Check(exec->Initialize());
+  }
+
+  double SecPerExec(int num_exec, int num_tuples,
+                    const ExecutionOptions* options) {
+    WallTimer timer;
+    for (int e = 0; e < num_exec; ++e) {
+      WorkflowInputs inputs;
+      Bag ext;
+      for (int i = 0; i < num_tuples; ++i) ext.Add(Tuple({Value::Int(i)}));
+      inputs["in"]["Ext"] = std::move(ext);
+      auto out = options != nullptr
+                     ? exec->Execute(inputs, nullptr, *options)
+                     : exec->Execute(inputs, nullptr);
+      Check(out.status());
+    }
+    return timer.ElapsedSeconds() / num_exec;
+  }
+};
+
+/// Best-of-3 on a fresh executor each time, so every configuration starts
+/// from empty module state and one slow run (scheduler hiccup, allocator
+/// growth) cannot skew a configuration.
+double ChainSecPerExec(int num_exec, int num_tuples,
+                       const ExecutionOptions* options) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    Chain chain(6);
+    best = std::min(best, chain.SecPerExec(num_exec, num_tuples, options));
+  }
+  return best;
+}
+
+double Pct(double base, double measured) {
+  return (measured / base - 1.0) * 100.0;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Fault overhead", "cost of failure hooks and retry machinery",
+         "happy path only (no fault ever fires); target: < 2% overhead");
+  FaultInjector::Global().Reset();
+
+  // 1. The raw hook: a disarmed Fire is one relaxed atomic load.
+  const size_t kCalls = static_cast<size_t>(Scaled(20000000, 100000));
+  double disarmed_ns = FireNanos(kCalls);
+  // Armed with a spec for an unrelated point: Fire now takes the mutex
+  // and scans the (one-element) spec list, still without firing.
+  FaultInjector::FaultSpec unrelated;
+  unrelated.point = "never.fires";
+  FaultInjector::Global().Arm(unrelated);
+  double armed_ns = FireNanos(kCalls);
+  FaultInjector::Global().Reset();
+  std::printf("%-34s %8.2f ns/call\n", "Fire, disarmed (production)",
+              disarmed_ns);
+  std::printf("%-34s %8.2f ns/call\n\n", "Fire, armed non-matching",
+              armed_ns);
+
+  // 2. End to end, dealership workflow, default options: disarmed hooks
+  // vs hooks armed with a never-matching fault. Best of 3, interleaved.
+  int num_cars = Scaled(20000, 400);
+  int num_exec = 10;
+  double base = 1e300, armed = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    base = std::min(base, DealershipSecPerExec(num_cars, num_exec));
+    FaultInjector::Global().Arm(unrelated);
+    armed = std::min(armed, DealershipSecPerExec(num_cars, num_exec));
+    FaultInjector::Global().Reset();
+  }
+  std::printf("%-34s %8.4f sec/exec\n", "dealerships, disarmed", base);
+  std::printf("%-34s %8.4f sec/exec  (%+.2f%%)\n",
+              "dealerships, armed non-matching", armed, Pct(base, armed));
+
+  // The timer-noise-free bound: count the hook crossings of one execution
+  // (probability-0 specs fire never but count every matching hit), then
+  // charge each crossing the measured disarmed cost.
+  for (const char* point : {"pig.udf", "pig.statement", "executor.node"}) {
+    FaultInjector::FaultSpec counter;
+    counter.point = point;
+    counter.probability = 0;
+    FaultInjector::Global().Arm(counter);
+  }
+  DealershipSecPerExec(num_cars, num_exec);
+  uint64_t hooks = (FaultInjector::Global().hit_count("pig.udf") +
+                    FaultInjector::Global().hit_count("pig.statement") +
+                    FaultInjector::Global().hit_count("executor.node")) /
+                   num_exec;
+  FaultInjector::Global().Reset();
+  double computed_pct = hooks * disarmed_ns * 1e-9 / base * 100.0;
+  std::printf("%-34s %8llu hooks/exec -> %.4f%% of exec time\n\n",
+              "computed disarmed-hook bound",
+              static_cast<unsigned long long>(hooks), computed_pct);
+
+  // 3. The options machinery on a statement-dense chain: default Execute
+  // vs explicit ExecutionOptions with retries, timeout, and a lenient
+  // policy enabled (per-attempt snapshots, deadline checks, jitter rng).
+  int tuples = Scaled(2000, 50);
+  double plain = ChainSecPerExec(num_exec, tuples, nullptr);
+  ExecutionOptions options;
+  options.node_timeout_seconds = 300;
+  options.failure_policy = FailurePolicy::kSkipDownstream;
+  double lenient = ChainSecPerExec(num_exec, tuples, &options);
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.jitter = 0.5;
+  double retry = ChainSecPerExec(num_exec, tuples, &options);
+  std::printf("%-34s %8.4f sec/exec\n", "chain, default options", plain);
+  std::printf("%-34s %8.4f sec/exec  (%+.2f%%)\n",
+              "chain, timeout + skip-downstream", lenient,
+              Pct(plain, lenient));
+  std::printf("%-34s %8.4f sec/exec  (%+.2f%%)\n",
+              "chain, + retry=3", retry, Pct(plain, retry));
+
+  std::printf(
+      "\nexpected: the always-on costs — the disarmed Fire hook (a few ns)\n"
+      "and the end-to-end delta with hooks armed-but-never-matching — stay\n"
+      "well under 2%%. Non-default options pay for per-attempt state\n"
+      "snapshots, proportional to module state size; that is the documented\n"
+      "price of opting in, not a hook cost.\n");
+  return 0;
+}

@@ -49,7 +49,7 @@ int main() {
   std::vector<std::pair<size_t, std::pair<double, NodeId>>> rows;
   for (const auto& [children, id] : fanout) {
     WallTimer timer;
-    auto sub = SubgraphQuery(graph, id);
+    auto sub = *SubgraphQuery(graph, id);
     double ms = timer.ElapsedMillis();
     rows.push_back({sub.size(), {ms, id}});
   }

@@ -73,7 +73,7 @@ int main() {
       size_t max_sub = 0;
       for (NodeId id : targets) {
         WallTimer timer;
-        auto sub = SubgraphQuery(graph, id);
+        auto sub = *SubgraphQuery(graph, id);
         double ms = timer.ElapsedMillis();
         total_ms += ms;
         max_ms = std::max(max_ms, ms);

@@ -95,7 +95,7 @@ int main() {
     // deletion of any single car because the dealership's aggregates can
     // be re-derived from the remaining inventory (paper Example 4.3).
     std::printf("  ... but the sale's existence depends on it: %s\n",
-                DependsOn(graph, sale, used) ? "yes" : "no");
+                *DependsOn(graph, sale, used) ? "yes" : "no");
   }
   if (unused != kInvalidNode) {
     std::printf("car %s entered the sale's derivation: no\n",
@@ -113,7 +113,7 @@ int main() {
   }
   if (last_request != kInvalidNode) {
     std::printf("the sale's existence depends on the accepted request: %s\n",
-                DependsOn(graph, sale, last_request) ? "yes" : "no");
+                *DependsOn(graph, sale, last_request) ? "yes" : "no");
   }
 
   // --- Flexible granularity ---

@@ -101,7 +101,7 @@ int main() {
   std::printf("\nfirst input is in the last total's derivation: %s\n",
               ancestry.count(first_input) ? "yes" : "no");
   std::printf("last total's existence depends on it: %s\n",
-              DependsOn(graph, last_total, first_input) ? "yes" : "no");
+              *DependsOn(graph, last_total, first_input) ? "yes" : "no");
 
   // 6. ZoomOut hides the stats module's internals; ZoomIn restores them.
   Zoomer zoomer(&graph);

@@ -69,7 +69,7 @@ int main() {
                                               std::string::npos) {
       continue;
     }
-    if (!DependsOn(*loaded, bid, id)) {
+    if (!*DependsOn(*loaded, bid, id)) {
       // Most cars: the bid does not depend on them at all, or the COUNT
       // aggregate survives on the remaining cars (paper Example 4.3).
       bool in_derivation = !loaded->Children(id).empty();
@@ -95,7 +95,7 @@ int main() {
     }
   }
   size_t before = loaded->num_alive();
-  auto dead = ComputeDeletionSet(*loaded, {request});
+  auto dead = *ComputeDeletionSet(*loaded, {request});
   std::printf(
       "\ndeleting the bid request would remove %zu of %zu nodes "
       "(everything except state tuples and module invocations)\n",

@@ -1,0 +1,29 @@
+#ifndef LIPSTICK_COMMON_CHECK_H_
+#define LIPSTICK_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lipstick::internal {
+
+/// Terminates the process with a diagnostic. Unlike assert(), this fires in
+/// every build mode: invariant violations abort with a message instead of
+/// becoming undefined behavior under NDEBUG.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* message) {
+  std::fprintf(stderr, "LIPSTICK CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message != nullptr && *message != '\0' ? " — " : "",
+               message != nullptr ? message : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lipstick::internal
+
+/// Always-on invariant check; `msg` is a C string shown on failure.
+#define LIPSTICK_CHECK(cond, msg)                                      \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::lipstick::internal::CheckFailed(__FILE__, __LINE__,      \
+                                              #cond, (msg)))
+
+#endif  // LIPSTICK_COMMON_CHECK_H_

@@ -1,0 +1,155 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/result.h"
+#include "common/str_util.h"
+
+namespace lipstick {
+
+namespace {
+
+Result<StatusCode> ParseCode(const std::string& name) {
+  static const std::pair<const char*, StatusCode> kCodes[] = {
+      {"invalid_argument", StatusCode::kInvalidArgument},
+      {"not_found", StatusCode::kNotFound},
+      {"execution_error", StatusCode::kExecutionError},
+      {"io_error", StatusCode::kIOError},
+      {"internal", StatusCode::kInternal},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+      {"unavailable", StatusCode::kUnavailable},
+      {"aborted", StatusCode::kAborted},
+  };
+  for (const auto& [n, code] : kCodes) {
+    if (name == n) return code;
+  }
+  return Status::ParseError(StrCat("unknown status code '", name, "'"));
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArmedFault fault;
+  fault.rng = Rng(spec.seed);
+  fault.spec = std::move(spec);
+  faults_.push_back(std::move(fault));
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::FireImpl(const char* point, std::string_view key) {
+  double delay_ms = 0.0;
+  Status result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ArmedFault& fault : faults_) {
+      const FaultSpec& spec = fault.spec;
+      if (spec.point != point) continue;
+      if (!spec.key.empty() && spec.key != key) continue;
+      ++fault.hits;
+      if (fault.hits <= static_cast<uint64_t>(spec.skip_hits)) break;
+      if (spec.max_fires >= 0 &&
+          fault.fires >= static_cast<uint64_t>(spec.max_fires)) {
+        break;
+      }
+      if (spec.probability < 1.0 && !fault.rng.Chance(spec.probability)) {
+        break;
+      }
+      ++fault.fires;
+      delay_ms = spec.delay_ms;
+      if (spec.fail) {
+        std::string msg = spec.message.empty()
+                              ? StrCat("injected fault at ", point,
+                                       key.empty() ? "" : "@",
+                                       std::string(key))
+                              : spec.message;
+        result = Status(spec.code, std::move(msg));
+      }
+      break;  // first matching spec decides the hit
+    }
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return result;
+}
+
+Status FaultInjector::ArmFromEnv() {
+  const char* env = std::getenv("LIPSTICK_FAULTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  for (const std::string& entry : Split(env, ';')) {
+    if (entry.empty()) continue;
+    std::vector<std::string> parts = Split(entry, ':');
+    FaultSpec spec;
+    std::vector<std::string> target = Split(parts[0], '@');
+    spec.point = target[0];
+    if (target.size() > 1) spec.key = target[1];
+    if (spec.point.empty()) {
+      return Status::ParseError(
+          StrCat("LIPSTICK_FAULTS entry has no point name: '", entry, "'"));
+    }
+    for (size_t i = 1; i < parts.size(); ++i) {
+      std::vector<std::string> kv = Split(parts[i], '=');
+      if (kv.size() != 2) {
+        return Status::ParseError(
+            StrCat("bad LIPSTICK_FAULTS option '", parts[i], "'"));
+      }
+      const std::string& k = kv[0];
+      const std::string& v = kv[1];
+      if (k == "p") {
+        spec.probability = std::atof(v.c_str());
+      } else if (k == "skip") {
+        spec.skip_hits = std::atoi(v.c_str());
+      } else if (k == "fires") {
+        spec.max_fires = std::atoi(v.c_str());
+      } else if (k == "delay_ms") {
+        spec.delay_ms = std::atof(v.c_str());
+      } else if (k == "fail") {
+        spec.fail = v != "0" && v != "false";
+      } else if (k == "code") {
+        LIPSTICK_ASSIGN_OR_RETURN(spec.code, ParseCode(v));
+      } else if (k == "seed") {
+        spec.seed = std::strtoull(v.c_str(), nullptr, 10);
+      } else {
+        return Status::ParseError(
+            StrCat("unknown LIPSTICK_FAULTS option '", k, "'"));
+      }
+    }
+    Arm(std::move(spec));
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjector::fire_count(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const ArmedFault& fault : faults_) {
+    if (fault.spec.point == point) n += fault.fires;
+  }
+  return n;
+}
+
+uint64_t FaultInjector::hit_count(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const ArmedFault& fault : faults_) {
+    if (fault.spec.point == point) n += fault.hits;
+  }
+  return n;
+}
+
+}  // namespace lipstick

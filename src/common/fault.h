@@ -1,0 +1,99 @@
+#ifndef LIPSTICK_COMMON_FAULT_H_
+#define LIPSTICK_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lipstick {
+
+/// Deterministic fault injection for testing failure paths.
+///
+/// Code under test declares *failure points* by calling
+/// `FaultInjector::Fire("point", key)` at interesting boundaries (UDF calls,
+/// statement evaluation, module invocation). Tests arm faults against those
+/// points; production runs leave the injector disarmed, in which case Fire
+/// costs one relaxed atomic load (see bench_fault_overhead).
+///
+/// Failure points wired into the engine:
+///   "pig.udf"        key = lower-cased UDF name, fired before the call
+///   "pig.statement"  key = statement target relation, fired per statement
+///   "executor.node"  key = workflow node id, fired per invocation attempt
+///
+/// Determinism: each armed fault owns a splitmix64 Rng seeded explicitly, so
+/// probabilistic faults fire on a reproducible hit sequence regardless of
+/// thread scheduling (hit counting is serialized under a mutex).
+///
+/// Faults can also be armed from the environment for whole-binary runs:
+///   LIPSTICK_FAULTS="point[@key][:p=0.5][:skip=2][:fires=1][:delay_ms=10]
+///                    [:code=unavailable][:seed=7];point2..."
+class FaultInjector {
+ public:
+  struct FaultSpec {
+    std::string point;            // failure-point name (required)
+    std::string key;              // empty matches any key at the point
+    double probability = 1.0;     // chance a matching hit fires
+    int skip_hits = 0;            // let this many matching hits pass first
+    int max_fires = -1;           // stop firing after this many; -1 = forever
+    double delay_ms = 0.0;        // injected latency on fire
+    bool fail = true;             // false: delay-only fault
+    StatusCode code = StatusCode::kUnavailable;
+    std::string message;          // default: "injected fault at <point>"
+    uint64_t seed = 0x11b57c4u;   // seeds the per-fault Rng
+  };
+
+  /// Process-wide injector. Engine failure points always consult this
+  /// instance, so tests need no plumbing to reach code deep in the stack.
+  static FaultInjector& Global();
+
+  /// True when at least one fault is armed (single relaxed atomic load).
+  static bool Armed() {
+    return Global().armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Consults the armed faults for `point`/`key`. Returns OK when disarmed,
+  /// no spec matches, or the matching spec declines to fire this hit.
+  static Status Fire(const char* point, std::string_view key = {}) {
+    if (!Armed()) return Status::OK();
+    return Global().FireImpl(point, key);
+  }
+
+  /// Arms a fault. Multiple faults may target the same point; the first
+  /// matching spec (in arm order) decides each hit.
+  void Arm(FaultSpec spec);
+
+  /// Disarms everything and zeroes all counters.
+  void Reset();
+
+  /// Parses LIPSTICK_FAULTS (see class comment); no-op when unset.
+  Status ArmFromEnv();
+
+  /// Total fires across all faults armed at `point` (any key).
+  uint64_t fire_count(const std::string& point) const;
+  /// Total matching hits (fired or not) across all faults at `point`.
+  uint64_t hit_count(const std::string& point) const;
+
+ private:
+  struct ArmedFault {
+    FaultSpec spec;
+    Rng rng{0};
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  Status FireImpl(const char* point, std::string_view key);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::vector<ArmedFault> faults_;
+};
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_COMMON_FAULT_H_

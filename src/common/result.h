@@ -1,16 +1,21 @@
 #ifndef LIPSTICK_COMMON_RESULT_H_
 #define LIPSTICK_COMMON_RESULT_H_
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace lipstick {
 
 /// Holds either a value of type T or a non-OK Status explaining why no value
 /// could be produced. Mirrors arrow::Result / absl::StatusOr.
+///
+/// Accessing the value of an errored Result aborts with the contained Status
+/// message in every build mode — an assert() here would compile out under
+/// NDEBUG and turn the access into silent undefined behavior in release
+/// builds, exactly where an unnoticed error is most dangerous.
 template <typename T>
 class Result {
  public:
@@ -20,8 +25,8 @@ class Result {
 
   /// Constructs a failed result; `status` must not be OK.
   Result(Status status) : repr_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(repr_).ok() &&
-           "Result constructed from OK status");
+    LIPSTICK_CHECK(!std::get<Status>(repr_).ok(),
+                   "Result constructed from OK status");
   }
 
   bool ok() const { return std::holds_alternative<T>(repr_); }
@@ -33,15 +38,15 @@ class Result {
   }
 
   const T& value() const& {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(repr_);
   }
   T& value() & {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(repr_);
   }
   T&& value() && {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(std::move(repr_));
   }
 
@@ -56,6 +61,13 @@ class Result {
   }
 
  private:
+  void CheckHoldsValue() const {
+    if (ok()) return;
+    internal::CheckFailed(
+        __FILE__, __LINE__, "Result::value() called on an error Result",
+        std::get<Status>(repr_).ToString().c_str());
+  }
+
   std::variant<T, Status> repr_;
 };
 

@@ -20,6 +20,9 @@ enum class StatusCode {
   kExecutionError,
   kIOError,
   kInternal,
+  kDeadlineExceeded,  // a per-node/per-attempt wall-clock budget expired
+  kUnavailable,       // transient failure (default code of injected faults)
+  kAborted,           // work intentionally not performed (e.g. skipped node)
 };
 
 /// Returns a human-readable name for `code` (e.g. "ParseError").
@@ -56,6 +59,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -23,6 +23,27 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// A wall-clock budget: constructed with a limit in seconds, reports expiry
+/// relative to construction time. A default-constructed Deadline never
+/// expires. Used by the workflow executor's per-node timeouts; the Pig
+/// interpreter checks it cooperatively between statements.
+class Deadline {
+ public:
+  Deadline() = default;  // unlimited
+  explicit Deadline(double limit_seconds) : limit_seconds_(limit_seconds) {}
+
+  bool unlimited() const { return limit_seconds_ <= 0; }
+  bool Expired() const {
+    return !unlimited() && timer_.ElapsedSeconds() > limit_seconds_;
+  }
+  double limit_seconds() const { return limit_seconds_; }
+  double elapsed_seconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  WallTimer timer_;
+  double limit_seconds_ = 0;
+};
+
 }  // namespace lipstick
 
 #endif  // LIPSTICK_COMMON_TIMER_H_

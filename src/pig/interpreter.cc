@@ -4,6 +4,7 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "common/str_util.h"
 
 namespace lipstick::pig {
@@ -292,6 +293,12 @@ Result<Value> EvalUdf(const Expr& expr, EvalContext& ctx) {
   if (udf == nullptr) {
     return ExecErr(expr.loc, StrCat("unknown function '", expr.name, "'"));
   }
+  // UDFs are external black boxes — the boundary most likely to fail in a
+  // real deployment, and the one tests inject failures into.
+  LIPSTICK_RETURN_IF_ERROR(FaultInjector::Fire("pig.udf", ToLower(expr.name))
+                               .WithContext(StrCat("UDF ", expr.name,
+                                                   " at line ",
+                                                   expr.loc.line)));
   std::vector<Value> args;
   args.reserve(expr.children.size());
   for (const ExprPtr& child : expr.children) {
@@ -1016,6 +1023,8 @@ Result<const Relation*> Environment::Lookup(const std::string& name) const {
 Result<const Relation*> Interpreter::RunStatement(const Statement& stmt,
                                                   Environment* env,
                                                   ShardWriter* writer) const {
+  LIPSTICK_RETURN_IF_ERROR(
+      FaultInjector::Fire("pig.statement", stmt.target));
   OpContext op{env, writer, udfs_};
   Result<Relation> result = Status::Internal("unhandled statement");
   switch (stmt.kind) {
@@ -1088,8 +1097,14 @@ Result<const Relation*> Interpreter::RunStatement(const Statement& stmt,
 }
 
 Status Interpreter::Run(const Program& program, Environment* env,
-                        ShardWriter* writer) const {
+                        ShardWriter* writer,
+                        const Deadline* deadline) const {
   for (const Statement& stmt : program.statements) {
+    if (deadline != nullptr && deadline->Expired()) {
+      return Status::DeadlineExceeded(
+          StrCat("statement '", stmt.target, "' not started: wall-clock ",
+                 "budget of ", deadline->limit_seconds(), "s exhausted"));
+    }
     LIPSTICK_RETURN_IF_ERROR(RunStatement(stmt, env, writer).status());
   }
   return Status::OK();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/timer.h"
 #include "pig/ast.h"
 #include "pig/udf.h"
 #include "provenance/graph.h"
@@ -50,12 +51,15 @@ class Interpreter {
   explicit Interpreter(const UdfRegistry* udfs) : udfs_(udfs) {}
 
   /// Executes all statements, binding each target into `env`. If `writer`
-  /// is non-null, provenance is recorded into its graph.
-  Status Run(const Program& program, Environment* env,
-             ShardWriter* writer) const;
+  /// is non-null, provenance is recorded into its graph. If `deadline` is
+  /// non-null, execution stops with kDeadlineExceeded once it expires
+  /// (checked between statements — a cooperative, not preemptive, budget).
+  Status Run(const Program& program, Environment* env, ShardWriter* writer,
+             const Deadline* deadline = nullptr) const;
 
   /// Executes one statement and returns the produced relation (also bound
-  /// into `env`).
+  /// into `env`). Consults the global FaultInjector at the "pig.statement"
+  /// failure point (key = target relation) before evaluating.
   Result<const Relation*> RunStatement(const Statement& stmt,
                                        Environment* env,
                                        ShardWriter* writer) const;

@@ -1,14 +1,13 @@
 #include "provenance/deletion.h"
 
-#include <cassert>
 #include <deque>
 #include <unordered_map>
 
 namespace lipstick {
 
-std::unordered_set<NodeId> ComputeDeletionSet(
+Result<std::unordered_set<NodeId>> ComputeDeletionSet(
     const ProvenanceGraph& graph, const std::vector<NodeId>& seeds) {
-  assert(graph.sealed() && "seal the graph before deletion propagation");
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "deletion propagation"));
   std::unordered_set<NodeId> deleted;
   std::unordered_map<NodeId, size_t> lost_edges;
   std::deque<NodeId> queue;
@@ -41,17 +40,21 @@ std::unordered_set<NodeId> ComputeDeletionSet(
   return deleted;
 }
 
-size_t PropagateDeletion(ProvenanceGraph* graph, NodeId seed) {
-  std::unordered_set<NodeId> dead = ComputeDeletionSet(*graph, {seed});
+Result<size_t> PropagateDeletion(ProvenanceGraph* graph, NodeId seed) {
+  LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> dead,
+                            ComputeDeletionSet(*graph, {seed}));
   for (NodeId id : dead) graph->mutable_node(id).alive = false;
   graph->Seal();
   return dead.size();
 }
 
-bool DependsOn(const ProvenanceGraph& graph, NodeId target, NodeId source) {
+Result<bool> DependsOn(const ProvenanceGraph& graph, NodeId target,
+                       NodeId source) {
   if (!graph.Contains(target) || !graph.Contains(source)) return false;
   if (target == source) return true;
-  return ComputeDeletionSet(graph, {source}).count(target) > 0;
+  LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> deleted,
+                            ComputeDeletionSet(graph, {source}));
+  return deleted.count(target) > 0;
 }
 
 }  // namespace lipstick

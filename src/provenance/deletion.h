@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/result.h"
 #include "provenance/graph.h"
 
 namespace lipstick {
@@ -16,19 +17,22 @@ namespace lipstick {
 /// they are seeds — matching the paper's Example 4.4, where deleting the
 /// bid request erases everything except state tuples and invocations.
 ///
-/// The graph must be sealed. Returns the full set of deleted nodes
-/// (including the seeds).
-std::unordered_set<NodeId> ComputeDeletionSet(const ProvenanceGraph& graph,
-                                              const std::vector<NodeId>& seeds);
+/// Returns the full set of deleted nodes (including the seeds). Fails with
+/// kInvalidArgument if the graph is not sealed.
+Result<std::unordered_set<NodeId>> ComputeDeletionSet(
+    const ProvenanceGraph& graph, const std::vector<NodeId>& seeds);
 
 /// Applies ComputeDeletionSet and materializes it: deleted nodes are marked
 /// dead and the graph is re-sealed. Returns the number of deleted nodes.
-size_t PropagateDeletion(ProvenanceGraph* graph, NodeId seed);
+/// Fails with kInvalidArgument if the graph is not sealed.
+Result<size_t> PropagateDeletion(ProvenanceGraph* graph, NodeId seed);
 
 /// Dependency query (Section 4.3): does the existence of `target` depend on
 /// the existence of `source`? Answered by checking whether `target` is
 /// deleted when the deletion of `source` is propagated. Non-mutating.
-bool DependsOn(const ProvenanceGraph& graph, NodeId target, NodeId source);
+/// Fails with kInvalidArgument if the graph is not sealed.
+Result<bool> DependsOn(const ProvenanceGraph& graph, NodeId target,
+                       NodeId source);
 
 }  // namespace lipstick
 

@@ -1,8 +1,9 @@
 #include "provenance/graph.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
+
+#include "common/check.h"
 
 namespace lipstick {
 
@@ -307,8 +308,63 @@ void ProvenanceGraph::Seal() {
 }
 
 const std::vector<NodeId>& ProvenanceGraph::Children(NodeId id) const {
-  assert(sealed_ && "call Seal() before Children()");
+  // Always-on: reading children of an unsealed graph would index a stale
+  // (possibly shorter) adjacency vector — UB in release builds if this
+  // were a plain assert.
+  LIPSTICK_CHECK(sealed_, "call Seal() before Children()");
   return shards_[NodeShard(id)].children[NodeIndex(id)];
+}
+
+size_t ProvenanceGraph::num_live_invocations() const {
+  std::lock_guard<std::mutex> lock(*invocations_mu_);
+  size_t n = 0;
+  for (const InvocationInfo& inv : invocations_) n += inv.aborted() ? 0 : 1;
+  return n;
+}
+
+ProvenanceGraph::Savepoint ProvenanceGraph::TakeSavepoint() const {
+  Savepoint sp;
+  sp.shard_sizes.reserve(shards_.size());
+  for (const Shard& s : shards_) sp.shard_sizes.push_back(s.nodes.size());
+  std::lock_guard<std::mutex> lock(*invocations_mu_);
+  sp.invocation_count = invocations_.size();
+  return sp;
+}
+
+void ProvenanceGraph::RollbackTo(const Savepoint& savepoint) {
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    size_t from =
+        s < savepoint.shard_sizes.size() ? savepoint.shard_sizes[s] : 0;
+    KillShardTail(s, from);
+  }
+  std::lock_guard<std::mutex> lock(*invocations_mu_);
+  // Invocation ids are indices handed out monotonically, so everything
+  // registered after the savepoint forms a suffix; the nodes referencing
+  // those ids were just killed above.
+  if (invocations_.size() > savepoint.invocation_count) {
+    invocations_.resize(savepoint.invocation_count);
+  }
+  sealed_ = false;
+}
+
+size_t ProvenanceGraph::ShardSize(uint32_t shard) const {
+  return shards_[shard].nodes.size();
+}
+
+void ProvenanceGraph::KillShardTail(uint32_t shard, size_t from) {
+  Shard& s = shards_[shard];
+  if (from >= s.nodes.size()) return;
+  for (size_t i = from; i < s.nodes.size(); ++i) s.nodes[i].alive = false;
+  sealed_ = false;
+}
+
+void ProvenanceGraph::AbortInvocation(uint32_t invocation) {
+  std::lock_guard<std::mutex> lock(*invocations_mu_);
+  InvocationInfo& inv = invocations_[invocation];
+  inv.m_node = kInvalidNode;
+  inv.input_nodes.clear();
+  inv.output_nodes.clear();
+  inv.state_nodes.clear();
 }
 
 std::vector<std::pair<std::string, size_t>> ProvenanceGraph::LabelHistogram()

@@ -89,6 +89,12 @@ struct InvocationInfo {
   std::vector<NodeId> input_nodes;
   std::vector<NodeId> output_nodes;
   std::vector<NodeId> state_nodes;
+
+  /// True once the invocation's nodes are discarded (AbortInvocation):
+  /// the attempt failed and its provenance was rolled back. Aborted
+  /// records keep their module/instance names for diagnostics but carry
+  /// no graph structure.
+  bool aborted() const { return m_node == kInvalidNode; }
 };
 
 class ProvenanceGraph;
@@ -217,6 +223,33 @@ class ProvenanceGraph {
   /// Returns its invocation id.
   uint32_t RestoreInvocation(InvocationInfo info);
 
+  /// Invocations that still carry graph structure (not aborted).
+  size_t num_live_invocations() const;
+
+  /// A marker of the graph's extent, used to discard the provenance of
+  /// failed or aborted workflow executions. Capture with Savepoint()
+  /// before tracking begins; RollbackTo() kills every node appended since
+  /// (including nodes in shards added after the savepoint) and erases the
+  /// invocation records registered since, leaving the graph observably
+  /// identical to its state at the savepoint. Not thread-safe: call with
+  /// no concurrent writers.
+  struct Savepoint {
+    std::vector<size_t> shard_sizes;
+    size_t invocation_count = 0;
+  };
+  Savepoint TakeSavepoint() const;
+  void RollbackTo(const Savepoint& savepoint);
+
+  /// Number of nodes currently in `shard` — a per-shard savepoint for
+  /// rolling back a single failed invocation attempt.
+  size_t ShardSize(uint32_t shard) const;
+  /// Marks every node of `shard` with index >= `from` dead. Safe to call
+  /// from the task that owns the shard while other shards are written.
+  void KillShardTail(uint32_t shard, size_t from);
+  /// Clears an invocation record whose nodes were discarded: drops its
+  /// node lists and m-node reference (the record reports aborted()).
+  void AbortInvocation(uint32_t invocation);
+
   /// Per-label alive-node counts, for diagnostics and tests.
   std::vector<std::pair<std::string, size_t>> LabelHistogram() const;
 
@@ -238,6 +271,15 @@ class ProvenanceGraph {
       std::make_unique<std::mutex>();
   bool sealed_ = false;
 };
+
+/// Guard used by the query layer: every operation that needs the children
+/// adjacency reports kInvalidArgument on an unsealed graph instead of
+/// asserting (which would be UB under NDEBUG).
+inline Status RequireSealed(const ProvenanceGraph& graph, const char* op) {
+  if (graph.sealed()) return Status::OK();
+  return Status::InvalidArgument(
+      std::string("graph not sealed: call Seal() before ") + op);
+}
 
 }  // namespace lipstick
 

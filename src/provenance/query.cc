@@ -1,7 +1,6 @@
 #include "provenance/query.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <unordered_map>
 
@@ -60,15 +59,20 @@ std::vector<NodeId> FindNodes(const ProvenanceGraph& graph,
   return out;
 }
 
-bool PathExists(const ProvenanceGraph& graph, NodeId from, NodeId to) {
-  return !ShortestDerivationPath(graph, from, to).empty();
+Result<bool> PathExists(const ProvenanceGraph& graph, NodeId from,
+                        NodeId to) {
+  LIPSTICK_ASSIGN_OR_RETURN(std::vector<NodeId> path,
+                            ShortestDerivationPath(graph, from, to));
+  return !path.empty();
 }
 
-std::vector<NodeId> ShortestDerivationPath(const ProvenanceGraph& graph,
-                                           NodeId from, NodeId to) {
-  assert(graph.sealed() && "seal the graph before path queries");
-  if (!graph.Contains(from) || !graph.Contains(to)) return {};
-  if (from == to) return {from};
+Result<std::vector<NodeId>> ShortestDerivationPath(
+    const ProvenanceGraph& graph, NodeId from, NodeId to) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "path queries"));
+  if (!graph.Contains(from) || !graph.Contains(to)) {
+    return std::vector<NodeId>{};
+  }
+  if (from == to) return std::vector<NodeId>{from};
   std::unordered_map<NodeId, NodeId> parent_of;  // BFS predecessor
   std::deque<NodeId> queue{from};
   parent_of[from] = from;
@@ -90,19 +94,21 @@ std::vector<NodeId> ShortestDerivationPath(const ProvenanceGraph& graph,
       queue.push_back(child);
     }
   }
-  return {};
+  return std::vector<NodeId>{};
 }
 
-bool DependsOnSet(const ProvenanceGraph& graph, NodeId target,
-                  const std::vector<NodeId>& sources) {
+Result<bool> DependsOnSet(const ProvenanceGraph& graph, NodeId target,
+                          const std::vector<NodeId>& sources) {
   if (!graph.Contains(target)) return false;
-  return ComputeDeletionSet(graph, sources).count(target) > 0;
+  LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> deleted,
+                            ComputeDeletionSet(graph, sources));
+  return deleted.count(target) > 0;
 }
 
-GraphStats ComputeGraphStats(const ProvenanceGraph& graph) {
-  assert(graph.sealed());
+Result<GraphStats> ComputeGraphStats(const ProvenanceGraph& graph) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "ComputeGraphStats"));
   GraphStats stats;
-  stats.invocations = graph.invocations().size();
+  stats.invocations = graph.num_live_invocations();
   // Longest path via DP over a topological order; the construction order
   // within each shard is already topological (parents precede children),
   // but cross-shard edges may go either way, so iterate to a fixpoint.

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "provenance/graph.h"
 
 namespace lipstick {
@@ -33,19 +34,21 @@ std::vector<NodeId> FindNodes(const ProvenanceGraph& graph,
                               const NodePredicate& pred);
 
 /// True if an alive directed path `from -> ... -> to` exists (derivation
-/// order: edges point from inputs to results). Graph must be sealed.
-bool PathExists(const ProvenanceGraph& graph, NodeId from, NodeId to);
+/// order: edges point from inputs to results). Fails with kInvalidArgument
+/// if the graph is not sealed.
+Result<bool> PathExists(const ProvenanceGraph& graph, NodeId from, NodeId to);
 
 /// One shortest derivation path from `from` to `to` (node ids, inclusive),
-/// or empty if none. Graph must be sealed.
-std::vector<NodeId> ShortestDerivationPath(const ProvenanceGraph& graph,
-                                           NodeId from, NodeId to);
+/// or empty if none. Fails with kInvalidArgument if the graph is not sealed.
+Result<std::vector<NodeId>> ShortestDerivationPath(
+    const ProvenanceGraph& graph, NodeId from, NodeId to);
 
 /// Set-dependency query (Section 4.3, "extended to sets of nodes"): does
 /// the existence of `target` depend on the *joint* existence of `sources`,
 /// i.e. is `target` deleted when all of `sources` are deleted together?
-bool DependsOnSet(const ProvenanceGraph& graph, NodeId target,
-                  const std::vector<NodeId>& sources);
+/// Fails with kInvalidArgument if the graph is not sealed.
+Result<bool> DependsOnSet(const ProvenanceGraph& graph, NodeId target,
+                          const std::vector<NodeId>& sources);
 
 /// Summary statistics of the alive graph, for diagnostics and tests.
 struct GraphStats {
@@ -57,7 +60,8 @@ struct GraphStats {
   size_t max_fan_out = 0;  // largest child count (sealed graphs)
   size_t depth = 0;        // longest derivation path length (edges)
 };
-GraphStats ComputeGraphStats(const ProvenanceGraph& graph);
+/// Fails with kInvalidArgument if the graph is not sealed.
+Result<GraphStats> ComputeGraphStats(const ProvenanceGraph& graph);
 
 }  // namespace lipstick
 

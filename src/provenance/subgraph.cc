@@ -1,6 +1,5 @@
 #include "provenance/subgraph.h"
 
-#include <cassert>
 #include <deque>
 
 namespace lipstick {
@@ -33,18 +32,19 @@ std::unordered_set<NodeId> Ancestors(const ProvenanceGraph& graph,
   return Reach(graph, node, Direction::kUp);
 }
 
-std::unordered_set<NodeId> Descendants(const ProvenanceGraph& graph,
-                                       NodeId node) {
-  assert(graph.sealed() && "seal the graph before descendant queries");
+Result<std::unordered_set<NodeId>> Descendants(const ProvenanceGraph& graph,
+                                               NodeId node) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "descendant queries"));
   return Reach(graph, node, Direction::kDown);
 }
 
-std::unordered_set<NodeId> SubgraphQuery(const ProvenanceGraph& graph,
-                                         NodeId node) {
-  assert(graph.sealed() && "seal the graph before subgraph queries");
-  if (!graph.Contains(node)) return {};
+Result<std::unordered_set<NodeId>> SubgraphQuery(const ProvenanceGraph& graph,
+                                                 NodeId node) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "subgraph queries"));
+  if (!graph.Contains(node)) return std::unordered_set<NodeId>{};
   std::unordered_set<NodeId> result = Ancestors(graph, node);
-  std::unordered_set<NodeId> down = Descendants(graph, node);
+  LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> down,
+                            Descendants(graph, node));
   // Siblings of descendants: every co-parent a descendant is derived from.
   for (NodeId d : down) {
     for (NodeId p : graph.node(d).parents) {

@@ -4,24 +4,27 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/result.h"
 #include "provenance/graph.h"
 
 namespace lipstick {
 
 /// All transitive ancestors of `node` (derivation inputs), excluding itself.
+/// Works on sealed and unsealed graphs (parent edges are always available).
 std::unordered_set<NodeId> Ancestors(const ProvenanceGraph& graph,
                                      NodeId node);
 
 /// All transitive descendants of `node` (derived data), excluding itself.
-std::unordered_set<NodeId> Descendants(const ProvenanceGraph& graph,
-                                       NodeId node);
+/// Fails with kInvalidArgument if the graph is not sealed.
+Result<std::unordered_set<NodeId>> Descendants(const ProvenanceGraph& graph,
+                                               NodeId node);
 
 /// The subgraph query of Section 5.1: given a node, returns the node itself,
 /// all its ancestors and descendants, and all siblings of its descendants
-/// (the co-parents needed to re-derive each descendant). The graph must be
-/// sealed.
-std::unordered_set<NodeId> SubgraphQuery(const ProvenanceGraph& graph,
-                                         NodeId node);
+/// (the co-parents needed to re-derive each descendant). Fails with
+/// kInvalidArgument if the graph is not sealed.
+Result<std::unordered_set<NodeId>> SubgraphQuery(const ProvenanceGraph& graph,
+                                                 NodeId node);
 
 }  // namespace lipstick
 

@@ -1,15 +1,15 @@
 #include "provenance/zoom.h"
 
-#include <cassert>
 #include <deque>
 
 #include "common/str_util.h"
 
 namespace lipstick {
 
-std::unordered_set<NodeId> IntermediateNodesByDefinition(
+Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
     const ProvenanceGraph& graph, const std::string& module_name) {
-  assert(graph.sealed());
+  LIPSTICK_RETURN_IF_ERROR(
+      RequireSealed(graph, "IntermediateNodesByDefinition"));
   // Seed the reachability with the input and state nodes of every invocation
   // of the module; expand through children, stopping at (and excluding)
   // module output nodes, per Definition 4.1.
@@ -79,12 +79,18 @@ Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
 
   for (const std::string& module : module_names) {
     if (IsZoomedOut(module)) continue;
+    // Collapsing the previous module appended zoom nodes, which dirties
+    // the children adjacency this module's passes read.
+    if (!graph_->sealed()) graph_->Seal();
     std::vector<InvocationDetail> details;
 
-    // Pass 1: gather all invocation ids of this module.
+    // Pass 1: gather all live invocation ids of this module. Aborted
+    // invocations (failed attempts whose provenance was rolled back) carry
+    // no structure to collapse.
     std::vector<uint32_t> inv_ids;
     for (uint32_t i = 0; i < graph_->invocations().size(); ++i) {
-      if (graph_->invocations()[i].module_name == module) inv_ids.push_back(i);
+      const InvocationInfo& inv = graph_->invocations()[i];
+      if (inv.module_name == module && !inv.aborted()) inv_ids.push_back(i);
     }
     if (inv_ids.empty()) {
       return Status::NotFound(

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "provenance/graph.h"
 
@@ -17,8 +18,9 @@ namespace lipstick {
 /// Definition 4.1: v is intermediate iff there is a directed path to v from
 /// an input, state, or intermediate node of such an invocation with no
 /// output node on the path (v included). Used to cross-validate the
-/// tag-based identification ZoomOut relies on. Graph must be sealed.
-std::unordered_set<NodeId> IntermediateNodesByDefinition(
+/// tag-based identification ZoomOut relies on. Fails with kInvalidArgument
+/// if the graph is not sealed.
+Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
     const ProvenanceGraph& graph, const std::string& module_name);
 
 /// Implements the ZoomOut / ZoomIn graph transformations of Section 4.1.

@@ -1,13 +1,16 @@
 #include "workflow/executor.h"
 
-#include <atomic>
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <thread>
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "pig/interpreter.h"
@@ -47,18 +50,67 @@ Status CheckInstanceOrdering(const Workflow& wf) {
   return Status::OK();
 }
 
+/// Collects the input bags `node_id` receives over its in-edges, unioning
+/// bags when several edges feed the same input relation. Edges from nodes
+/// that produced no outputs (failed / skipped upstream under a lenient
+/// failure policy) contribute nothing.
+std::map<std::string, Bag> GatherEdgeInputs(const Workflow& wf,
+                                            const std::string& node_id,
+                                            const WorkflowOutputs& outputs) {
+  std::map<std::string, Bag> in;
+  for (const WorkflowEdge* e : wf.IncomingEdges(node_id)) {
+    auto from_it = outputs.find(e->from);
+    if (from_it == outputs.end()) continue;
+    for (const EdgeRelation& rel : e->relations) {
+      auto rel_it = from_it->second.find(rel.from_relation);
+      if (rel_it == from_it->second.end()) continue;
+      Bag& dst = in[rel.to_relation];
+      for (const AnnotatedTuple& t : rel_it->second.bag) dst.Add(t);
+    }
+  }
+  return in;
+}
+
+/// Backoff before attempt `attempt + 1` (1-based `attempt` just failed):
+/// initial * multiplier^(attempt-1), capped, with symmetric jitter drawn
+/// from the caller's deterministic stream.
+double NextBackoffMs(const RetryPolicy& retry, int attempt, Rng* rng) {
+  double backoff = retry.initial_backoff_ms;
+  for (int i = 1; i < attempt; ++i) backoff *= retry.backoff_multiplier;
+  backoff = std::min(backoff, retry.max_backoff_ms);
+  if (retry.jitter > 0 && backoff > 0) {
+    backoff *= 1.0 - retry.jitter + 2.0 * retry.jitter * rng->UniformDouble();
+  }
+  return backoff;
+}
+
 }  // namespace
+
+const char* FailurePolicyToString(FailurePolicy policy) {
+  switch (policy) {
+    case FailurePolicy::kFailFast:
+      return "fail-fast";
+    case FailurePolicy::kSkipDownstream:
+      return "skip-downstream";
+    case FailurePolicy::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
 
 Status WorkflowExecutor::Initialize() {
   LIPSTICK_RETURN_IF_ERROR(workflow_->Validate(udfs_));
   LIPSTICK_RETURN_IF_ERROR(CheckInstanceOrdering(*workflow_));
   LIPSTICK_ASSIGN_OR_RETURN(topo_order_, workflow_->TopologicalOrder());
-  // Materialize empty state instances for every module identity.
+  // Materialize a state map for every module identity (even stateless ones,
+  // so Execute never inserts into state_ from worker threads) and empty
+  // state instances for every state relation.
   for (const WorkflowNode& n : workflow_->nodes()) {
+    auto& inst_state = state_[n.instance];
     LIPSTICK_ASSIGN_OR_RETURN(const ModuleSpec* spec,
                               workflow_->FindModule(n.module));
     for (const auto& [rel_name, schema] : spec->state_schemas) {
-      auto& rel = state_[n.instance][rel_name];
+      auto& rel = inst_state[rel_name];
       if (rel.schema == nullptr) rel = Relation(rel_name, schema);
     }
   }
@@ -115,6 +167,10 @@ struct WorkflowExecutor::NodeRun {
   uint32_t execution = 0;
   ShardWriter* writer = nullptr;  // null -> no tracking
   bool eager_state_nodes = false;
+  const Deadline* deadline = nullptr;  // per-attempt budget; may be null
+  // Invocation registered by the last Run() call, so a failed attempt's
+  // record can be aborted (kNoInvocation when tracking is off).
+  uint32_t last_invocation = kNoInvocation;
 
   Result<std::map<std::string, Relation>> Run(
       const std::map<std::string, Bag>& edge_inputs) {
@@ -123,6 +179,7 @@ struct WorkflowExecutor::NodeRun {
       inv = writer->BeginInvocation(spec->name, node->instance, execution);
       writer->set_current_invocation(inv);
     }
+    last_invocation = inv;
 
     pig::Environment env;
     bool is_input_node = workflow->IncomingEdges(node->id).empty();
@@ -197,8 +254,8 @@ struct WorkflowExecutor::NodeRun {
 
     // Qstate then Qout; Qout sees the post-Qstate bindings.
     pig::Interpreter interp(udfs);
-    Status status = interp.Run(spec->qstate, &env, writer);
-    if (status.ok()) status = interp.Run(spec->qout, &env, writer);
+    Status status = interp.Run(spec->qstate, &env, writer, deadline);
+    if (status.ok()) status = interp.Run(spec->qout, &env, writer, deadline);
     if (writer != nullptr) writer->EndStateScope();
     if (!status.ok()) {
       return status.WithContext(
@@ -238,61 +295,215 @@ struct WorkflowExecutor::NodeRun {
   }
 };
 
+/// Per-Execute bookkeeping shared between the scheduler and node runs.
+struct WorkflowExecutor::ExecState {
+  const WorkflowInputs* inputs = nullptr;
+  ProvenanceGraph* graph = nullptr;
+  const ExecutionOptions* options = nullptr;
+  uint32_t execution = 0;
+  WorkflowOutputs outputs;
+  // First-touch snapshots of module-instance state, keyed by instance:
+  // taken before the first node of an instance runs, used to restore the
+  // pre-execution state on a kFailFast abort.
+  std::map<std::string, std::map<std::string, Relation>> snapshots;
+  std::mutex mu;  // guards outputs, snapshots, last_node_times_
+};
+
+Status WorkflowExecutor::RunNodeWithRetries(const std::string& node_id,
+                                            ExecState* exec,
+                                            ShardWriter* writer,
+                                            NodeReport* report_entry) {
+  WallTimer timer;
+  const WorkflowNode* node = workflow_->FindNode(node_id).value();
+  LIPSTICK_ASSIGN_OR_RETURN(const ModuleSpec* spec,
+                            workflow_->FindModule(node->module));
+  std::map<std::string, Relation>* state = &state_.find(node->instance)->second;
+
+  std::map<std::string, Bag> edge_inputs;
+  {
+    std::lock_guard<std::mutex> lock(exec->mu);
+    // emplace is a no-op if an earlier node of this instance already
+    // snapshotted it (first touch wins — that is the pre-execution state).
+    exec->snapshots.emplace(node->instance, *state);
+    edge_inputs = GatherEdgeInputs(*workflow_, node_id, exec->outputs);
+  }
+
+  const ExecutionOptions& options = *exec->options;
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  Rng jitter_rng(options.retry.seed ^
+                 std::hash<std::string>{}(node_id) * 0x9e3779b97f4a7c15ull ^
+                 exec->execution);
+
+  // With no retries and fail-fast semantics, a failed attempt is followed
+  // by a whole-execution rollback, which restores this instance from its
+  // snapshot anyway — skip the redundant per-attempt copy on that (default)
+  // path so transactional semantics stay free of extra state copies.
+  const bool need_attempt_rollback =
+      max_attempts > 1 ||
+      options.failure_policy != FailurePolicy::kFailFast;
+
+  Status st;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    report_entry->attempts = attempt;
+    // Per-attempt rollback marks: the instance state as of this attempt,
+    // and the extent of this task's own graph shard.
+    std::map<std::string, Relation> state_copy;
+    if (need_attempt_rollback) state_copy = *state;
+    size_t shard_mark =
+        writer != nullptr ? exec->graph->ShardSize(writer->shard()) : 0;
+
+    Deadline deadline(options.node_timeout_seconds);
+    NodeRun run{workflow_,       udfs_,  node,   spec,
+                exec->inputs,    state,  exec->execution,
+                writer,          eager_state_nodes_, &deadline};
+
+    st = FaultInjector::Fire("executor.node", node_id);
+    std::map<std::string, Relation> node_outputs;
+    if (st.ok()) {
+      Result<std::map<std::string, Relation>> result = run.Run(edge_inputs);
+      if (!result.ok()) {
+        st = result.status();
+      } else if (deadline.Expired()) {
+        st = Status::DeadlineExceeded(
+            StrCat("node ", node_id, " exceeded its ",
+                   options.node_timeout_seconds, "s budget (ran ",
+                   deadline.elapsed_seconds(), "s)"));
+      } else {
+        node_outputs = std::move(result).value();
+      }
+    }
+
+    if (st.ok()) {
+      std::lock_guard<std::mutex> lock(exec->mu);
+      exec->outputs.emplace(node_id, std::move(node_outputs));
+      last_node_times_[node_id] = timer.ElapsedSeconds();
+      break;
+    }
+
+    // The attempt failed (or timed out after producing outputs we must
+    // discard): restore the instance state and discard the attempt's
+    // provenance so nothing half-written survives into the merged graph.
+    if (need_attempt_rollback) *state = std::move(state_copy);
+    if (writer != nullptr) {
+      exec->graph->KillShardTail(writer->shard(), shard_mark);
+      if (run.last_invocation != kNoInvocation) {
+        exec->graph->AbortInvocation(run.last_invocation);
+      }
+    }
+
+    if (attempt < max_attempts) {
+      double backoff_ms = NextBackoffMs(options.retry, attempt, &jitter_rng);
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
+  }
+
+  report_entry->status = st;
+  report_entry->elapsed_seconds = timer.ElapsedSeconds();
+  return st;
+}
+
 Result<WorkflowOutputs> WorkflowExecutor::Execute(const WorkflowInputs& inputs,
                                                   ProvenanceGraph* graph,
                                                   int num_workers) {
+  return Execute(inputs, graph, ExecutionOptions(), nullptr, num_workers);
+}
+
+Result<WorkflowOutputs> WorkflowExecutor::Execute(
+    const WorkflowInputs& inputs, ProvenanceGraph* graph,
+    const ExecutionOptions& options, ExecutionReport* report,
+    int num_workers) {
   if (!initialized_) return Status::Internal("Initialize() not called");
-  uint32_t execution = execution_count_++;
+  WallTimer total_timer;
 
-  WorkflowOutputs outputs;
-  std::mutex outputs_mu;
+  ExecState exec;
+  exec.inputs = &inputs;
+  exec.graph = graph;
+  exec.options = &options;
+  exec.execution = execution_count_;
 
-  // Collects the input bags a node receives over its in-edges, unioning
-  // bags when several edges feed the same input relation.
-  auto gather_edge_inputs = [&](const std::string& node_id) {
-    std::map<std::string, Bag> in;
-    for (const WorkflowEdge* e : workflow_->IncomingEdges(node_id)) {
-      auto from_it = outputs.find(e->from);
-      if (from_it == outputs.end()) continue;
-      for (const EdgeRelation& rel : e->relations) {
-        auto rel_it = from_it->second.find(rel.from_relation);
-        if (rel_it == from_it->second.end()) continue;
-        Bag& dst = in[rel.to_relation];
-        for (const AnnotatedTuple& t : rel_it->second.bag) dst.Add(t);
+  ExecutionReport local_report;
+  if (report == nullptr) report = &local_report;
+  report->nodes.clear();
+  report->execution = exec.execution;
+  report->total_seconds = 0;
+  // Pre-create every node's entry so worker threads only ever write to
+  // their own (already existing) map element.
+  for (const WorkflowNode& n : workflow_->nodes()) report->nodes[n.id];
+
+  // Whole-execution savepoint: on a kFailFast abort the graph is restored
+  // to this extent and the touched instance states to their snapshots.
+  ProvenanceGraph::Savepoint savepoint;
+  if (graph != nullptr) savepoint = graph->TakeSavepoint();
+
+  auto rollback_all = [&](const std::string& failed_node) {
+    for (auto& [instance, snap] : exec.snapshots) {
+      state_[instance] = std::move(snap);
+    }
+    if (graph != nullptr) graph->RollbackTo(savepoint);
+    // Reporting: nodes that never got to run were implicitly skipped by
+    // the abort.
+    for (auto& [id, entry] : report->nodes) {
+      if (entry.attempts == 0 && !entry.skipped) {
+        entry.skipped = true;
+        entry.skipped_because_of = failed_node;
+        entry.status = Status::Aborted(
+            StrCat("not run: execution aborted after node '", failed_node,
+                   "' failed"));
       }
     }
-    return in;
+    report->total_seconds = total_timer.ElapsedSeconds();
+  };
+
+  // Resolves whether `node_id` must be skipped under kSkipDownstream and
+  // records the root cause (the failed ancestor, chased through skipped
+  // intermediaries). Caller must hold whatever lock protects `dead`.
+  auto resolve_skip = [&](const std::string& node_id,
+                          const std::unordered_set<std::string>& dead,
+                          NodeReport* entry) {
+    if (options.failure_policy != FailurePolicy::kSkipDownstream) {
+      return false;
+    }
+    for (const WorkflowEdge* e : workflow_->IncomingEdges(node_id)) {
+      if (!dead.count(e->from)) continue;
+      const NodeReport& up = report->nodes[e->from];
+      entry->skipped = true;
+      entry->skipped_because_of =
+          up.skipped ? up.skipped_because_of : e->from;
+      entry->status = Status::Aborted(
+          StrCat("skipped: upstream node '", entry->skipped_because_of,
+                 "' failed"));
+      return true;
+    }
+    return false;
   };
 
   last_node_times_.clear();
-  auto run_node = [&](const std::string& node_id,
-                      ShardWriter* writer) -> Status {
-    WallTimer timer;
-    const WorkflowNode* node = workflow_->FindNode(node_id).value();
-    LIPSTICK_ASSIGN_OR_RETURN(const ModuleSpec* spec,
-                              workflow_->FindModule(node->module));
-    NodeRun run{workflow_, udfs_,     node,
-                spec,      &inputs,   &state_[node->instance],
-                execution, writer,    eager_state_nodes_};
-    std::map<std::string, Bag> edge_inputs;
-    {
-      std::lock_guard<std::mutex> lock(outputs_mu);
-      edge_inputs = gather_edge_inputs(node_id);
-    }
-    LIPSTICK_ASSIGN_OR_RETURN(auto node_outputs, run.Run(edge_inputs));
-    std::lock_guard<std::mutex> lock(outputs_mu);
-    outputs.emplace(node_id, std::move(node_outputs));
-    last_node_times_[node_id] = timer.ElapsedSeconds();
-    return Status::OK();
-  };
 
   if (num_workers <= 1 || workflow_->nodes().size() <= 1) {
     ShardWriter writer = graph ? graph->writer() : ShardWriter(nullptr, 0);
+    std::unordered_set<std::string> dead;  // failed or skipped nodes
     for (const std::string& node_id : topo_order_) {
-      LIPSTICK_RETURN_IF_ERROR(
-          run_node(node_id, graph ? &writer : nullptr));
+      NodeReport& entry = report->nodes[node_id];
+      if (resolve_skip(node_id, dead, &entry)) {
+        dead.insert(node_id);
+        continue;
+      }
+      Status st = RunNodeWithRetries(node_id, &exec,
+                                     graph ? &writer : nullptr, &entry);
+      if (!st.ok()) {
+        if (options.failure_policy == FailurePolicy::kFailFast) {
+          rollback_all(node_id);
+          return st;
+        }
+        dead.insert(node_id);
+      }
     }
-    return outputs;
+    ++execution_count_;
+    report->total_seconds = total_timer.ElapsedSeconds();
+    return std::move(exec.outputs);
   }
 
   // Parallel path: dependency-counting scheduler over a worker pool. Each
@@ -317,36 +528,61 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(const WorkflowInputs& inputs,
 
   std::mutex mu;
   std::condition_variable cv;
-  size_t completed = 0;
+  size_t settled = 0;  // completed + failed + skipped nodes
   Status first_error;
-  bool failed = false;
+  std::string first_failed_node;
+  bool abort = false;  // kFailFast: a node failed, stop scheduling
+  std::unordered_set<std::string> dead;
+
+  // Under kFailFast a failed node does not release its successors, so
+  // `settled` never reaches the node count — workers drain via `abort`.
+  // Under the lenient policies every node settles exactly once (run,
+  // failed, or skipped), releasing successors either way so the DAG
+  // always drains. Caller must hold `mu`.
+  auto settle = [&](const std::string& node_id) {
+    ++settled;
+    for (const WorkflowEdge* e : workflow_->OutgoingEdges(node_id)) {
+      if (--pending[e->to] == 0) ready.push_back(e->to);
+    }
+  };
 
   auto worker = [&](int worker_idx) {
-    ShardWriter* writer =
-        graph != nullptr ? &writers[worker_idx] : nullptr;
+    ShardWriter* writer = graph != nullptr ? &writers[worker_idx] : nullptr;
     while (true) {
       std::string node_id;
+      NodeReport* entry = nullptr;
       {
         std::unique_lock<std::mutex> lock(mu);
         cv.wait(lock, [&] {
-          return failed || !ready.empty() ||
-                 completed == workflow_->nodes().size();
+          return abort || !ready.empty() ||
+                 settled == workflow_->nodes().size();
         });
-        if (failed || completed == workflow_->nodes().size()) return;
+        if (abort || settled == workflow_->nodes().size()) return;
         node_id = ready.front();
         ready.pop_front();
+        entry = &report->nodes[node_id];
+        if (resolve_skip(node_id, dead, entry)) {
+          dead.insert(node_id);
+          settle(node_id);
+          lock.unlock();
+          cv.notify_all();
+          continue;
+        }
       }
-      Status st = run_node(node_id, writer);
+      Status st = RunNodeWithRetries(node_id, &exec, writer, entry);
       {
         std::unique_lock<std::mutex> lock(mu);
-        if (!st.ok()) {
-          if (!failed) first_error = st;
-          failed = true;
-        } else {
-          ++completed;
-          for (const WorkflowEdge* e : workflow_->OutgoingEdges(node_id)) {
-            if (--pending[e->to] == 0) ready.push_back(e->to);
+        if (st.ok()) {
+          settle(node_id);
+        } else if (options.failure_policy == FailurePolicy::kFailFast) {
+          if (!abort) {
+            first_error = st;
+            first_failed_node = node_id;
           }
+          abort = true;
+        } else {
+          dead.insert(node_id);
+          settle(node_id);
         }
       }
       cv.notify_all();
@@ -358,8 +594,13 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(const WorkflowInputs& inputs,
   for (int w = 0; w < num_workers; ++w) threads.emplace_back(worker, w);
   for (std::thread& t : threads) t.join();
 
-  if (failed) return first_error;
-  return outputs;
+  if (abort) {
+    rollback_all(first_failed_node);
+    return first_error;
+  }
+  ++execution_count_;
+  report->total_seconds = total_timer.ElapsedSeconds();
+  return std::move(exec.outputs);
 }
 
 }  // namespace lipstick

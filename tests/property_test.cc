@@ -68,7 +68,7 @@ TEST_P(DealershipPropertyTest, DeletionMatchesCountingSemiring) {
   size_t step = tokens.size() > 12 ? tokens.size() / 12 : 1;
   for (size_t i = 0; i < tokens.size(); i += step) {
     NodeId t = tokens[i];
-    auto deleted = ComputeDeletionSet(graph_, {t});
+    auto deleted = *ComputeDeletionSet(graph_, {t});
     GraphEvaluator<CountingSemiring> eval(graph_, {{t, 0}});
     for (NodeId n : graph_.AllNodeIds()) {
       if (!graph_.Contains(n)) continue;
@@ -116,7 +116,7 @@ TEST_P(DealershipPropertyTest, ZoomCoarseningConnectivity) {
   for (const InvocationInfo& inv : graph_.invocations()) {
     if (inv.execution == 0) continue;
     for (NodeId out : inv.output_nodes) {
-      if (graph_.Contains(out) && PathExists(graph_, first_input, out)) {
+      if (graph_.Contains(out) && *PathExists(graph_, first_input, out)) {
         state_mediated.push_back(out);
         if (state_mediated.size() >= 5) break;
       }
@@ -134,7 +134,7 @@ TEST_P(DealershipPropertyTest, ZoomCoarseningConnectivity) {
       if (!graph_.Contains(in)) continue;
       for (NodeId out : inv.output_nodes) {
         if (!graph_.Contains(out)) continue;
-        EXPECT_TRUE(PathExists(graph_, in, out))
+        EXPECT_TRUE(*PathExists(graph_, in, out))
             << "coarse module lost its own input->output edge";
       }
     }
@@ -144,7 +144,7 @@ TEST_P(DealershipPropertyTest, ZoomCoarseningConnectivity) {
   // coarse-grained view — this is precisely what fine-grained provenance
   // recovers.
   for (NodeId out : state_mediated) {
-    EXPECT_FALSE(PathExists(graph_, first_input, out))
+    EXPECT_FALSE(*PathExists(graph_, first_input, out))
         << "state-mediated dependency should be invisible when coarse";
   }
 }
@@ -156,9 +156,9 @@ TEST_P(DealershipPropertyTest, SubgraphContainsAncestryClosure) {
   auto outputs = FindNodes(graph_, ByRole(NodeRole::kModuleOutput));
   ASSERT_FALSE(outputs.empty());
   NodeId n = outputs[outputs.size() / 2];
-  auto sub = SubgraphQuery(graph_, n);
+  auto sub = *SubgraphQuery(graph_, n);
   auto anc = Ancestors(graph_, n);
-  auto desc = Descendants(graph_, n);
+  auto desc = *Descendants(graph_, n);
   EXPECT_TRUE(sub.count(n));
   for (NodeId a : anc) EXPECT_TRUE(sub.count(a));
   for (NodeId d : desc) EXPECT_TRUE(sub.count(d));
@@ -317,7 +317,7 @@ TEST(StateNodeAblationTest, EagerAndLazyAgreeOnQueries) {
     auto inputs = FindNodes(g, ByRole(NodeRole::kWorkflowInput));
     bool dep_any_input = false;
     for (NodeId in : inputs) {
-      dep_any_input = dep_any_input || DependsOn(g, best_bid[eager], in);
+      dep_any_input = dep_any_input || *DependsOn(g, best_bid[eager], in);
     }
     EXPECT_TRUE(dep_any_input);
   }

@@ -65,34 +65,34 @@ TEST_F(QueryTest, PredicateCombinators) {
 }
 
 TEST_F(QueryTest, PathQueries) {
-  EXPECT_TRUE(PathExists(graph_, x_, out_));
-  EXPECT_TRUE(PathExists(graph_, car_, agg_));
-  EXPECT_FALSE(PathExists(graph_, out_, x_));  // direction matters
-  EXPECT_FALSE(PathExists(graph_, agg_, out_));
+  EXPECT_TRUE(*PathExists(graph_, x_, out_));
+  EXPECT_TRUE(*PathExists(graph_, car_, agg_));
+  EXPECT_FALSE(*PathExists(graph_, out_, x_));  // direction matters
+  EXPECT_FALSE(*PathExists(graph_, agg_, out_));
 
-  auto path = ShortestDerivationPath(graph_, x_, out_);
+  auto path = *ShortestDerivationPath(graph_, x_, out_);
   // x -> in -> join -> group -> out: five nodes, four edges.
   ASSERT_EQ(path.size(), 5u);
   EXPECT_EQ(path.front(), x_);
   EXPECT_EQ(path.back(), out_);
-  EXPECT_TRUE(ShortestDerivationPath(graph_, out_, x_).empty());
-  EXPECT_EQ(ShortestDerivationPath(graph_, x_, x_),
+  EXPECT_TRUE(ShortestDerivationPath(graph_, out_, x_)->empty());
+  EXPECT_EQ(*ShortestDerivationPath(graph_, x_, x_),
             std::vector<NodeId>{x_});
 }
 
 TEST_F(QueryTest, DependsOnSet) {
   // The join needs both the request and the state tuple; either alone
   // kills it (· semantics), and so does the pair.
-  EXPECT_TRUE(DependsOnSet(graph_, join_, {x_}));
-  EXPECT_TRUE(DependsOnSet(graph_, join_, {car_}));
-  EXPECT_TRUE(DependsOnSet(graph_, join_, {x_, car_}));
+  EXPECT_TRUE(*DependsOnSet(graph_, join_, {x_}));
+  EXPECT_TRUE(*DependsOnSet(graph_, join_, {car_}));
+  EXPECT_TRUE(*DependsOnSet(graph_, join_, {x_, car_}));
   // The invocation node depends on nothing.
   NodeId m = graph_.invocations()[inv_].m_node;
-  EXPECT_FALSE(DependsOnSet(graph_, m, {x_, car_}));
+  EXPECT_FALSE(*DependsOnSet(graph_, m, {x_, car_}));
 }
 
 TEST_F(QueryTest, GraphStats) {
-  GraphStats stats = ComputeGraphStats(graph_);
+  GraphStats stats = *ComputeGraphStats(graph_);
   EXPECT_EQ(stats.nodes, graph_.num_alive());
   EXPECT_EQ(stats.edges, graph_.num_edges());
   EXPECT_EQ(stats.tokens, 2u);
@@ -209,7 +209,7 @@ TEST(QueryWorkflowTest, ProQLStyleAnalysisOnDealershipRun) {
   ASSERT_FALSE(agg_outs.empty());
   bool found = false;
   for (NodeId in : inputs) {
-    if (PathExists(graph, in, agg_outs.front())) found = true;
+    if (*PathExists(graph, in, agg_outs.front())) found = true;
   }
   EXPECT_TRUE(found);
 }
@@ -227,7 +227,7 @@ TEST(QueryWorkflowTest, StatsScaleWithExecutions) {
     ProvenanceGraph graph;
     LIPSTICK_ASSERT_OK((*wf)->Run(&graph).status());
     graph.Seal();
-    *out = ComputeGraphStats(graph);
+    *out = *ComputeGraphStats(graph);
   }
   EXPECT_GT(large.nodes, small.nodes);
   EXPECT_GT(large.invocations, small.invocations);

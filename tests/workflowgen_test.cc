@@ -322,7 +322,7 @@ TEST(ArcticTest, WhatIfDeletionOnColdestObservation) {
     }
   }
   ASSERT_NE(used_base, kInvalidNode);
-  auto deleted = ComputeDeletionSet(graph, {used_base});
+  auto deleted = *ComputeDeletionSet(graph, {used_base});
   EXPECT_GT(deleted.size(), 1u);
 }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification sweep: build and run the test suite in the regular
+# configuration and again under ASan+UBSan (-DLIPSTICK_SANITIZE=ON).
+# Usage: tools/check.sh [extra ctest args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local build_dir="$1"; shift
+  echo "=== ${build_dir} ($*) ==="
+  cmake -B "${repo}/${build_dir}" -S "${repo}" "$@" >/dev/null
+  cmake --build "${repo}/${build_dir}" -j "${jobs}"
+  ctest --test-dir "${repo}/${build_dir}" --output-on-failure -j "${jobs}" \
+        ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+}
+
+CTEST_ARGS=("$@")
+run_config build
+run_config build-asan -DLIPSTICK_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+echo "All checks passed."

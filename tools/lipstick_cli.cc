@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/str_util.h"
 #include "provenance/deletion.h"
 #include "provenance/dot.h"
@@ -240,7 +241,7 @@ int CmdQuery(const std::vector<std::string>& args) {
   }
 
   if (op == "stats") {
-    GraphStats stats = ComputeGraphStats(*graph);
+    GraphStats stats = *ComputeGraphStats(*graph);
     std::printf("nodes:        %zu\n", stats.nodes);
     std::printf("edges:        %zu\n", stats.edges);
     std::printf("tokens:       %zu\n", stats.tokens);
@@ -306,14 +307,14 @@ int CmdQuery(const std::vector<std::string>& args) {
     Result<NodeId> target = ParseNodeId(rest[0]);
     Result<NodeId> source = ParseNodeId(rest[1]);
     if (!target.ok() || !source.ok()) return Fail("bad node ids");
-    std::printf("%s\n", DependsOn(*graph, *target, *source) ? "yes" : "no");
+    std::printf("%s\n", *DependsOn(*graph, *target, *source) ? "yes" : "no");
     return 0;
   }
   if (op == "subgraph") {
     if (rest.size() != 1) return FailUsage();
     Result<NodeId> id = ParseNodeId(rest[0]);
     if (!id.ok()) return Fail(id.status().ToString());
-    auto sub = SubgraphQuery(*graph, *id);
+    auto sub = *SubgraphQuery(*graph, *id);
     std::printf("subgraph of %llu: %zu nodes\n",
                 static_cast<unsigned long long>(*id), sub.size());
     if (!out_path.empty()) {
@@ -329,7 +330,7 @@ int CmdQuery(const std::vector<std::string>& args) {
     if (rest.size() != 1) return FailUsage();
     Result<NodeId> id = ParseNodeId(rest[0]);
     if (!id.ok()) return Fail(id.status().ToString());
-    size_t removed = PropagateDeletion(&*graph, *id);
+    size_t removed = *PropagateDeletion(&*graph, *id);
     std::printf("deleted %zu node(s); %zu remain\n", removed,
                 graph->num_alive());
     if (!out_path.empty()) {
@@ -373,6 +374,10 @@ int CmdQuery(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Whole-binary fault injection (LIPSTICK_FAULTS), for exercising the
+  // failure paths from the command line; no-op when unset.
+  Status faults = FaultInjector::Global().ArmFromEnv();
+  if (!faults.ok()) return Fail(faults.ToString());
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return FailUsage();
   const std::string& cmd = args[0];
