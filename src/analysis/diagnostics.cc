@@ -1,0 +1,125 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace lipstick::analysis {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+size_t DiagnosticSink::CountAtLeast(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity >= severity) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* DiagnosticSink::Find(std::string_view code) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+void DiagnosticSink::Sort() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+                     if (a.loc.column != b.loc.column) {
+                       return a.loc.column < b.loc.column;
+                     }
+                     return a.code < b.code;
+                   });
+}
+
+std::string DiagnosticSink::RenderText(const std::string& file) const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    if (!file.empty()) {
+      out += file;
+      out += ':';
+    }
+    if (d.loc.valid()) {
+      out += d.loc.ToString();
+      out += ':';
+    }
+    if (!file.empty() || d.loc.valid()) out += ' ';
+    out += SeverityToString(d.severity);
+    out += ": ";
+    out += d.message;
+    out += " [";
+    out += d.code;
+    out += "]\n";
+    if (!d.note.empty()) {
+      out += "    note: ";
+      out += d.note;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string DiagnosticSink::RenderJson(const std::string& file) const {
+  std::string out = "[";
+  bool first = true;
+  for (const Diagnostic& d : diags_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"code\": ";
+    AppendJsonString(&out, d.code);
+    out += ", \"severity\": ";
+    AppendJsonString(&out, SeverityToString(d.severity));
+    if (!file.empty()) {
+      out += ", \"file\": ";
+      AppendJsonString(&out, file);
+    }
+    out += StrCat(", \"line\": ", d.loc.line, ", \"column\": ", d.loc.column);
+    out += ", \"message\": ";
+    AppendJsonString(&out, d.message);
+    if (!d.note.empty()) {
+      out += ", \"note\": ";
+      AppendJsonString(&out, d.note);
+    }
+    out += "}";
+  }
+  out += first ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace lipstick::analysis

@@ -1,0 +1,77 @@
+#ifndef LIPSTICK_ANALYSIS_DIAGNOSTICS_H_
+#define LIPSTICK_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/source_loc.h"
+
+namespace lipstick::analysis {
+
+/// How bad a diagnostic is. kNote is informational (does not fail a lint
+/// gate); kWarning flags something suspicious but executable; kError means
+/// the artifact is wrong and will misbehave or be rejected at runtime.
+enum class Severity : uint8_t { kNote, kWarning, kError };
+
+const char* SeverityToString(Severity severity);
+
+/// One finding of an analyzer. `code` is a stable identifier from the
+/// registry below (e.g. "L0103"); messages may change between versions,
+/// codes never do — tests and suppression lists key on them.
+///
+/// Code ranges:
+///   L01xx  Pig Latin linter        (analysis/pig_linter.h)
+///   W02xx  workflow linter         (analysis/workflow_linter.h)
+///   G03xx  provenance-graph validator (analysis/graph_validator.h)
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kError;
+  SourceLoc loc;        // invalid ({0,0}) for artifacts without source text
+  std::string message;
+  std::string note;     // optional secondary line (context, fix hint)
+};
+
+/// Collects diagnostics from one or more analyzer passes over the same
+/// artifact and renders them for humans (text) or tools (JSON lines).
+class DiagnosticSink {
+ public:
+  void Report(Diagnostic diag) { diags_.push_back(std::move(diag)); }
+  void Report(std::string code, Severity severity, SourceLoc loc,
+              std::string message, std::string note = "") {
+    diags_.push_back(Diagnostic{std::move(code), severity, loc,
+                                std::move(message), std::move(note)});
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  size_t size() const { return diags_.size(); }
+
+  size_t CountAtLeast(Severity severity) const;
+  bool HasErrors() const { return CountAtLeast(Severity::kError) > 0; }
+
+  /// First diagnostic with `code`, or nullptr.
+  const Diagnostic* Find(std::string_view code) const;
+  bool Has(std::string_view code) const { return Find(code) != nullptr; }
+
+  /// Orders diagnostics by location, then code (stable for ties). Analyzer
+  /// passes append in discovery order; sort before rendering.
+  void Sort();
+
+  /// Human-readable rendering, one finding per line:
+  ///   file:line:col: severity: message [code]
+  ///       note: ...
+  /// `file` prefixes each line when non-empty.
+  std::string RenderText(const std::string& file = "") const;
+
+  /// Machine-readable rendering: a JSON array of objects with keys
+  /// code/severity/line/column/message/note (note omitted when empty).
+  std::string RenderJson(const std::string& file = "") const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace lipstick::analysis
+
+#endif  // LIPSTICK_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,42 @@
+#ifndef LIPSTICK_ANALYSIS_GRAPH_VALIDATOR_H_
+#define LIPSTICK_ANALYSIS_GRAPH_VALIDATOR_H_
+
+#include "analysis/diagnostics.h"
+#include "common/result.h"
+#include "provenance/graph.h"
+
+namespace lipstick::analysis {
+
+/// Post-construction invariant checker for provenance graphs: verifies the
+/// structural rules of the Section-3 construction that every graph emitted
+/// by the interpreter/executor must satisfy, catching corruption from bad
+/// rollbacks, manual graph surgery, or deserialization of damaged files.
+///
+/// Diagnostic codes (all locations are invalid — graphs have no source
+/// text; messages name the offending node as shard#index):
+///   G0301  parent reference outside the graph (dangling NodeId)
+///   G0302  alive node derived from a dead node
+///   G0303  source node (token / const / m-node) with parents
+///   G0304  derivation p-node (+ / · / δ) with no parents, or p/v kind
+///          flag inconsistent with the label
+///   G0305  ⊗ node not pairing exactly (value v-node, tuple p-node)
+///   G0306  malformed value-node structure (aggregate without operands,
+///          aggregate fed by another aggregate/const directly)
+///   G0307  node tagged with an unknown or aborted invocation
+///   G0308  invocation record inconsistent (bad m-node; listed i/o/s node
+///          dead, wrong role, wrong invocation tag, or not ·(x, m))
+///   G0309  derivation cycle among alive nodes
+///   G0310  graph not sealed, or children adjacency stale w.r.t. parents
+///
+/// All findings are errors except G0310's "not sealed" form, which is a
+/// warning (an unsealed graph is legal mid-construction).
+void ValidateGraph(const ProvenanceGraph& graph, DiagnosticSink* sink);
+
+/// Convenience wrapper: runs ValidateGraph and folds any errors into a
+/// kInternal Status carrying the rendered findings. Used by the executor's
+/// debug-build self-check and the CLI.
+Status CheckGraphInvariants(const ProvenanceGraph& graph);
+
+}  // namespace lipstick::analysis
+
+#endif  // LIPSTICK_ANALYSIS_GRAPH_VALIDATOR_H_

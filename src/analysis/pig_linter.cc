@@ -1,0 +1,445 @@
+#include "analysis/pig_linter.h"
+
+#include <optional>
+#include <vector>
+
+#include "common/str_util.h"
+#include "pig/interpreter.h"
+
+namespace lipstick::analysis {
+
+namespace {
+
+using pig::Expr;
+using pig::ExprKind;
+using pig::Statement;
+using pig::StatementKind;
+
+struct BindInfo {
+  SourceLoc loc;
+  bool used_since = false;
+};
+
+class Linter {
+ public:
+  Linter(const PigLintOptions& options, DiagnosticSink* sink)
+      : options_(options), sink_(sink), interp_(options.udfs) {
+    for (const auto& [name, schema] : options.env) {
+      env_.Bind(name, Relation(name, schema));
+    }
+  }
+
+  void Run(const pig::Program& program) {
+    for (const Statement& stmt : program.statements) {
+      LintStatement(stmt);
+    }
+    // Final sweep: aliases whose last binding was never read and is not
+    // consumed by the caller.
+    for (const auto& [name, bind] : binds_) {
+      if (bind.used_since || options_.required_outputs.count(name)) continue;
+      Warn("L0107", bind.loc, StrCat("alias '", name, "' is never used"),
+           "it is not an output or state relation; drop the statement or "
+           "consume the alias");
+    }
+  }
+
+ private:
+  void Report(const char* code, Severity severity, SourceLoc loc,
+              std::string message, std::string note = "") {
+    sink_->Report(code, severity, loc, options_.context + std::move(message),
+                  std::move(note));
+  }
+  void Error(const char* code, SourceLoc loc, std::string message,
+             std::string note = "") {
+    Report(code, Severity::kError, loc, std::move(message), std::move(note));
+  }
+  void Warn(const char* code, SourceLoc loc, std::string message,
+            std::string note = "") {
+    Report(code, Severity::kWarning, loc, std::move(message),
+           std::move(note));
+  }
+
+  bool Known(const std::string& name) const { return env_.Contains(name); }
+
+  const Schema* SchemaOf(const std::string& name) const {
+    auto rel = env_.Lookup(name);
+    return rel.ok() ? (*rel)->schema.get() : nullptr;
+  }
+
+  /// Registers a read of `name` at `loc`. Returns true if its schema is
+  /// available for expression checking.
+  bool ReadAlias(const std::string& name, SourceLoc loc) {
+    if (auto it = binds_.find(name); it != binds_.end()) {
+      it->second.used_since = true;
+    }
+    if (Known(name)) return true;
+    if (!poisoned_.count(name)) {
+      Error("L0101", loc, StrCat("undefined alias '", name, "'"),
+            "it is not a module input/state relation and no earlier "
+            "statement binds it");
+      // Poison so later readers of the same name stay quiet.
+      poisoned_.insert(name);
+    }
+    return false;
+  }
+
+  /// Registers the binding of `target` by the statement at `loc`.
+  void BindAlias(const std::string& target, SourceLoc loc) {
+    auto it = binds_.find(target);
+    if (it != binds_.end() && !it->second.used_since) {
+      Warn("L0102", loc,
+           StrCat("alias '", target, "' is rebound but its previous value "
+                  "was never read"),
+           StrCat("previous binding at ", it->second.loc.ToString(),
+                  " is dead"));
+    }
+    binds_[target] = BindInfo{loc, false};
+  }
+
+  /// -------------------- expression type checking ----------------------
+  /// Mirrors pig::InferExprType but reports typed diagnostics and keeps
+  /// going after a problem (result nullopt suppresses dependent checks).
+  std::optional<FieldType> LintExpr(const Expr& expr, const Schema& schema) {
+    switch (expr.kind) {
+      case ExprKind::kConst: {
+        const Value& v = expr.literal;
+        if (v.is_bool()) return FieldType::Bool();
+        if (v.is_int()) return FieldType::Int();
+        if (v.is_double()) return FieldType::Double();
+        return FieldType::String();
+      }
+      case ExprKind::kFieldRef: {
+        Result<size_t> idx = schema.ResolveField(expr.name);
+        if (!idx.ok()) {
+          Error("L0103", expr.loc, idx.status().message(),
+                StrCat("available fields: ", schema.ToString()));
+          return std::nullopt;
+        }
+        return schema.field(*idx).type;
+      }
+      case ExprKind::kPositional: {
+        if (expr.position < 0 ||
+            static_cast<size_t>(expr.position) >= schema.num_fields()) {
+          Error("L0108", expr.loc,
+                StrCat("positional reference $", expr.position,
+                       " out of range"),
+                StrCat("the input has ", schema.num_fields(), " field(s): ",
+                       schema.ToString()));
+          return std::nullopt;
+        }
+        return schema.field(expr.position).type;
+      }
+      case ExprKind::kBagProject: {
+        Result<size_t> idx = schema.ResolveField(expr.name);
+        if (!idx.ok()) {
+          Error("L0103", expr.loc, idx.status().message(),
+                StrCat("available fields: ", schema.ToString()));
+          return std::nullopt;
+        }
+        const FieldType& bag_type = schema.field(*idx).type;
+        if (bag_type.kind() != FieldType::Kind::kBag || !bag_type.nested()) {
+          Error("L0104", expr.loc,
+                StrCat("'", expr.name, "' is not a bag field"),
+                "Bag.field projection needs a bag-valued operand");
+          return std::nullopt;
+        }
+        Result<size_t> sub = bag_type.nested()->ResolveField(expr.sub_name);
+        if (!sub.ok()) {
+          Error("L0103", expr.loc, sub.status().message(),
+                StrCat("fields of bag '", expr.name,
+                       "': ", bag_type.nested()->ToString()));
+          return std::nullopt;
+        }
+        return FieldType::Bag(Schema::Make(
+            {Field(expr.sub_name, bag_type.nested()->field(*sub).type)}));
+      }
+      case ExprKind::kUnaryOp:
+        return LintUnary(expr, schema);
+      case ExprKind::kBinaryOp:
+        return LintBinary(expr, schema);
+      case ExprKind::kFuncCall:
+        return LintCall(expr, schema);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<FieldType> LintUnary(const Expr& expr, const Schema& schema) {
+    std::optional<FieldType> t = LintExpr(*expr.children[0], schema);
+    if (!t) return std::nullopt;
+    using pig::UnOp;
+    if (expr.un_op == UnOp::kIsNull || expr.un_op == UnOp::kIsNotNull) {
+      if (!t->is_scalar()) {
+        Error("L0104", expr.loc, "IS NULL requires a scalar operand");
+        return std::nullopt;
+      }
+      return FieldType::Bool();
+    }
+    if (expr.un_op == UnOp::kNot) {
+      if (t->kind() != FieldType::Kind::kBool) {
+        Error("L0104", expr.loc, "NOT requires a boolean operand",
+              StrCat("operand has type ", t->ToString()));
+        return std::nullopt;
+      }
+      return FieldType::Bool();
+    }
+    if (!t->is_numeric()) {
+      Error("L0104", expr.loc, "unary '-' requires a numeric operand",
+            StrCat("operand has type ", t->ToString()));
+      return std::nullopt;
+    }
+    return t;
+  }
+
+  std::optional<FieldType> LintBinary(const Expr& expr, const Schema& schema) {
+    std::optional<FieldType> lt = LintExpr(*expr.children[0], schema);
+    std::optional<FieldType> rt = LintExpr(*expr.children[1], schema);
+    if (!lt || !rt) return std::nullopt;
+    auto types_note = [&] {
+      return StrCat("operands have types ", lt->ToString(), " and ",
+                    rt->ToString());
+    };
+    using pig::BinOp;
+    switch (expr.bin_op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul:
+      case BinOp::kDiv:
+        if (!lt->is_numeric() || !rt->is_numeric()) {
+          Error("L0104", expr.loc, "arithmetic requires numeric operands",
+                types_note());
+          return std::nullopt;
+        }
+        if (lt->kind() == FieldType::Kind::kDouble ||
+            rt->kind() == FieldType::Kind::kDouble) {
+          return FieldType::Double();
+        }
+        return FieldType::Int();
+      case BinOp::kMod:
+        if (lt->kind() != FieldType::Kind::kInt ||
+            rt->kind() != FieldType::Kind::kInt) {
+          Error("L0104", expr.loc, "'%' requires integer operands",
+                types_note());
+          return std::nullopt;
+        }
+        return FieldType::Int();
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        if (lt->kind() != FieldType::Kind::kBool ||
+            rt->kind() != FieldType::Kind::kBool) {
+          Error("L0104", expr.loc, "AND/OR require boolean operands",
+                types_note());
+          return std::nullopt;
+        }
+        return FieldType::Bool();
+      default:  // comparisons
+        if (!lt->is_scalar() || !rt->is_scalar()) {
+          Error("L0104", expr.loc, "comparisons require scalar operands",
+                types_note());
+          return std::nullopt;
+        }
+        return FieldType::Bool();
+    }
+  }
+
+  std::optional<FieldType> LintCall(const Expr& expr, const Schema& schema) {
+    if (pig::IsAggregateFunction(expr.name)) {
+      if (expr.children.size() != 1) {
+        Error("L0106", expr.loc,
+              StrCat(expr.name, " takes exactly one argument, got ",
+                     expr.children.size()));
+        return std::nullopt;
+      }
+      std::optional<FieldType> arg = LintExpr(*expr.children[0], schema);
+      if (!arg) return std::nullopt;
+      if (arg->kind() != FieldType::Kind::kBag || !arg->nested()) {
+        Error("L0106", expr.loc,
+              StrCat(expr.name, " requires a bag argument"),
+              StrCat("argument has type ", arg->ToString(),
+                     "; aggregates run after GROUP"));
+        return std::nullopt;
+      }
+      std::string op = ToUpper(expr.name);
+      if (op == "COUNT") return FieldType::Int();
+      if (op == "AVG") return FieldType::Double();
+      if (arg->nested()->num_fields() != 1) {
+        Error("L0106", expr.loc,
+              StrCat(expr.name,
+                     " requires a single-attribute bag (use Bag.field)"));
+        return std::nullopt;
+      }
+      const FieldType& elem = arg->nested()->field(0).type;
+      if (!elem.is_numeric()) {
+        Error("L0106", expr.loc,
+              StrCat(expr.name, " requires numeric values"),
+              StrCat("bag elements have type ", elem.ToString()));
+        return std::nullopt;
+      }
+      return elem;
+    }
+    const pig::UdfEntry* udf =
+        options_.udfs ? options_.udfs->Lookup(expr.name) : nullptr;
+    if (udf == nullptr) {
+      Error("L0105", expr.loc,
+            StrCat("unknown function '", expr.name, "'"),
+            "not a built-in aggregate and not in the UDF registry");
+      return std::nullopt;
+    }
+    std::vector<FieldType> arg_types;
+    for (const pig::ExprPtr& child : expr.children) {
+      std::optional<FieldType> t = LintExpr(*child, schema);
+      if (!t) return std::nullopt;
+      arg_types.push_back(std::move(*t));
+    }
+    Result<FieldType> ret = udf->return_type(arg_types);
+    if (!ret.ok()) {
+      Error("L0106", expr.loc,
+            StrCat("bad call to UDF '", expr.name,
+                   "': ", ret.status().message()));
+      return std::nullopt;
+    }
+    return *ret;
+  }
+
+  /// ------------------------ statement checking ------------------------
+
+  void LintStatement(const Statement& stmt) {
+    // 1. Register reads (before the bind, so `S = UNION S, In;` counts as
+    //    a use of the previous S) and find out whether every source
+    //    relation has a usable schema.
+    bool sources_ok = true;
+    std::vector<std::string> sources = stmt.inputs;
+    for (const pig::ByClause& by : stmt.by_clauses) {
+      sources.push_back(by.relation);
+    }
+    for (const std::string& name : sources) {
+      sources_ok = ReadAlias(name, stmt.loc) && sources_ok;
+    }
+
+    // 2. Expression-level checks against the source schemas.
+    size_t before = sink_->size();
+    if (sources_ok) LintStatementExprs(stmt);
+    bool reported = sink_->size() > before;
+
+    // 3. Schema propagation: run the statement over empty relations using
+    //    the engine's own interpreter (the authority on schema rules). On
+    //    failure the target is poisoned, and a generic L0110 is emitted
+    //    unless a more specific diagnostic already covers the statement.
+    std::vector<std::string> targets;
+    if (stmt.kind == StatementKind::kSplit) {
+      for (const auto& [name, cond] : stmt.split_targets) {
+        targets.push_back(name);
+      }
+    } else {
+      targets.push_back(stmt.target);
+    }
+    bool bound = false;
+    if (sources_ok) {
+      Result<const Relation*> result =
+          interp_.RunStatement(stmt, &env_, nullptr);
+      if (result.ok()) {
+        bound = true;
+      } else if (!reported) {
+        Error("L0110", stmt.loc, result.status().message());
+      }
+    }
+    for (const std::string& target : targets) {
+      BindAlias(target, stmt.loc);
+      if (!bound) poisoned_.insert(target);
+      else poisoned_.erase(target);
+    }
+  }
+
+  void LintStatementExprs(const Statement& stmt) {
+    switch (stmt.kind) {
+      case StatementKind::kForEach: {
+        const Schema* schema = SchemaOf(stmt.inputs[0]);
+        if (schema == nullptr) return;
+        std::map<std::string, SourceLoc> aliases;
+        for (const pig::GenItem& item : stmt.gen_items) {
+          LintExpr(*item.expr, *schema);
+          if (item.alias.empty()) continue;
+          auto [it, inserted] = aliases.emplace(item.alias, item.expr->loc);
+          if (!inserted) {
+            Warn("L0109", item.expr->loc,
+                 StrCat("duplicate field alias '", item.alias,
+                        "' in GENERATE list"),
+                 StrCat("first defined at ", it->second.ToString()));
+          }
+        }
+        break;
+      }
+      case StatementKind::kFilter: {
+        const Schema* schema = SchemaOf(stmt.inputs[0]);
+        if (schema == nullptr || stmt.condition == nullptr) return;
+        std::optional<FieldType> t = LintExpr(*stmt.condition, *schema);
+        if (t && t->kind() != FieldType::Kind::kBool) {
+          Error("L0104", stmt.condition->loc,
+                "FILTER condition must be boolean",
+                StrCat("condition has type ", t->ToString()));
+        }
+        break;
+      }
+      case StatementKind::kGroup:
+      case StatementKind::kCogroup:
+      case StatementKind::kJoin: {
+        for (const pig::ByClause& by : stmt.by_clauses) {
+          const Schema* schema = SchemaOf(by.relation);
+          if (schema == nullptr) continue;
+          for (const pig::ExprPtr& key : by.keys) {
+            LintExpr(*key, *schema);
+          }
+        }
+        break;
+      }
+      case StatementKind::kOrderBy: {
+        const Schema* schema = SchemaOf(stmt.inputs[0]);
+        if (schema == nullptr) return;
+        for (const pig::OrderKey& key : stmt.order_keys) {
+          if (!schema->FindField(key.field)) {
+            Error("L0103", stmt.loc,
+                  StrCat("unknown or ambiguous field '", key.field,
+                         "' in ORDER BY"),
+                  StrCat("available fields: ", schema->ToString()));
+          }
+        }
+        break;
+      }
+      case StatementKind::kSplit: {
+        const Schema* schema = SchemaOf(stmt.inputs[0]);
+        if (schema == nullptr) return;
+        for (const auto& [name, cond] : stmt.split_targets) {
+          std::optional<FieldType> t = LintExpr(*cond, *schema);
+          if (t && t->kind() != FieldType::Kind::kBool) {
+            Error("L0104", cond->loc,
+                  StrCat("SPLIT condition for '", name, "' must be boolean"),
+                  StrCat("condition has type ", t->ToString()));
+          }
+        }
+        break;
+      }
+      case StatementKind::kCross:
+      case StatementKind::kUnion:
+      case StatementKind::kDistinct:
+      case StatementKind::kLimit:
+      case StatementKind::kAlias:
+        break;  // no embedded expressions
+    }
+  }
+
+  const PigLintOptions& options_;
+  DiagnosticSink* sink_;
+  pig::Interpreter interp_;
+  pig::Environment env_;                  // empty relations, schema truth
+  std::set<std::string> poisoned_;        // bound, but schema unknown
+  std::map<std::string, BindInfo> binds_; // statement-bound aliases
+};
+
+}  // namespace
+
+void LintProgram(const pig::Program& program, const PigLintOptions& options,
+                 DiagnosticSink* sink) {
+  Linter linter(options, sink);
+  linter.Run(program);
+}
+
+}  // namespace lipstick::analysis

@@ -1,0 +1,365 @@
+#include "analysis/workflow_linter.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/pig_linter.h"
+#include "common/str_util.h"
+
+namespace lipstick::analysis {
+
+namespace {
+
+class WorkflowLinter {
+ public:
+  WorkflowLinter(const Workflow& workflow, const pig::UdfRegistry* udfs,
+                 DiagnosticSink* sink)
+      : wf_(workflow), udfs_(udfs), sink_(sink) {}
+
+  void Run() {
+    if (wf_.nodes().empty()) {
+      sink_->Report("W0210", Severity::kError, SourceLoc{},
+                    "workflow has no nodes");
+      return;
+    }
+    CheckNodesAndInstances();
+    CheckModules();
+    CheckEdges();
+    CheckInputCoverage();
+    CheckDanglingOutputs();
+    CheckAcyclicity();
+    CheckConnectivity();
+  }
+
+ private:
+  void Error(const char* code, SourceLoc loc, std::string message,
+             std::string note = "") {
+    sink_->Report(code, Severity::kError, loc, std::move(message),
+                  std::move(note));
+  }
+  void Warn(const char* code, SourceLoc loc, std::string message,
+            std::string note = "") {
+    sink_->Report(code, Severity::kWarning, loc, std::move(message),
+                  std::move(note));
+  }
+
+  /// Module spec for a node, or nullptr (after a W0201 was reported).
+  const ModuleSpec* SpecOf(const WorkflowNode& node) const {
+    auto spec = wf_.FindModule(node.module);
+    return spec.ok() ? *spec : nullptr;
+  }
+
+  void CheckNodesAndInstances() {
+    std::map<std::string, const WorkflowNode*> instance_owner;
+    for (const WorkflowNode& node : wf_.nodes()) {
+      if (!wf_.FindModule(node.module).ok()) {
+        Error("W0201", node.loc,
+              StrCat("node '", node.id, "' references unknown module '",
+                     node.module, "'"));
+      } else {
+        used_modules_.insert(node.module);
+      }
+      auto [it, inserted] = instance_owner.emplace(node.instance, &node);
+      if (!inserted && it->second->module != node.module) {
+        Error("W0208", node.loc,
+              StrCat("instance '", node.instance, "' is bound to modules '",
+                     it->second->module, "' and '", node.module, "'"),
+              StrCat("first bound at node '", it->second->id, "' (",
+                     it->second->loc.ToString(), ")"));
+      }
+    }
+  }
+
+  void CheckModules() {
+    for (const auto& [name, spec] : ModuleMap()) {
+      if (!used_modules_.count(name)) {
+        Warn("W0207", spec->loc,
+             StrCat("module '", name, "' is never instantiated by a node"));
+      }
+      LintModule(*spec);
+    }
+  }
+
+  /// Name -> spec map over the registered modules (the Workflow API only
+  /// exposes per-name lookup, so walk the nodes plus a probe of declared
+  /// names captured through FindModule on node labels — supplemented by
+  /// the DSL, which registers modules before nodes).
+  std::map<std::string, const ModuleSpec*> ModuleMap() const {
+    std::map<std::string, const ModuleSpec*> out;
+    for (const std::string& name : wf_.ModuleNames()) {
+      auto spec = wf_.FindModule(name);
+      if (spec.ok()) out.emplace(name, *spec);
+    }
+    return out;
+  }
+
+  void LintModule(const ModuleSpec& spec) {
+    std::string prefix = StrCat("module ", spec.name, " ");
+    PigLintOptions options;
+    options.udfs = udfs_;
+    for (const auto& [name, schema] : spec.input_schemas) {
+      options.env.emplace(name, schema);
+    }
+    for (const auto& [name, schema] : spec.state_schemas) {
+      options.env.emplace(name, schema);
+    }
+
+    size_t before_errors = sink_->CountAtLeast(Severity::kError);
+
+    // Qstate: the final binding of each state name becomes the new state;
+    // state names it leaves untouched keep their previous instances.
+    options.context = prefix + "qstate: ";
+    options.required_outputs.clear();
+    for (const auto& [name, schema] : spec.state_schemas) {
+      options.required_outputs.insert(name);
+    }
+    LintProgram(spec.qstate, options, sink_);
+
+    std::set<std::string> qstate_targets;
+    for (const pig::Statement& stmt : spec.qstate.statements) {
+      if (stmt.kind == pig::StatementKind::kSplit) {
+        for (const auto& [name, cond] : stmt.split_targets) {
+          qstate_targets.insert(name);
+        }
+      } else {
+        qstate_targets.insert(stmt.target);
+      }
+    }
+    for (const auto& [name, schema] : spec.state_schemas) {
+      if (!qstate_targets.count(name)) {
+        sink_->Report(
+            "W0209", Severity::kNote,
+            spec.qstate_loc.valid() ? spec.qstate_loc : spec.loc,
+            StrCat(prefix, "state relation '", name,
+                   "' is never rebound by qstate"),
+            "read-only state is legal but never changes between executions");
+      }
+    }
+
+    // Qout must bind every output relation.
+    options.context = prefix + "qout: ";
+    options.required_outputs.clear();
+    for (const auto& [name, schema] : spec.output_schemas) {
+      options.required_outputs.insert(name);
+    }
+    LintProgram(spec.qout, options, sink_);
+
+    std::set<std::string> qout_targets;
+    for (const pig::Statement& stmt : spec.qout.statements) {
+      if (stmt.kind == pig::StatementKind::kSplit) {
+        for (const auto& [name, cond] : stmt.split_targets) {
+          qout_targets.insert(name);
+        }
+      } else {
+        qout_targets.insert(stmt.target);
+      }
+    }
+    for (const auto& [name, schema] : spec.output_schemas) {
+      if (!qout_targets.count(name)) {
+        Error("W0210",
+              spec.qout_loc.valid() ? spec.qout_loc : spec.loc,
+              StrCat(prefix, "qout never binds output relation '", name,
+                     "'"));
+      }
+    }
+
+    // Residual spec-level problems the linter passes above do not model
+    // (e.g. a state rebind whose schema drifts from the declaration):
+    // fall back to the engine's own validation, suppressed when a more
+    // specific diagnostic already fired for this module.
+    if (sink_->CountAtLeast(Severity::kError) == before_errors) {
+      Status status = spec.Validate(udfs_);
+      if (!status.ok()) {
+        Error("W0210", spec.loc,
+              StrCat("module ", spec.name, " rejected: ", status.message()));
+      }
+    }
+  }
+
+  void CheckEdges() {
+    for (const WorkflowEdge& edge : wf_.edges()) {
+      auto from = wf_.FindNode(edge.from);
+      auto to = wf_.FindNode(edge.to);
+      if (!from.ok()) {
+        Error("W0203", edge.loc,
+              StrCat("edge references unknown node '", edge.from, "'"));
+      }
+      if (!to.ok()) {
+        Error("W0203", edge.loc,
+              StrCat("edge references unknown node '", edge.to, "'"));
+      }
+      if (!from.ok() || !to.ok()) continue;
+      const ModuleSpec* from_spec = SpecOf(**from);
+      const ModuleSpec* to_spec = SpecOf(**to);
+      for (const EdgeRelation& rel : edge.relations) {
+        const SchemaPtr* out_schema = nullptr;
+        const SchemaPtr* in_schema = nullptr;
+        if (from_spec != nullptr) {
+          auto it = from_spec->output_schemas.find(rel.from_relation);
+          if (it == from_spec->output_schemas.end()) {
+            Error("W0203", edge.loc,
+                  StrCat("edge ", edge.from, "->", edge.to, ": '",
+                         rel.from_relation, "' is not an output of module ",
+                         from_spec->name));
+          } else {
+            out_schema = &it->second;
+          }
+        }
+        if (to_spec != nullptr) {
+          auto it = to_spec->input_schemas.find(rel.to_relation);
+          if (it == to_spec->input_schemas.end()) {
+            Error("W0203", edge.loc,
+                  StrCat("edge ", edge.from, "->", edge.to, ": '",
+                         rel.to_relation, "' is not an input of module ",
+                         to_spec->name));
+          } else {
+            in_schema = &it->second;
+          }
+        }
+        if (out_schema != nullptr && in_schema != nullptr &&
+            !(*out_schema)->EqualsIgnoreNames(**in_schema)) {
+          Error("W0204", edge.loc,
+                StrCat("edge ", edge.from, "->", edge.to,
+                       ": schema mismatch on ", rel.from_relation, " -> ",
+                       rel.to_relation),
+                StrCat((*out_schema)->ToString(), " vs ",
+                       (*in_schema)->ToString()));
+        }
+      }
+    }
+  }
+
+  void CheckInputCoverage() {
+    for (const WorkflowNode& node : wf_.nodes()) {
+      std::vector<const WorkflowEdge*> incoming = wf_.IncomingEdges(node.id);
+      if (incoming.empty()) continue;  // In node: fed externally
+      const ModuleSpec* spec = SpecOf(node);
+      if (spec == nullptr) continue;
+      for (const auto& [in_name, schema] : spec->input_schemas) {
+        bool covered = false;
+        for (const WorkflowEdge* edge : incoming) {
+          for (const EdgeRelation& rel : edge->relations) {
+            covered = covered || rel.to_relation == in_name;
+          }
+        }
+        if (!covered) {
+          Error("W0205", node.loc,
+                StrCat("node '", node.id, "': input relation '", in_name,
+                       "' is not fed by any incoming edge"),
+                "every input of a non-In node must be covered "
+                "(Definition 2.2)");
+        }
+      }
+    }
+  }
+
+  void CheckDanglingOutputs() {
+    for (const WorkflowNode& node : wf_.nodes()) {
+      std::vector<const WorkflowEdge*> outgoing = wf_.OutgoingEdges(node.id);
+      if (outgoing.empty()) continue;  // Out node: outputs read externally
+      const ModuleSpec* spec = SpecOf(node);
+      if (spec == nullptr) continue;
+      for (const auto& [out_name, schema] : spec->output_schemas) {
+        bool routed = false;
+        for (const WorkflowEdge* edge : outgoing) {
+          for (const EdgeRelation& rel : edge->relations) {
+            routed = routed || rel.from_relation == out_name;
+          }
+        }
+        if (!routed) {
+          Warn("W0206", node.loc,
+               StrCat("node '", node.id, "': output relation '", out_name,
+                      "' is not routed to any successor"),
+               "its tuples are computed and then dropped");
+        }
+      }
+    }
+  }
+
+  void CheckAcyclicity() {
+    std::map<std::string, int> in_degree;
+    for (const WorkflowNode& node : wf_.nodes()) in_degree[node.id] = 0;
+    for (const WorkflowEdge& edge : wf_.edges()) {
+      if (in_degree.count(edge.to) && in_degree.count(edge.from)) {
+        ++in_degree[edge.to];
+      }
+    }
+    std::deque<std::string> ready;
+    for (const auto& [id, deg] : in_degree) {
+      if (deg == 0) ready.push_back(id);
+    }
+    size_t ordered = 0;
+    while (!ready.empty()) {
+      std::string id = ready.front();
+      ready.pop_front();
+      ++ordered;
+      for (const WorkflowEdge* edge : wf_.OutgoingEdges(id)) {
+        auto it = in_degree.find(edge->to);
+        if (it != in_degree.end() && --it->second == 0) {
+          ready.push_back(edge->to);
+        }
+      }
+    }
+    if (ordered == wf_.nodes().size()) return;
+    std::vector<std::string> in_cycle;
+    for (const auto& [id, deg] : in_degree) {
+      if (deg > 0) in_cycle.push_back(id);
+    }
+    SourceLoc loc;
+    for (const WorkflowEdge& edge : wf_.edges()) {
+      bool from_in = in_degree.count(edge.from) && in_degree[edge.from] > 0;
+      bool to_in = in_degree.count(edge.to) && in_degree[edge.to] > 0;
+      if (from_in && to_in) {
+        loc = edge.loc;
+        break;
+      }
+    }
+    Error("W0202", loc, "workflow graph contains a cycle",
+          StrCat("nodes on cycles: ", Join(in_cycle, ", "),
+                 "; unfold bounded loops into chains (Definition 2.2)"));
+  }
+
+  void CheckConnectivity() {
+    if (wf_.nodes().size() < 2) return;
+    std::map<std::string, std::vector<std::string>> undirected;
+    for (const WorkflowEdge& edge : wf_.edges()) {
+      undirected[edge.from].push_back(edge.to);
+      undirected[edge.to].push_back(edge.from);
+    }
+    std::set<std::string> seen{wf_.nodes()[0].id};
+    std::deque<std::string> queue{wf_.nodes()[0].id};
+    while (!queue.empty()) {
+      std::string id = queue.front();
+      queue.pop_front();
+      for (const std::string& next : undirected[id]) {
+        if (seen.insert(next).second) queue.push_back(next);
+      }
+    }
+    if (seen.size() >= wf_.nodes().size()) return;
+    for (const WorkflowNode& node : wf_.nodes()) {
+      if (!seen.count(node.id)) {
+        Error("W0211", node.loc,
+              StrCat("node '", node.id, "' is disconnected from the rest "
+                     "of the workflow"),
+              "Definition 2.2 requires a connected DAG");
+      }
+    }
+  }
+
+  const Workflow& wf_;
+  const pig::UdfRegistry* udfs_;
+  DiagnosticSink* sink_;
+  std::set<std::string> used_modules_;
+};
+
+}  // namespace
+
+void LintWorkflow(const Workflow& workflow, const pig::UdfRegistry* udfs,
+                  DiagnosticSink* sink) {
+  WorkflowLinter(workflow, udfs, sink).Run();
+}
+
+}  // namespace lipstick::analysis

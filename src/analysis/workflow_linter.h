@@ -1,0 +1,35 @@
+#ifndef LIPSTICK_ANALYSIS_WORKFLOW_LINTER_H_
+#define LIPSTICK_ANALYSIS_WORKFLOW_LINTER_H_
+
+#include "analysis/diagnostics.h"
+#include "pig/udf.h"
+#include "workflow/workflow.h"
+
+namespace lipstick::analysis {
+
+/// Pre-execution semantic lint of a workflow (Definition 2.2) and of every
+/// module's Pig Latin programs (via analysis/pig_linter.h, whose L01xx
+/// findings are reported with a "module <name> <query>:" prefix).
+/// Subsumes Workflow::Validate — everything Validate rejects produces a
+/// diagnostic here, plus softer findings Validate does not check — while
+/// recovering after each problem so one pass reports them all.
+///
+/// Diagnostic codes:
+///   W0201  node references an unregistered module                  (error)
+///   W0202  workflow graph contains a cycle                         (error)
+///   W0203  edge endpoint or relation does not exist                (error)
+///   W0204  edge connects relations with incompatible schemas       (error)
+///   W0205  module input relation not fed by any incoming edge      (error)
+///   W0206  module output relation never routed anywhere          (warning)
+///   W0207  module registered but never instantiated              (warning)
+///   W0208  instance name bound to two different modules            (error)
+///   W0209  state relation never rebound by Qstate                   (note)
+///   W0210  module specification invalid (output unbound, schema
+///          mismatch on rebind, empty workflow, ...)                (error)
+///   W0211  workflow graph is not (weakly) connected                (error)
+void LintWorkflow(const Workflow& workflow, const pig::UdfRegistry* udfs,
+                  DiagnosticSink* sink);
+
+}  // namespace lipstick::analysis
+
+#endif  // LIPSTICK_ANALYSIS_WORKFLOW_LINTER_H_

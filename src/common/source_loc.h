@@ -1,0 +1,30 @@
+#ifndef LIPSTICK_COMMON_SOURCE_LOC_H_
+#define LIPSTICK_COMMON_SOURCE_LOC_H_
+
+#include <string>
+
+namespace lipstick {
+
+/// Source location for diagnostics (1-based line/column). A default
+/// constructed location ({0, 0}) means "no location" — e.g. a workflow
+/// assembled through the C++ API rather than parsed from a file.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+
+  /// "line:column" ("?" when the location is unknown).
+  std::string ToString() const {
+    if (!valid()) return "?";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+inline bool operator==(const SourceLoc& a, const SourceLoc& b) {
+  return a.line == b.line && a.column == b.column;
+}
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_COMMON_SOURCE_LOC_H_

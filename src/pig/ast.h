@@ -5,15 +5,14 @@
 #include <string>
 #include <vector>
 
+#include "common/source_loc.h"
 #include "relational/value.h"
 
 namespace lipstick::pig {
 
-/// Source location for diagnostics (1-based line/column).
-struct SourceLoc {
-  int line = 0;
-  int column = 0;
-};
+/// Source location for diagnostics (1-based line/column); shared with the
+/// workflow DSL and the analysis layer.
+using ::lipstick::SourceLoc;
 
 /// ----------------------------- Expressions -----------------------------
 

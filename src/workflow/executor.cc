@@ -10,6 +10,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "analysis/graph_validator.h"
 #include "common/fault.h"
 #include "common/str_util.h"
 #include "common/timer.h"
@@ -411,6 +412,26 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(const WorkflowInputs& inputs,
   return Execute(inputs, graph, ExecutionOptions(), nullptr, num_workers);
 }
 
+namespace {
+
+/// Debug-build self-check, run after every committed execution: the graph
+/// must satisfy the Section-3 structural invariants (analysis/
+/// graph_validator.h) no matter which retry/rollback/parallel path built
+/// it. Compiled out under NDEBUG — release builds pay nothing.
+Status DebugValidateGraph(ProvenanceGraph* graph) {
+#ifndef NDEBUG
+  if (graph != nullptr) {
+    graph->Seal();
+    return analysis::CheckGraphInvariants(*graph);
+  }
+#else
+  (void)graph;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<WorkflowOutputs> WorkflowExecutor::Execute(
     const WorkflowInputs& inputs, ProvenanceGraph* graph,
     const ExecutionOptions& options, ExecutionReport* report,
@@ -503,6 +524,7 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
     }
     ++execution_count_;
     report->total_seconds = total_timer.ElapsedSeconds();
+    LIPSTICK_RETURN_IF_ERROR(DebugValidateGraph(graph));
     return std::move(exec.outputs);
   }
 
@@ -600,6 +622,7 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
   }
   ++execution_count_;
   report->total_seconds = total_timer.ElapsedSeconds();
+  LIPSTICK_RETURN_IF_ERROR(DebugValidateGraph(graph));
   return std::move(exec.outputs);
 }
 

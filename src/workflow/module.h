@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/source_loc.h"
 #include "pig/interpreter.h"
 #include "pig/parser.h"
 #include "relational/value.h"
@@ -26,6 +27,12 @@ struct ModuleSpec {
   std::map<std::string, SchemaPtr> output_schemas;
   pig::Program qstate;  // may be empty (stateless modules)
   pig::Program qout;
+  SourceLoc loc;  // declaration site in the DSL ({0,0}: built in C++)
+  // Start of the qstate/qout brace blocks in the DSL file. Statement
+  // locations inside the programs are relative to their block; adding
+  // (block.line - 1) maps them back to file coordinates.
+  SourceLoc qstate_loc;
+  SourceLoc qout_loc;
 
   /// Statically checks the specification: schema-name disjointness, and
   /// that Qstate/Qout analyze cleanly against Sin ∪ Sstate, rebinding state

@@ -43,12 +43,19 @@ class DslParser {
   bool AtEnd() const { return pos_ >= src_.size(); }
   char Peek() const { return src_[pos_]; }
   void Advance() {
-    if (src_[pos_] == '\n') ++line_;
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
     ++pos_;
   }
+  SourceLoc Loc() const { return SourceLoc{line_, col_}; }
 
   Status Err(const std::string& msg) const {
-    return Status::ParseError(StrCat("workflow line ", line_, ": ", msg));
+    return Status::ParseError(
+        StrCat("workflow line ", line_, ":", col_, ": ", msg));
   }
 
   void SkipWhitespaceAndComments() {
@@ -130,16 +137,26 @@ class DslParser {
     return std::make_pair(std::move(name), Schema::Make(std::move(fields)));
   }
 
-  /// Reads a `{ ... }` block verbatim (Pig Latin text).
-  Result<std::string> ParseBraceBlock() {
+  /// Reads a `{ ... }` block verbatim (Pig Latin text). The returned source
+  /// is padded with (block start line - 1) newlines plus (column of '{')
+  /// spaces so that locations reported by the Pig parser/linter are in
+  /// whole-file coordinates. `block_loc`, when non-null, receives the
+  /// location of the '{'.
+  Result<std::string> ParseBraceBlock(SourceLoc* block_loc = nullptr) {
+    SkipWhitespaceAndComments();
+    SourceLoc open = Loc();
     LIPSTICK_RETURN_IF_ERROR(Expect('{'));
+    if (block_loc != nullptr) *block_loc = open;
     size_t start = pos_;
     int depth = 1;
     while (!AtEnd()) {
       if (Peek() == '{') ++depth;
       if (Peek() == '}') {
         if (--depth == 0) {
-          std::string body(src_.substr(start, pos_ - start));
+          std::string body(open.line - 1, '\n');
+          // Space padding keeps columns exact for text on the '{' line.
+          body.append(open.column, ' ');
+          body.append(src_.substr(start, pos_ - start));
           Advance();
           return body;
         }
@@ -150,10 +167,13 @@ class DslParser {
   }
 
   Status ParseModule(Workflow* workflow) {
+    SkipWhitespaceAndComments();
+    SourceLoc loc = Loc();
     LIPSTICK_ASSIGN_OR_RETURN(std::string name, ReadWord("module name"));
     LIPSTICK_RETURN_IF_ERROR(Expect('{'));
     std::map<std::string, SchemaPtr> inputs, state, outputs;
     std::string qstate_src, qout_src;
+    SourceLoc qstate_loc, qout_loc;
     while (!TryConsume('}')) {
       LIPSTICK_ASSIGN_OR_RETURN(std::string keyword,
                                 ReadWord("module member"));
@@ -169,9 +189,9 @@ class DslParser {
                             "' in module ", name));
         }
       } else if (lower == "qstate") {
-        LIPSTICK_ASSIGN_OR_RETURN(qstate_src, ParseBraceBlock());
+        LIPSTICK_ASSIGN_OR_RETURN(qstate_src, ParseBraceBlock(&qstate_loc));
       } else if (lower == "qout") {
-        LIPSTICK_ASSIGN_OR_RETURN(qout_src, ParseBraceBlock());
+        LIPSTICK_ASSIGN_OR_RETURN(qout_src, ParseBraceBlock(&qout_loc));
       } else {
         return Err(StrCat("unexpected '", keyword, "' inside module ", name));
       }
@@ -180,10 +200,15 @@ class DslParser {
         MakeModule(name, std::move(inputs), std::move(state),
                    std::move(outputs), qstate_src, qout_src);
     LIPSTICK_RETURN_IF_ERROR(spec.status());
+    spec->loc = loc;
+    spec->qstate_loc = qstate_loc;
+    spec->qout_loc = qout_loc;
     return workflow->AddModule(std::move(*spec));
   }
 
   Status ParseNode(Workflow* workflow) {
+    SkipWhitespaceAndComments();
+    SourceLoc loc = Loc();
     LIPSTICK_ASSIGN_OR_RETURN(std::string id, ReadWord("node id"));
     LIPSTICK_RETURN_IF_ERROR(Expect('='));
     LIPSTICK_ASSIGN_OR_RETURN(std::string module, ReadWord("module name"));
@@ -195,10 +220,12 @@ class DslParser {
       LIPSTICK_ASSIGN_OR_RETURN(instance, ReadWord("instance name"));
     }
     LIPSTICK_RETURN_IF_ERROR(Expect(';'));
-    return workflow->AddNode(id, module, instance);
+    return workflow->AddNode(id, module, instance, loc);
   }
 
   Status ParseEdge(Workflow* workflow) {
+    SkipWhitespaceAndComments();
+    SourceLoc loc = Loc();
     LIPSTICK_ASSIGN_OR_RETURN(std::string from, ReadWord("source node"));
     if (!TryConsumeArrow()) return Err("expected '->'");
     LIPSTICK_ASSIGN_OR_RETURN(std::string to, ReadWord("target node"));
@@ -217,12 +244,13 @@ class DslParser {
       relations.push_back(std::move(rel));
     } while (TryConsume(','));
     LIPSTICK_RETURN_IF_ERROR(Expect(';'));
-    return workflow->AddEdge(from, to, std::move(relations));
+    return workflow->AddEdge(from, to, std::move(relations), loc);
   }
 
   std::string_view src_;
   size_t pos_ = 0;
   int line_ = 1;
+  int col_ = 1;
 };
 
 const char* FieldTypeToDsl(const FieldType& type) {

@@ -18,22 +18,23 @@ Status Workflow::AddModule(ModuleSpec spec) {
 }
 
 Status Workflow::AddNode(const std::string& id, const std::string& module,
-                         const std::string& instance) {
+                         const std::string& instance, SourceLoc loc) {
   for (const WorkflowNode& n : nodes_) {
     if (n.id == id) {
       return Status::AlreadyExists(StrCat("node '", id, "' already exists"));
     }
   }
-  nodes_.push_back(WorkflowNode{id, module, instance.empty() ? id : instance});
+  nodes_.push_back(
+      WorkflowNode{id, module, instance.empty() ? id : instance, loc});
   return Status::OK();
 }
 
 Status Workflow::AddEdge(const std::string& from, const std::string& to,
-                         std::vector<EdgeRelation> relations) {
+                         std::vector<EdgeRelation> relations, SourceLoc loc) {
   if (relations.empty()) {
     return Status::InvalidArgument("edge must carry at least one relation");
   }
-  edges_.push_back(WorkflowEdge{from, to, std::move(relations)});
+  edges_.push_back(WorkflowEdge{from, to, std::move(relations), loc});
   return Status::OK();
 }
 
@@ -59,6 +60,13 @@ Result<std::vector<std::string>> Workflow::AddUnrolledLoop(
     ids.push_back(std::move(id));
   }
   return ids;
+}
+
+std::vector<std::string> Workflow::ModuleNames() const {
+  std::vector<std::string> names;
+  names.reserve(modules_.size());
+  for (const auto& [name, spec] : modules_) names.push_back(name);
+  return names;
 }
 
 Result<const WorkflowNode*> Workflow::FindNode(const std::string& id) const {

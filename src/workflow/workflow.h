@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/source_loc.h"
 #include "workflow/module.h"
 
 namespace lipstick {
@@ -19,6 +20,7 @@ struct WorkflowNode {
   std::string id;
   std::string module;    // ModuleSpec name
   std::string instance;  // module identity (defaults to id)
+  SourceLoc loc;         // declaration site in the DSL ({0,0}: built in C++)
 };
 
 /// A routing entry on an edge: output relation `from_relation` of the
@@ -33,6 +35,7 @@ struct WorkflowEdge {
   std::string from;
   std::string to;
   std::vector<EdgeRelation> relations;
+  SourceLoc loc;  // declaration site in the DSL ({0,0}: built in C++)
 };
 
 /// A workflow per Definition 2.2: a connected DAG whose nodes are labeled
@@ -47,13 +50,14 @@ class Workflow {
   Status AddModule(ModuleSpec spec);
 
   /// Adds a node labeled with `module`; `instance` defaults to `id`.
+  /// `loc` is the declaration site when parsed from the DSL.
   Status AddNode(const std::string& id, const std::string& module,
-                 const std::string& instance = "");
+                 const std::string& instance = "", SourceLoc loc = {});
 
   /// Adds an edge carrying `relations` (pairs may use the same name on both
   /// sides via MakeSameName below).
   Status AddEdge(const std::string& from, const std::string& to,
-                 std::vector<EdgeRelation> relations);
+                 std::vector<EdgeRelation> relations, SourceLoc loc = {});
   /// Convenience: edge carrying `relation` under the same name at both ends.
   Status AddEdge(const std::string& from, const std::string& to,
                  const std::string& relation);
@@ -86,6 +90,8 @@ class Workflow {
 
   const std::vector<WorkflowNode>& nodes() const { return nodes_; }
   const std::vector<WorkflowEdge>& edges() const { return edges_; }
+  /// Names of all registered modules, sorted.
+  std::vector<std::string> ModuleNames() const;
   Result<const WorkflowNode*> FindNode(const std::string& id) const;
   Result<const ModuleSpec*> FindModule(const std::string& name) const;
 

@@ -138,7 +138,7 @@ TEST(RngTest, ForkIsIndependent) {
 TEST(TimerTest, MeasuresElapsed) {
   WallTimer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());  // scaled views agree
 }

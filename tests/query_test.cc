@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/str_util.h"
 #include "provenance/dot.h"
 #include "provenance/opm.h"
 #include "provenance/query.h"
@@ -114,7 +115,7 @@ TEST_F(QueryTest, DotOutputIsWellFormed) {
   // Every alive node appears.
   for (NodeId id : graph_.AllNodeIds()) {
     if (!graph_.Contains(id)) continue;
-    EXPECT_NE(dot.find("n" + std::to_string(id) + " ["), std::string::npos);
+    EXPECT_NE(dot.find(StrCat("n", id, " [")), std::string::npos);
   }
 }
 
@@ -124,8 +125,8 @@ TEST_F(QueryTest, DotSubsetRestriction) {
   std::ostringstream os;
   LIPSTICK_ASSERT_OK(WriteDot(graph_, os, options));
   std::string dot = os.str();
-  EXPECT_NE(dot.find("n" + std::to_string(x_) + " ["), std::string::npos);
-  EXPECT_EQ(dot.find("n" + std::to_string(out_) + " ["), std::string::npos);
+  EXPECT_NE(dot.find(StrCat("n", x_, " [")), std::string::npos);
+  EXPECT_EQ(dot.find(StrCat("n", out_, " [")), std::string::npos);
 }
 
 TEST_F(QueryTest, OpmExportIsWellFormed) {
@@ -135,17 +136,14 @@ TEST_F(QueryTest, OpmExportIsWellFormed) {
   EXPECT_NE(xml.find("<opmGraph"), std::string::npos);
   EXPECT_NE(xml.find("<process id=\"p0\">"), std::string::npos);
   // The input and output tuples are artifacts linked to the process.
-  EXPECT_NE(xml.find("<artifact id=\"a" + std::to_string(in_)),
+  EXPECT_NE(xml.find(StrCat("<artifact id=\"a", in_)), std::string::npos);
+  EXPECT_NE(xml.find(StrCat("<used><effect ref=\"p0\"/><cause ref=\"a", in_)),
             std::string::npos);
-  EXPECT_NE(xml.find("<used><effect ref=\"p0\"/><cause ref=\"a" +
-                     std::to_string(in_)),
-            std::string::npos);
-  EXPECT_NE(xml.find("<wasGeneratedBy><effect ref=\"a" +
-                     std::to_string(out_)),
+  EXPECT_NE(xml.find(StrCat("<wasGeneratedBy><effect ref=\"a", out_)),
             std::string::npos);
   // Fine-grained internals (the join, the aggregate) are NOT exported —
   // the information loss the paper's model repairs.
-  EXPECT_EQ(xml.find("a" + std::to_string(join_) + "\""), std::string::npos);
+  EXPECT_EQ(xml.find(StrCat("a", join_, "\"")), std::string::npos);
 }
 
 TEST(OpmWorkflowTest, CrossModuleDependenciesExported) {

@@ -44,9 +44,13 @@ TEST(ValueTest, CrossKindTotalOrder) {
   for (size_t i = 0; i < ordered.size(); ++i) {
     for (size_t j = 0; j < ordered.size(); ++j) {
       int c = ordered[i].Compare(ordered[j]);
-      if (i < j) EXPECT_LT(c, 0) << i << " vs " << j;
-      if (i == j) EXPECT_EQ(c, 0);
-      if (i > j) EXPECT_GT(c, 0);
+      if (i < j) {
+        EXPECT_LT(c, 0) << i << " vs " << j;
+      } else if (i == j) {
+        EXPECT_EQ(c, 0);
+      } else {
+        EXPECT_GT(c, 0);
+      }
     }
   }
 }

@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Full verification sweep: build and run the test suite in the regular
-# configuration and again under ASan+UBSan (-DLIPSTICK_SANITIZE=ON).
-# Usage: tools/check.sh [extra ctest args...]
+# Full verification gate:
+#   1. build + ctest in the regular configuration (-Wshadow -Werror),
+#   2. build + ctest under ASan+UBSan in Debug (assertions on, so every
+#      executor run re-validates its provenance graph),
+#   3. clang-tidy over src/ and tools/ (skipped when not installed),
+#   4. `lipstick lint` over every example workflow — any diagnostic of
+#      severity warning or above fails the gate.
+# Usage: tools/check.sh [tidy] [extra ctest args...]
+#   tidy  run only the clang-tidy step (useful while iterating).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,7 +22,35 @@ run_config() {
         ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
 }
 
+run_tidy() {
+  echo "=== clang-tidy ==="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping (profile: .clang-tidy)"
+    return 0
+  fi
+  cmake -B "${repo}/build" -S "${repo}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find "${repo}/src" "${repo}/tools" -name '*.cc' -print0 |
+    xargs -0 -P "${jobs}" -n 8 clang-tidy -p "${repo}/build" --quiet
+}
+
+run_lint() {
+  echo "=== lint: examples/workflows ==="
+  local cli="${repo}/build/tools/lipstick"
+  for wf in "${repo}"/examples/workflows/*.wf; do
+    echo "--- ${wf#"${repo}"/}"
+    "${cli}" lint "${wf}"
+  done
+}
+
+if [[ "${1:-}" == "tidy" ]]; then
+  run_tidy
+  exit 0
+fi
+
 CTEST_ARGS=("$@")
 run_config build
-run_config build-asan -DLIPSTICK_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run_config build-asan -DLIPSTICK_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+run_tidy
+run_lint
 echo "All checks passed."

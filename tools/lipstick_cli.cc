@@ -3,7 +3,8 @@
 // "Query Processor" of the paper's architecture, Section 5.1).
 //
 // Usage:
-//   lipstick validate <workflow.wf>
+//   lipstick lint <workflow.wf> [--json]
+//   lipstick validate <workflow.wf | graph.pg>
 //   lipstick run <workflow.wf> [--execs N] [--input node.Rel=file.csv]...
 //                [--state instance.Rel=file.csv]... [--graph out.pg]
 //                [--workers N] [--print-outputs]
@@ -27,6 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
+#include "analysis/graph_validator.h"
+#include "analysis/workflow_linter.h"
 #include "common/fault.h"
 #include "common/str_util.h"
 #include "provenance/deletion.h"
@@ -52,12 +56,13 @@ int Fail(const std::string& message) {
 
 int FailUsage() {
   std::fprintf(stderr,
-               "usage: lipstick validate <workflow.wf>\n"
+               "usage: lipstick lint <workflow.wf> [--json]\n"
+               "       lipstick validate <workflow.wf | graph.pg>\n"
                "       lipstick run <workflow.wf> [--execs N] "
                "[--input node.Rel=f.csv]... [--state inst.Rel=f.csv]... "
                "[--graph out.pg] [--workers N] [--print-outputs]\n"
-               "       lipstick query <graph.pg> "
-               "stats|find|expr|depends|subgraph|delete|zoomout|dot|opm ...\n");
+               "       lipstick query <graph.pg> stats|find|expr|depends|"
+               "subgraph|delete|zoomout|dot|opm|validate ...\n");
   return 2;
 }
 
@@ -79,7 +84,67 @@ Result<Binding> ParseBinding(const std::string& arg) {
                  arg.substr(eq + 1)};
 }
 
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Prints the sink and returns the process exit code: nonzero when any
+/// finding is a warning or worse (the check.sh lint gate keys on this).
+int ReportDiagnostics(analysis::DiagnosticSink* sink, const std::string& file,
+                      bool json) {
+  sink->Sort();
+  std::string rendered = json ? sink->RenderJson(file) : sink->RenderText(file);
+  std::fputs(rendered.c_str(), stdout);
+  size_t errors = sink->CountAtLeast(analysis::Severity::kError);
+  size_t flagged = sink->CountAtLeast(analysis::Severity::kWarning);
+  if (!json) {
+    std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+                file.c_str(), errors, flagged - errors,
+                sink->size() - flagged);
+  }
+  return flagged > 0 ? 1 : 0;
+}
+
+int CmdLint(const std::vector<std::string>& args) {
+  if (args.empty()) return FailUsage();
+  bool json = false;
+  std::string path;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Fail(StrCat("unknown lint argument '", arg, "'"));
+    }
+  }
+  if (path.empty()) return FailUsage();
+  Result<Workflow> wf = ParseWorkflowFile(path);
+  if (!wf.ok()) return Fail(wf.status().ToString());
+  pig::UdfRegistry udfs;
+  analysis::DiagnosticSink sink;
+  analysis::LintWorkflow(*wf, &udfs, &sink);
+  return ReportDiagnostics(&sink, path, json);
+}
+
+int CmdValidateGraph(const std::string& path) {
+  Result<ProvenanceGraph> graph = LoadGraphFromFile(path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  graph->Seal();
+  analysis::DiagnosticSink sink;
+  analysis::ValidateGraph(*graph, &sink);
+  int rc = ReportDiagnostics(&sink, path, /*json=*/false);
+  if (rc == 0) {
+    std::printf("graph OK: %zu alive node(s), %zu edge(s), %zu invocation(s)\n",
+                graph->num_alive(), graph->num_edges(),
+                graph->num_live_invocations());
+  }
+  return rc;
+}
+
 int CmdValidate(const std::string& path) {
+  if (EndsWith(path, ".pg")) return CmdValidateGraph(path);
   Result<Workflow> wf = ParseWorkflowFile(path);
   if (!wf.ok()) return Fail(wf.status().ToString());
   pig::UdfRegistry udfs;
@@ -361,6 +426,11 @@ int CmdQuery(const std::vector<std::string>& args) {
     std::printf("wrote %s (coarse-grained OPM view)\n", out_path.c_str());
     return 0;
   }
+  if (op == "validate") {
+    analysis::DiagnosticSink sink;
+    analysis::ValidateGraph(*graph, &sink);
+    return ReportDiagnostics(&sink, args[0], /*json=*/false);
+  }
   if (op == "dot") {
     if (out_path.empty()) return Fail("dot requires --out <file>");
     Status st = WriteDotToFile(*graph, out_path);
@@ -382,6 +452,7 @@ int main(int argc, char** argv) {
   if (args.empty()) return FailUsage();
   const std::string& cmd = args[0];
   std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (cmd == "lint") return CmdLint(rest);
   if (cmd == "validate" && rest.size() == 1) return CmdValidate(rest[0]);
   if (cmd == "run") return CmdRun(rest);
   if (cmd == "query") return CmdQuery(rest);
