@@ -34,10 +34,9 @@ int main() {
               graph.num_edges());
 
   std::vector<std::pair<size_t, NodeId>> fanout;
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!graph.Contains(id)) continue;
-    fanout.emplace_back(graph.Children(id).size(), id);
-  }
+  graph.ForEachAliveNode([&](NodeId id) {
+    fanout.emplace_back(graph.ChildrenOf(id).size(), id);
+  });
   std::sort(fanout.rbegin(), fanout.rend());
   if (fanout.size() > 50) fanout.resize(50);
 

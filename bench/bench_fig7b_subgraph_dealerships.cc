@@ -37,10 +37,9 @@ int main() {
 
   // Pick the 50 nodes with the most children.
   std::vector<std::pair<size_t, NodeId>> fanout;
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!graph.Contains(id)) continue;
-    fanout.emplace_back(graph.Children(id).size(), id);
-  }
+  graph.ForEachAliveNode([&](NodeId id) {
+    fanout.emplace_back(graph.ChildrenOf(id).size(), id);
+  });
   std::sort(fanout.rbegin(), fanout.rend());
   if (fanout.size() > 50) fanout.resize(50);
 
@@ -57,8 +56,8 @@ int main() {
   for (const auto& [size, rest] : rows) {
     const auto& [ms, id] = rest;
     std::printf("%-14zu %-14zu %-12.3f %s\n",
-                graph.Children(id).size(), size, ms,
-                NodeLabelToString(graph.node(id).label));
+                graph.ChildrenOf(id).size(), size, ms,
+                NodeLabelToString(graph.node(id).label()));
   }
   std::printf(
       "\nexpected shape (paper): time ~linear in subgraph size, sub-second\n"

@@ -60,7 +60,7 @@ int main() {
       // derivation, whose size is governed by the selectivity.
       std::vector<NodeId> targets;
       for (const InvocationInfo& inv : graph.invocations()) {
-        if (inv.module_name != "arctic_out") continue;
+        if (graph.str(inv.module_name) != "arctic_out") continue;
         for (NodeId out : inv.output_nodes) {
           if (graph.Contains(out)) targets.push_back(out);
         }

@@ -35,22 +35,21 @@ int main() {
 
     NodeId sale = kInvalidNode;
     for (const InvocationInfo& inv : graph.invocations()) {
-      if (inv.module_name == "car" && !inv.output_nodes.empty()) {
+      if (graph.str(inv.module_name) == "car" && !inv.output_nodes.empty()) {
         sale = inv.output_nodes.back();
       }
     }
     auto ancestors = Ancestors(graph, sale);
     size_t state_total = 0, state_used = 0, inputs_used = 0;
-    for (NodeId id : graph.AllNodeIds()) {
-      if (!graph.Contains(id)) continue;
-      const ProvNode& n = graph.node(id);
-      if (n.role == NodeRole::kStateBase) {
+    graph.ForEachAliveNode([&](NodeId id) {
+      NodeRole role = graph.node(id).role();
+      if (role == NodeRole::kStateBase) {
         ++state_total;
         state_used += ancestors.count(id) ? 1 : 0;
-      } else if (n.role == NodeRole::kWorkflowInput) {
+      } else if (role == NodeRole::kWorkflowInput) {
         inputs_used += ancestors.count(id) ? 1 : 0;
       }
-    }
+    });
     char frac[32];
     std::snprintf(frac, sizeof(frac), "%.2f%%",
                   100.0 * state_used / state_total);
@@ -65,5 +64,35 @@ int main() {
       "100%% under the coarse-grained black-box model [23]. The exact\n"
       "fraction is ~#models^-1 x share of bidding dealerships, matching\n"
       "the paper's ~2%% at its parameters.\n");
+
+  // In-memory footprint of the columnar storage, reported as JSON so
+  // tools/check.sh and EXPERIMENTS.md can track bytes/node regressions.
+  {
+    DealershipConfig cfg;
+    cfg.num_cars = num_cars;
+    cfg.num_executions = 60;
+    cfg.seed = 1;
+    auto wf = DealershipWorkflow::Create(cfg);
+    Check(wf.status());
+    ProvenanceGraph graph;
+    Check((*wf)->Run(&graph).status());
+    graph.Seal();
+    ProvenanceGraph::MemoryStats mem = graph.ComputeMemoryStats();
+    size_t nodes = graph.num_nodes();
+    size_t edges = 0;
+    graph.ForEachNode(
+        [&](NodeId id) { edges += graph.ParentsOf(id).size(); });
+    std::printf(
+        "\nmemory_stats_json: {\"nodes\": %zu, \"edges\": %zu, "
+        "\"total_bytes\": %zu, \"bytes_per_node\": %.1f, "
+        "\"bytes_per_edge\": %.1f, \"column_bytes\": %zu, "
+        "\"edge_arena_bytes\": %zu, \"csr_bytes\": %zu, "
+        "\"value_bytes\": %zu, \"interner_bytes\": %zu, "
+        "\"invocation_bytes\": %zu}\n",
+        nodes, edges, mem.total(), double(mem.total()) / double(nodes),
+        double(mem.total()) / double(edges), mem.column_bytes,
+        mem.edge_arena_bytes, mem.csr_bytes, mem.value_bytes,
+        mem.interner_bytes, mem.invocation_bytes);
+  }
   return 0;
 }

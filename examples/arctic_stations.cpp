@@ -59,18 +59,18 @@ int main() {
   // 120-month history of every station.
   NodeId global_min = kInvalidNode;
   for (const InvocationInfo& inv : graph.invocations()) {
-    if (inv.module_name == "arctic_out" && !inv.output_nodes.empty()) {
+    if (graph.str(inv.module_name) == "arctic_out" &&
+        !inv.output_nodes.empty()) {
       global_min = inv.output_nodes.back();
     }
   }
   auto ancestors = Ancestors(graph, global_min);
   size_t used = 0, total = 0;
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!graph.Contains(id)) continue;
-    if (graph.node(id).role != NodeRole::kStateBase) continue;
+  graph.ForEachAliveNode([&](NodeId id) {
+    if (graph.node(id).role() != NodeRole::kStateBase) return;
     ++total;
     used += ancestors.count(id) ? 1 : 0;
-  }
+  });
   std::printf(
       "the last global minimum depends on %zu of %zu stored observations "
       "(%.1f%%; selectivity=%s)\n",

@@ -58,7 +58,7 @@ int main() {
   // fine-grained derivation touched.
   NodeId sale = kInvalidNode;
   for (const InvocationInfo& inv : graph.invocations()) {
-    if (inv.module_name == "car" && !inv.output_nodes.empty()) {
+    if (graph.str(inv.module_name) == "car" && !inv.output_nodes.empty()) {
       sale = inv.output_nodes.back();
     }
   }
@@ -68,12 +68,11 @@ int main() {
   }
   auto ancestors = Ancestors(graph, sale);
   size_t cars_used = 0, state_total = 0;
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!graph.Contains(id)) continue;
-    if (graph.node(id).role != NodeRole::kStateBase) continue;
+  graph.ForEachAliveNode([&](NodeId id) {
+    if (graph.node(id).role() != NodeRole::kStateBase) return;
     ++state_total;
     if (ancestors.count(id)) ++cars_used;
-  }
+  });
   std::printf("the sale derives from %zu of %zu state tuples (%.1f%%)\n",
               cars_used, state_total, 100.0 * cars_used / state_total);
   std::printf("coarse-grained provenance would have claimed 100%%\n\n");
@@ -82,15 +81,14 @@ int main() {
   // Take one state tuple inside and one outside the ancestry and ask the
   // dependency query of Section 4.3.
   NodeId used = kInvalidNode, unused = kInvalidNode;
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!graph.Contains(id)) continue;
-    if (graph.node(id).role != NodeRole::kStateBase) continue;
+  graph.ForEachAliveNode([&](NodeId id) {
+    if (graph.node(id).role() != NodeRole::kStateBase) return;
     if (ancestors.count(id) && used == kInvalidNode) used = id;
     if (!ancestors.count(id) && unused == kInvalidNode) unused = id;
-  }
+  });
   if (used != kInvalidNode) {
     std::printf("car %s entered the sale's derivation: yes\n",
-                graph.node(used).payload.c_str());
+                std::string(graph.node(used).payload()).c_str());
     // Existence dependency is stricter: the sale tuple survives the
     // deletion of any single car because the dealership's aggregates can
     // be re-derived from the remaining inventory (paper Example 4.3).
@@ -99,18 +97,18 @@ int main() {
   }
   if (unused != kInvalidNode) {
     std::printf("car %s entered the sale's derivation: no\n",
-                graph.node(unused).payload.c_str());
+                std::string(graph.node(unused).payload()).c_str());
   }
   // The accepted bid request, in contrast, is existence-critical
   // (Example 4.4): without it, the whole purchase derivation vanishes.
   NodeId last_request = kInvalidNode;
-  for (NodeId id : graph.AllNodeIds()) {
-    if (graph.Contains(id) &&
-        graph.node(id).role == NodeRole::kWorkflowInput &&
-        graph.node(id).payload.find("BuyerRequests") != std::string::npos) {
+  graph.ForEachAliveNode([&](NodeId id) {
+    if (graph.node(id).role() == NodeRole::kWorkflowInput &&
+        graph.node(id).payload().find("BuyerRequests") !=
+            std::string_view::npos) {
       last_request = id;  // keep the latest (the accepted round's request)
     }
-  }
+  });
   if (last_request != kInvalidNode) {
     std::printf("the sale's existence depends on the accepted request: %s\n",
                 *DependsOn(graph, sale, last_request) ? "yes" : "no");

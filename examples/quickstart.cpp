@@ -91,12 +91,12 @@ int main() {
   //      SUM survives on the remaining inputs, like the COUNT in the
   //      paper's Example 4.3)
   NodeId first_input = kInvalidNode;
-  for (NodeId id : graph.AllNodeIds()) {
-    if (graph.node(id).role == NodeRole::kWorkflowInput) {
+  graph.ForEachNode([&](NodeId id) {
+    if (first_input == kInvalidNode &&
+        graph.node(id).role() == NodeRole::kWorkflowInput) {
       first_input = id;
-      break;
     }
-  }
+  });
   auto ancestry = Ancestors(graph, last_total);
   std::printf("\nfirst input is in the last total's derivation: %s\n",
               ancestry.count(first_input) ? "yes" : "no");

@@ -56,7 +56,7 @@ int main() {
   std::unordered_map<NodeId, double> trust;
   const double kDealerTrust[] = {0.95, 0.7, 0.95, 0.3};
   for (NodeId id : FindNodes(graph, ByRole(NodeRole::kStateBase))) {
-    const std::string& payload = graph.node(id).payload;
+    std::string payload(graph.node(id).payload());
     for (int k = 1; k <= 4; ++k) {
       if (payload.rfind("dealer" + std::to_string(k) + ".", 0) == 0) {
         trust[id] = kDealerTrust[k - 1];

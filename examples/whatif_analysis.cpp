@@ -62,22 +62,21 @@ int main() {
   // Enumerate the cars whose tokens entered the graph and test, car by
   // car, whether removing that one car would remove the winning bid.
   int survives = 0, kills = 0, independent = 0;
-  for (NodeId id : loaded->AllNodeIds()) {
-    if (!loaded->Contains(id)) continue;
-    const ProvNode& n = loaded->node(id);
-    if (n.role != NodeRole::kStateBase || n.payload.find(".Cars[") ==
-                                              std::string::npos) {
-      continue;
+  loaded->ForEachAliveNode([&](NodeId id) {
+    NodeView n = loaded->node(id);
+    if (n.role() != NodeRole::kStateBase ||
+        n.payload().find(".Cars[") == std::string_view::npos) {
+      return;
     }
     if (!*DependsOn(*loaded, bid, id)) {
       // Most cars: the bid does not depend on them at all, or the COUNT
       // aggregate survives on the remaining cars (paper Example 4.3).
-      bool in_derivation = !loaded->Children(id).empty();
+      bool in_derivation = !loaded->ChildrenOf(id).empty();
       in_derivation ? ++survives : ++independent;
     } else {
       ++kills;
     }
-  }
+  });
   std::printf("what-if over every car in every lot:\n");
   std::printf("  %3d cars never entered the bid derivation\n", independent);
   std::printf(
@@ -87,13 +86,12 @@ int main() {
 
   // Deleting the bid request itself erases the derivation (Example 4.4).
   NodeId request = kInvalidNode;
-  for (NodeId id : loaded->AllNodeIds()) {
-    if (loaded->Contains(id) &&
-        loaded->node(id).role == NodeRole::kWorkflowInput) {
+  loaded->ForEachAliveNode([&](NodeId id) {
+    if (request == kInvalidNode &&
+        loaded->node(id).role() == NodeRole::kWorkflowInput) {
       request = id;
-      break;
     }
-  }
+  });
   size_t before = loaded->num_alive();
   auto dead = *ComputeDeletionSet(*loaded, {request});
   std::printf(

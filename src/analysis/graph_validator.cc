@@ -10,20 +10,17 @@ namespace lipstick::analysis {
 namespace {
 
 std::string NodeDesc(const ProvenanceGraph& graph, NodeId id) {
-  return StrCat(NodeLabelToString(graph.node(id).label), " node ",
+  return StrCat(NodeLabelToString(graph.node(id).label()), " node ",
                 NodeShard(id), "#", NodeIndex(id));
 }
 
-bool IsJointNode(const ProvNode& n) {
-  return n.label == NodeLabel::kTimes || n.label == NodeLabel::kTensor;
+bool IsJointNode(const NodeView& n) {
+  return n.label() == NodeLabel::kTimes || n.label() == NodeLabel::kTensor;
 }
 
 struct Validator {
   const ProvenanceGraph& graph;
   DiagnosticSink* sink;
-  // Ids that are structurally present (alive or dead), precomputed so the
-  // dangling-parent probe is O(1) instead of a scan per parent.
-  std::unordered_map<NodeId, bool> in_graph;  // value: alive
 
   void Error(const char* code, std::string message, std::string note = "") {
     sink->Report(code, Severity::kError, SourceLoc{}, std::move(message),
@@ -34,15 +31,16 @@ struct Validator {
                  std::move(note));
   }
 
-  bool Alive(NodeId id) const {
-    auto it = in_graph.find(id);
-    return it != in_graph.end() && it->second;
-  }
-  bool Present(NodeId id) const { return in_graph.count(id) > 0; }
+  // O(1) structural probes against the columnar storage; the old
+  // implementation materialized a NodeId -> alive map up front.
+  bool Alive(NodeId id) const { return graph.Contains(id); }
+  bool Present(NodeId id) const { return graph.InGraph(id); }
 
-  void CheckParentRefs(NodeId id, const ProvNode& n) {
+  void CheckParentRefs(NodeId id) {
+    NodeView n = graph.node(id);
+    std::span<const NodeId> parents = graph.ParentsOf(id);
     size_t alive_parents = 0;
-    for (NodeId p : n.parents) {
+    for (NodeId p : parents) {
       if (!Present(p)) {
         Error("G0301",
               StrCat(NodeDesc(graph, id), " has dangling parent id ", p),
@@ -63,41 +61,43 @@ struct Validator {
     }
     // Alternative derivations (+ / δ) survive losing operands but not all
     // of them; an aggregate likewise needs at least one surviving operand.
-    bool needs_survivor = n.label == NodeLabel::kPlus ||
-                          n.label == NodeLabel::kDelta ||
-                          n.label == NodeLabel::kAggregate;
-    if (needs_survivor && !n.parents.empty() && alive_parents == 0) {
+    bool needs_survivor = n.label() == NodeLabel::kPlus ||
+                          n.label() == NodeLabel::kDelta ||
+                          n.label() == NodeLabel::kAggregate;
+    if (needs_survivor && !parents.empty() && alive_parents == 0) {
       Error("G0302",
             StrCat(NodeDesc(graph, id), " survives with no alive parents"),
             "all alternatives were deleted; the node should be dead too");
     }
   }
 
-  void CheckNodeShape(NodeId id, const ProvNode& n) {
-    bool should_be_value = n.label == NodeLabel::kTensor ||
-                           n.label == NodeLabel::kAggregate ||
-                           n.label == NodeLabel::kConstValue;
-    if (n.is_value_node != should_be_value) {
+  void CheckNodeShape(NodeId id) {
+    NodeView n = graph.node(id);
+    std::span<const NodeId> parents = graph.ParentsOf(id);
+    bool should_be_value = n.label() == NodeLabel::kTensor ||
+                           n.label() == NodeLabel::kAggregate ||
+                           n.label() == NodeLabel::kConstValue;
+    if (n.is_value_node() != should_be_value) {
       Error("G0304",
             StrCat(NodeDesc(graph, id), " has is_value_node=",
-                   n.is_value_node ? "true" : "false",
+                   n.is_value_node() ? "true" : "false",
                    " inconsistent with its label"));
     }
-    switch (n.label) {
+    switch (n.label()) {
       case NodeLabel::kToken:
       case NodeLabel::kConstValue:
       case NodeLabel::kModuleInvocation:
-        if (!n.parents.empty()) {
+        if (!parents.empty()) {
           Error("G0303",
                 StrCat(NodeDesc(graph, id), " is a source node but has ",
-                       n.parents.size(), " parent(s)"),
+                       parents.size(), " parent(s)"),
                 "tokens, constants and m-nodes must be derivation roots");
         }
         break;
       case NodeLabel::kPlus:
       case NodeLabel::kTimes:
       case NodeLabel::kDelta:
-        if (n.parents.empty()) {
+        if (parents.empty()) {
           Error("G0304",
                 StrCat(NodeDesc(graph, id),
                        " is a derivation node with no parents"),
@@ -105,35 +105,35 @@ struct Validator {
         }
         break;
       case NodeLabel::kTensor: {
-        if (n.parents.size() != 2) {
+        if (parents.size() != 2) {
           Error("G0305",
-                StrCat(NodeDesc(graph, id), " has ", n.parents.size(),
+                StrCat(NodeDesc(graph, id), " has ", parents.size(),
                        " parent(s); ⊗ pairs exactly (value, provenance)"));
           break;
         }
-        if (Alive(n.parents[0]) && !graph.node(n.parents[0]).is_value_node) {
+        if (Alive(parents[0]) && !graph.node(parents[0]).is_value_node()) {
           Error("G0305",
                 StrCat(NodeDesc(graph, id), ": first operand ",
-                       NodeDesc(graph, n.parents[0]), " is not a v-node"));
+                       NodeDesc(graph, parents[0]), " is not a v-node"));
         }
-        if (Alive(n.parents[1]) && graph.node(n.parents[1]).is_value_node) {
+        if (Alive(parents[1]) && graph.node(parents[1]).is_value_node()) {
           Error("G0305",
                 StrCat(NodeDesc(graph, id), ": second operand ",
-                       NodeDesc(graph, n.parents[1]), " is not a p-node"));
+                       NodeDesc(graph, parents[1]), " is not a p-node"));
         }
         break;
       }
       case NodeLabel::kAggregate: {
-        if (n.parents.empty()) {
+        if (parents.empty()) {
           Error("G0306",
                 StrCat(NodeDesc(graph, id), " aggregates nothing"),
                 "aggregate v-nodes must consume ⊗ pairs or tuple p-nodes");
         }
-        for (NodeId p : n.parents) {
+        for (NodeId p : parents) {
           if (!Alive(p)) continue;
-          const ProvNode& pn = graph.node(p);
-          bool ok_operand = pn.label == NodeLabel::kTensor ||
-                            !pn.is_value_node;
+          NodeView pn = graph.node(p);
+          bool ok_operand = pn.label() == NodeLabel::kTensor ||
+                            !pn.is_value_node();
           if (!ok_operand) {
             Error("G0306",
                   StrCat(NodeDesc(graph, id), " aggregates ",
@@ -149,40 +149,42 @@ struct Validator {
     }
   }
 
-  void CheckInvocationTag(NodeId id, const ProvNode& n) {
-    if (n.invocation == kNoInvocation) return;
-    if (n.invocation >= graph.invocations().size()) {
+  void CheckInvocationTag(NodeId id) {
+    NodeView n = graph.node(id);
+    if (n.invocation() == kNoInvocation) return;
+    if (n.invocation() >= graph.invocations().size()) {
       Error("G0307",
             StrCat(NodeDesc(graph, id), " is tagged with unknown invocation ",
-                   n.invocation));
+                   n.invocation()));
       return;
     }
-    if (graph.invocations()[n.invocation].aborted()) {
+    if (graph.invocations()[n.invocation()].aborted()) {
       Error("G0307",
             StrCat(NodeDesc(graph, id), " belongs to aborted invocation ",
-                   n.invocation),
+                   n.invocation()),
             "aborted invocations must leave no alive nodes behind");
     }
   }
 
   void CheckInvocationRecord(uint32_t inv_id, const InvocationInfo& info) {
+    std::string_view module = graph.str(info.module_name);
     if (info.aborted()) {
       if (!info.input_nodes.empty() || !info.output_nodes.empty() ||
           !info.state_nodes.empty()) {
         Error("G0308",
-              StrCat("aborted invocation ", inv_id, " of module '",
-                     info.module_name, "' still lists structural nodes"));
+              StrCat("aborted invocation ", inv_id, " of module '", module,
+                     "' still lists structural nodes"));
       }
       return;
     }
     if (!Alive(info.m_node)) {
-      Error("G0308", StrCat("invocation ", inv_id, " of module '",
-                            info.module_name, "' has a dead or missing m-node"));
+      Error("G0308", StrCat("invocation ", inv_id, " of module '", module,
+                            "' has a dead or missing m-node"));
       return;
     }
-    const ProvNode& m = graph.node(info.m_node);
-    if (m.label != NodeLabel::kModuleInvocation ||
-        m.role != NodeRole::kInvocation) {
+    NodeView m = graph.node(info.m_node);
+    if (m.label() != NodeLabel::kModuleInvocation ||
+        m.role() != NodeRole::kInvocation) {
       Error("G0308",
             StrCat("invocation ", inv_id, ": recorded m-node is a ",
                    NodeDesc(graph, info.m_node)));
@@ -191,22 +193,22 @@ struct Validator {
                           const char* kind) {
       for (NodeId id : list) {
         if (!Alive(id)) continue;  // deletion/zoom may legitimately remove
-        const ProvNode& n = graph.node(id);
-        if (n.label != NodeLabel::kTimes || n.role != role) {
+        NodeView n = graph.node(id);
+        if (n.label() != NodeLabel::kTimes || n.role() != role) {
           Error("G0308",
                 StrCat("invocation ", inv_id, ": recorded ", kind, " node ",
                        NodeDesc(graph, id), " has role ",
-                       NodeRoleToString(n.role)));
+                       NodeRoleToString(n.role())));
           continue;
         }
-        if (n.invocation != inv_id) {
+        if (n.invocation() != inv_id) {
           Error("G0308",
                 StrCat("invocation ", inv_id, ": ", kind, " node ",
                        NodeDesc(graph, id), " is tagged with invocation ",
-                       n.invocation));
+                       n.invocation()));
         }
         bool has_m = false;
-        for (NodeId p : n.parents) has_m = has_m || p == info.m_node;
+        for (NodeId p : graph.ParentsOf(id)) has_m = has_m || p == info.m_node;
         if (!has_m) {
           Error("G0308",
                 StrCat("invocation ", inv_id, ": ", kind, " node ",
@@ -226,15 +228,16 @@ struct Validator {
     enum : uint8_t { kWhite, kGray, kBlack };
     std::unordered_map<NodeId, uint8_t> color;
     std::vector<NodeId> stack;
-    for (NodeId root : graph.AllNodeIds()) {
-      if (!Alive(root) || color[root] != kWhite) continue;
+    bool cycle_found = false;
+    graph.ForEachAliveNode([&](NodeId root) {
+      if (cycle_found || color[root] != kWhite) return;
       stack.push_back(root);
       while (!stack.empty()) {
         NodeId id = stack.back();
         uint8_t& c = color[id];
         if (c == kWhite) {
           c = kGray;
-          for (NodeId p : graph.node(id).parents) {
+          for (NodeId p : graph.ParentsOf(id)) {
             if (!Alive(p)) continue;
             uint8_t pc = color[p];
             if (pc == kGray) {
@@ -242,7 +245,9 @@ struct Validator {
                     StrCat("derivation cycle through ", NodeDesc(graph, id),
                            " and ", NodeDesc(graph, p)),
                     "provenance graphs must be acyclic (Section 3)");
-              return;  // one cycle report is enough
+              cycle_found = true;  // one cycle report is enough
+              stack.clear();
+              return;
             }
             if (pc == kWhite) stack.push_back(p);
           }
@@ -251,7 +256,7 @@ struct Validator {
           stack.pop_back();
         }
       }
-    }
+    });
   }
 
   void CheckSealConsistency() {
@@ -263,15 +268,14 @@ struct Validator {
     // The children adjacency must mirror the parent edges of alive nodes.
     // Count-based comparison is O(nodes + edges).
     std::unordered_map<NodeId, size_t> expected;
-    for (NodeId id : graph.AllNodeIds()) {
-      if (!Alive(id)) continue;
-      for (NodeId p : graph.node(id).parents) {
+    graph.ForEachAliveNode([&](NodeId id) {
+      for (NodeId p : graph.ParentsOf(id)) {
         if (Alive(p)) ++expected[p];
       }
-    }
-    for (NodeId id : graph.AllNodeIds()) {
+    });
+    graph.ForEachNode([&](NodeId id) {
       size_t actual = 0;
-      for (NodeId child : graph.Children(id)) {
+      for (NodeId child : graph.ChildrenOf(id)) {
         actual += Alive(child) ? 1 : 0;
       }
       size_t want = 0;
@@ -282,23 +286,15 @@ struct Validator {
                      " sealed children but ", want, " alive parent edges"),
               "the graph was mutated after Seal() without resealing");
       }
-    }
+    });
   }
 
   void Run() {
-    for (NodeId id : graph.AllNodeIds()) {
-      in_graph.emplace(id, false);
-    }
-    // Second pass fills liveness (Contains is alive-only).
-    for (auto& [id, alive] : in_graph) alive = graph.Contains(id);
-
-    for (NodeId id : graph.AllNodeIds()) {
-      if (!Alive(id)) continue;
-      const ProvNode& n = graph.node(id);
-      CheckParentRefs(id, n);
-      CheckNodeShape(id, n);
-      CheckInvocationTag(id, n);
-    }
+    graph.ForEachAliveNode([&](NodeId id) {
+      CheckParentRefs(id);
+      CheckNodeShape(id);
+      CheckInvocationTag(id);
+    });
     for (uint32_t i = 0; i < graph.invocations().size(); ++i) {
       CheckInvocationRecord(i, graph.invocations()[i]);
     }
@@ -310,7 +306,7 @@ struct Validator {
 }  // namespace
 
 void ValidateGraph(const ProvenanceGraph& graph, DiagnosticSink* sink) {
-  Validator{graph, sink, {}}.Run();
+  Validator{graph, sink}.Run();
 }
 
 Status CheckGraphInvariants(const ProvenanceGraph& graph) {

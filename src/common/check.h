@@ -26,4 +26,14 @@ namespace lipstick::internal {
           : ::lipstick::internal::CheckFailed(__FILE__, __LINE__,      \
                                               #cond, (msg)))
 
+/// Debug-only invariant check: aborts with a message in debug builds
+/// (like assert, but with a diagnostic), compiles to nothing under
+/// NDEBUG. Used on hot paths (e.g. per-node bounds checks) where an
+/// always-on check would be measurable.
+#ifdef NDEBUG
+#define LIPSTICK_DCHECK(cond, msg) static_cast<void>(0)
+#else
+#define LIPSTICK_DCHECK(cond, msg) LIPSTICK_CHECK(cond, msg)
+#endif
+
 #endif  // LIPSTICK_COMMON_CHECK_H_

@@ -18,19 +18,18 @@ Result<std::unordered_set<NodeId>> ComputeDeletionSet(
 
   auto alive_parent_count = [&graph](NodeId id) {
     size_t n = 0;
-    for (NodeId p : graph.node(id).parents) n += graph.Contains(p) ? 1 : 0;
+    for (NodeId p : graph.ParentsOf(id)) n += graph.Contains(p) ? 1 : 0;
     return n;
   };
 
   while (!queue.empty()) {
     NodeId dead = queue.front();
     queue.pop_front();
-    for (NodeId child : graph.Children(dead)) {
+    for (NodeId child : graph.ChildrenOf(dead)) {
       if (deleted.count(child)) continue;
       size_t lost = ++lost_edges[child];
-      const ProvNode& cn = graph.node(child);
-      bool joint = cn.label == NodeLabel::kTimes ||
-                   cn.label == NodeLabel::kTensor;
+      NodeLabel cl = graph.node(child).label();
+      bool joint = cl == NodeLabel::kTimes || cl == NodeLabel::kTensor;
       if (joint || lost >= alive_parent_count(child)) {
         deleted.insert(child);
         queue.push_back(child);
@@ -43,7 +42,7 @@ Result<std::unordered_set<NodeId>> ComputeDeletionSet(
 Result<size_t> PropagateDeletion(ProvenanceGraph* graph, NodeId seed) {
   LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> dead,
                             ComputeDeletionSet(*graph, {seed}));
-  for (NodeId id : dead) graph->mutable_node(id).alive = false;
+  for (NodeId id : dead) graph->SetAlive(id, false);
   graph->Seal();
   return dead.size();
 }

@@ -10,7 +10,7 @@ namespace lipstick {
 
 namespace {
 
-std::string EscapeLabel(const std::string& s) {
+std::string EscapeLabel(std::string_view s) {
   std::string out;
   for (char c : s) {
     if (c == '"' || c == '\\') out += '\\';
@@ -19,11 +19,11 @@ std::string EscapeLabel(const std::string& s) {
   return out;
 }
 
-std::string NodeLabelText(const ProvNode& n, bool show_id, NodeId id) {
+std::string NodeLabelText(const NodeView& n, bool show_id, NodeId id) {
   std::string label;
-  switch (n.label) {
+  switch (n.label()) {
     case NodeLabel::kToken:
-      label = n.payload.empty() ? "x" : n.payload;
+      label = n.payload().empty() ? std::string("x") : std::string(n.payload());
       break;
     case NodeLabel::kPlus:
       label = "+";
@@ -38,23 +38,23 @@ std::string NodeLabelText(const ProvNode& n, bool show_id, NodeId id) {
       label = "\xE2\x8A\x97";  // ⊗
       break;
     case NodeLabel::kAggregate:
-      label = StrCat(n.payload, "=", n.value.ToString());
+      label = StrCat(n.payload(), "=", n.value().ToString());
       break;
     case NodeLabel::kConstValue:
-      label = n.value.ToString();
+      label = n.value().ToString();
       break;
     case NodeLabel::kBlackBox:
-      label = n.payload;
+      label = std::string(n.payload());
       break;
     case NodeLabel::kModuleInvocation:
-      label = StrCat("m<", n.payload, ">");
+      label = StrCat("m<", n.payload(), ">");
       break;
     case NodeLabel::kZoomedModule:
-      label = StrCat("M<", n.payload, ">");
+      label = StrCat("M<", n.payload(), ">");
       break;
   }
   const char* role = nullptr;
-  switch (n.role) {
+  switch (n.role()) {
     case NodeRole::kModuleInput:
       role = "i";
       break;
@@ -75,15 +75,15 @@ std::string NodeLabelText(const ProvNode& n, bool show_id, NodeId id) {
   return EscapeLabel(label);
 }
 
-const char* NodeStyle(const ProvNode& n) {
-  if (n.label == NodeLabel::kModuleInvocation) {
+const char* NodeStyle(const NodeView& n) {
+  if (n.label() == NodeLabel::kModuleInvocation) {
     return "shape=house,style=filled,fillcolor=lightsteelblue";
   }
-  if (n.label == NodeLabel::kZoomedModule) {
+  if (n.label() == NodeLabel::kZoomedModule) {
     return "shape=component,style=filled,fillcolor=lightgoldenrod";
   }
-  if (n.is_value_node) return "shape=box,style=filled,fillcolor=white";
-  switch (n.role) {
+  if (n.is_value_node()) return "shape=box,style=filled,fillcolor=white";
+  switch (n.role()) {
     case NodeRole::kWorkflowInput:
       return "shape=circle,style=filled,fillcolor=palegreen";
     case NodeRole::kModuleInput:
@@ -111,19 +111,19 @@ Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
   // Cluster nodes per invocation (the shaded boxes of Figure 2(c)).
   std::map<uint32_t, std::vector<NodeId>> by_invocation;
   std::vector<NodeId> unclustered;
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!included(id)) continue;
-    const ProvNode& n = graph.node(id);
-    if (options.cluster_by_invocation && n.invocation != kNoInvocation &&
-        n.invocation < graph.invocations().size()) {
-      by_invocation[n.invocation].push_back(id);
+  graph.ForEachNode([&](NodeId id) {
+    if (!included(id)) return;
+    uint32_t inv = graph.node(id).invocation();
+    if (options.cluster_by_invocation && inv != kNoInvocation &&
+        inv < graph.invocations().size()) {
+      by_invocation[inv].push_back(id);
     } else {
       unclustered.push_back(id);
     }
-  }
+  });
 
   auto emit_node = [&](NodeId id) {
-    const ProvNode& n = graph.node(id);
+    NodeView n = graph.node(id);
     os << "    n" << id << " [label=\""
        << NodeLabelText(n, options.show_ids, id) << "\"," << NodeStyle(n)
        << "];\n";
@@ -132,8 +132,8 @@ Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
   for (const auto& [inv, ids] : by_invocation) {
     const InvocationInfo& info = graph.invocations()[inv];
     os << "  subgraph cluster_inv" << inv << " {\n"
-       << "    label=\"" << EscapeLabel(info.instance_name) << " (exec "
-       << info.execution << ")\";\n    style=dashed;\n";
+       << "    label=\"" << EscapeLabel(graph.str(info.instance_name))
+       << " (exec " << info.execution << ")\";\n    style=dashed;\n";
     for (NodeId id : ids) emit_node(id);
     os << "  }\n";
   }
@@ -141,13 +141,13 @@ Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
   for (NodeId id : unclustered) emit_node(id);
   os << "  }\n";
 
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!included(id)) continue;
-    for (NodeId p : graph.node(id).parents) {
+  graph.ForEachNode([&](NodeId id) {
+    if (!included(id)) return;
+    for (NodeId p : graph.ParentsOf(id)) {
       if (!included(p)) continue;
       os << "  n" << p << " -> n" << id << ";\n";
     }
-  }
+  });
   os << "}\n";
   if (!os.good()) return Status::IOError("DOT write failed");
   return Status::OK();

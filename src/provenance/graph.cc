@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <map>
 
-#include "common/check.h"
-
 namespace lipstick {
 
 const char* NodeLabelToString(NodeLabel label) {
@@ -55,107 +53,152 @@ const char* NodeRoleToString(NodeRole role) {
   return "?";
 }
 
-NodeId ShardWriter::Append(ProvNode node) {
-  auto& shard = graph_->shards_[shard_];
-  shard.nodes.push_back(std::move(node));
+const Value& NullValue() {
+  static const Value kNull;
+  return kNull;
+}
+
+namespace {
+
+using internal::kAliveFlag;
+using internal::kInlineParents;
+using internal::kNoValueIdx;
+using internal::kValueNodeFlag;
+using internal::NodeColumns;
+using internal::ParentSlot;
+
+/// Writes `parents` into the slot at row `i`: inline if small, else
+/// appended to the shard's edge arena. Any previous arena region of the
+/// slot is abandoned (the arena is append-only; Seal/stats account it).
+void StoreParents(NodeColumns& sh, uint64_t i,
+                  std::span<const NodeId> parents) {
+  ParentSlot& slot = sh.parents[i];
+  slot.count = static_cast<uint32_t>(parents.size());
+  if (parents.size() <= kInlineParents) {
+    for (size_t k = 0; k < parents.size(); ++k) slot.ab[k] = parents[k];
+    return;
+  }
+  slot.ab[0] = sh.edge_arena.size();
+  slot.ab[1] = kInvalidNode;
+  sh.edge_arena.insert(sh.edge_arena.end(), parents.begin(), parents.end());
+}
+
+}  // namespace
+
+NodeId ShardWriter::Append(NodeLabel label, NodeRole role, uint32_t flags,
+                           uint32_t invocation, StrId payload,
+                           std::span<const NodeId> parents) {
+  NodeColumns& sh = graph_->shards_[shard_];
+  uint64_t i = sh.size();
+  sh.labels.push_back(label);
+  sh.roles.push_back(role);
+  sh.flags.push_back(static_cast<uint8_t>(flags));
+  sh.invocations.push_back(invocation);
+  sh.payloads.push_back(payload);
+  sh.parents.emplace_back();
+  sh.value_idx.push_back(kNoValueIdx);
+  StoreParents(sh, i, parents);
   graph_->sealed_ = false;
-  return MakeNodeId(shard_, shard.nodes.size() - 1);
+  return MakeNodeId(shard_, i);
 }
 
 NodeId ShardWriter::Token(std::string name, NodeRole role) {
-  ProvNode n;
-  n.label = NodeLabel::kToken;
-  n.role = role;
-  n.payload = std::move(name);
-  n.invocation = current_invocation_;
-  return Append(std::move(n));
+  return Append(NodeLabel::kToken, role, kAliveFlag, current_invocation_,
+                graph_->pool_.Intern(name), {});
 }
 
 NodeId ShardWriter::Plus(std::vector<NodeId> parents) {
-  ProvNode n;
-  n.label = NodeLabel::kPlus;
-  n.parents = std::move(parents);
-  n.invocation = current_invocation_;
-  return Append(std::move(n));
+  return Append(NodeLabel::kPlus, NodeRole::kIntermediate, kAliveFlag,
+                current_invocation_, kEmptyStr, parents);
 }
 
 NodeId ShardWriter::Times(std::vector<NodeId> parents, NodeRole role,
                           uint32_t invocation) {
-  ProvNode n;
-  n.label = NodeLabel::kTimes;
-  n.role = role;
-  n.parents = std::move(parents);
-  n.invocation =
-      invocation == kNoInvocation ? current_invocation_ : invocation;
-  return Append(std::move(n));
+  return Append(NodeLabel::kTimes, role, kAliveFlag,
+                invocation == kNoInvocation ? current_invocation_ : invocation,
+                kEmptyStr, parents);
 }
 
 NodeId ShardWriter::Delta(std::vector<NodeId> parents) {
-  ProvNode n;
-  n.label = NodeLabel::kDelta;
-  n.parents = std::move(parents);
-  n.invocation = current_invocation_;
-  return Append(std::move(n));
+  return Append(NodeLabel::kDelta, NodeRole::kIntermediate, kAliveFlag,
+                current_invocation_, kEmptyStr, parents);
 }
 
 NodeId ShardWriter::Tensor(NodeId value_node, NodeId prov_node) {
-  ProvNode n;
-  n.label = NodeLabel::kTensor;
-  n.is_value_node = true;
-  n.parents = {value_node, prov_node};
-  n.invocation = current_invocation_;
-  return Append(std::move(n));
+  const NodeId parents[2] = {value_node, prov_node};
+  return Append(NodeLabel::kTensor, NodeRole::kIntermediate,
+                kAliveFlag | kValueNodeFlag, current_invocation_, kEmptyStr,
+                parents);
 }
 
 NodeId ShardWriter::Aggregate(std::string op, std::vector<NodeId> parents,
                               Value result) {
-  ProvNode n;
-  n.label = NodeLabel::kAggregate;
-  n.is_value_node = true;
-  n.payload = std::move(op);
-  n.parents = std::move(parents);
-  n.value = std::move(result);
-  n.invocation = current_invocation_;
-  return Append(std::move(n));
+  NodeId id = Append(NodeLabel::kAggregate, NodeRole::kIntermediate,
+                     kAliveFlag | kValueNodeFlag, current_invocation_,
+                     graph_->pool_.Intern(op), parents);
+  if (!result.is_null()) {
+    NodeColumns& sh = graph_->shards_[shard_];
+    sh.value_idx.back() = static_cast<uint32_t>(sh.values.size());
+    sh.values.push_back(std::move(result));
+  }
+  return id;
 }
 
 NodeId ShardWriter::ConstValue(Value v) {
-  ProvNode n;
-  n.label = NodeLabel::kConstValue;
-  n.is_value_node = true;
-  n.value = std::move(v);
-  n.invocation = current_invocation_;
-  return Append(std::move(n));
+  NodeId id = Append(NodeLabel::kConstValue, NodeRole::kIntermediate,
+                     kAliveFlag | kValueNodeFlag, current_invocation_,
+                     kEmptyStr, {});
+  if (!v.is_null()) {
+    NodeColumns& sh = graph_->shards_[shard_];
+    sh.value_idx.back() = static_cast<uint32_t>(sh.values.size());
+    sh.values.push_back(std::move(v));
+  }
+  return id;
 }
 
 NodeId ShardWriter::BlackBox(std::string function,
                              std::vector<NodeId> parents) {
-  ProvNode n;
-  n.label = NodeLabel::kBlackBox;
-  n.payload = std::move(function);
-  n.parents = std::move(parents);
-  n.invocation = current_invocation_;
-  return Append(std::move(n));
+  return Append(NodeLabel::kBlackBox, NodeRole::kIntermediate, kAliveFlag,
+                current_invocation_, graph_->pool_.Intern(function), parents);
+}
+
+NodeId ShardWriter::ZoomedModule(std::string_view module,
+                                 std::vector<NodeId> parents,
+                                 uint32_t invocation) {
+  return Append(NodeLabel::kZoomedModule, NodeRole::kZoom, kAliveFlag,
+                invocation, graph_->pool_.Intern(module), parents);
+}
+
+NodeId ShardWriter::Restore(const NodeRecord& record) {
+  uint32_t flags = (record.alive ? kAliveFlag : 0) |
+                   (record.is_value_node ? kValueNodeFlag : 0);
+  NodeId id = Append(record.label, record.role, flags, record.invocation,
+                     graph_->pool_.Intern(record.payload), record.parents);
+  if (!record.value.is_null()) {
+    NodeColumns& sh = graph_->shards_[shard_];
+    sh.value_idx.back() = static_cast<uint32_t>(sh.values.size());
+    sh.values.push_back(record.value);
+  }
+  return id;
 }
 
 uint32_t ShardWriter::BeginInvocation(std::string module_name,
                                       std::string instance_name,
                                       uint32_t execution) {
-  ProvNode n;
-  n.label = NodeLabel::kModuleInvocation;
-  n.role = NodeRole::kInvocation;
-  n.payload = module_name;
-  NodeId m_node = Append(std::move(n));
+  StrId module_id = graph_->pool_.Intern(module_name);
+  StrId instance_id = graph_->pool_.Intern(instance_name);
+  NodeId m_node = Append(NodeLabel::kModuleInvocation, NodeRole::kInvocation,
+                         kAliveFlag, kNoInvocation, module_id, {});
 
   std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
   uint32_t id = static_cast<uint32_t>(graph_->invocations_.size());
   InvocationInfo info;
-  info.module_name = std::move(module_name);
-  info.instance_name = std::move(instance_name);
+  info.module_name = module_id;
+  info.instance_name = instance_id;
   info.execution = execution;
   info.m_node = m_node;
   graph_->invocations_.push_back(std::move(info));
-  graph_->mutable_node(m_node).invocation = id;
+  graph_->shards_[shard_].invocations[NodeIndex(m_node)] = id;
   return id;
 }
 
@@ -165,11 +208,8 @@ NodeId ShardWriter::InvocationNode(uint32_t invocation) const {
 }
 
 NodeId ShardWriter::WorkflowInput(std::string token_name) {
-  ProvNode n;
-  n.label = NodeLabel::kToken;
-  n.role = NodeRole::kWorkflowInput;
-  n.payload = std::move(token_name);
-  return Append(std::move(n));
+  return Append(NodeLabel::kToken, NodeRole::kWorkflowInput, kAliveFlag,
+                kNoInvocation, graph_->pool_.Intern(token_name), {});
 }
 
 NodeId ShardWriter::ModuleInput(uint32_t invocation, NodeId tuple_node) {
@@ -245,34 +285,116 @@ ShardWriter ProvenanceGraph::AddShard() {
   return ShardWriter(this, static_cast<uint32_t>(shards_.size() - 1));
 }
 
-bool ProvenanceGraph::Contains(NodeId id) const {
-  if (id == kInvalidNode) return false;
+void ProvenanceGraph::SetAlive(NodeId id, bool alive) {
   uint32_t s = NodeShard(id);
-  if (s >= shards_.size()) return false;
   uint64_t i = NodeIndex(id);
-  return i < shards_[s].nodes.size() && shards_[s].nodes[i].alive;
+  LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                      i < shards_[s].size(),
+                  "SetAlive: node id out of range");
+  uint8_t& flags = shards_[s].flags[i];
+  flags = alive ? (flags | internal::kAliveFlag)
+                : (flags & ~internal::kAliveFlag);
+  sealed_ = false;
+}
+
+void ProvenanceGraph::SetParents(NodeId id, std::span<const NodeId> parents) {
+  uint32_t s = NodeShard(id);
+  uint64_t i = NodeIndex(id);
+  LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                      i < shards_[s].size(),
+                  "SetParents: node id out of range");
+  StoreParents(shards_[s], i, parents);
+  sealed_ = false;
+}
+
+void ProvenanceGraph::AddParent(NodeId id, NodeId parent) {
+  uint32_t s = NodeShard(id);
+  uint64_t i = NodeIndex(id);
+  LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                      i < shards_[s].size(),
+                  "AddParent: node id out of range");
+  NodeColumns& sh = shards_[s];
+  ParentSlot& slot = sh.parents[i];
+  if (slot.count < kInlineParents) {
+    slot.ab[slot.count++] = parent;
+  } else if (slot.count == kInlineParents) {
+    // Spills to the arena: copy the inline pair, then the new edge.
+    uint64_t offset = sh.edge_arena.size();
+    sh.edge_arena.push_back(slot.ab[0]);
+    sh.edge_arena.push_back(slot.ab[1]);
+    sh.edge_arena.push_back(parent);
+    slot.ab[0] = offset;
+    slot.ab[1] = kInvalidNode;
+    slot.count = 3;
+  } else if (slot.ab[0] + slot.count == sh.edge_arena.size()) {
+    // Slot already sits at the arena tail: grow in place.
+    sh.edge_arena.push_back(parent);
+    ++slot.count;
+  } else {
+    uint64_t offset = sh.edge_arena.size();
+    sh.edge_arena.insert(sh.edge_arena.end(),
+                         sh.edge_arena.begin() + slot.ab[0],
+                         sh.edge_arena.begin() + slot.ab[0] + slot.count);
+    sh.edge_arena.push_back(parent);
+    slot.ab[0] = offset;
+    ++slot.count;
+  }
+  sealed_ = false;
+}
+
+void ProvenanceGraph::ClearParents(NodeId id) {
+  SetParents(id, {});
+}
+
+void ProvenanceGraph::SetRole(NodeId id, NodeRole role) {
+  uint32_t s = NodeShard(id);
+  uint64_t i = NodeIndex(id);
+  LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                      i < shards_[s].size(),
+                  "SetRole: node id out of range");
+  shards_[s].roles[i] = role;
+}
+
+void ProvenanceGraph::SetInvocationTag(NodeId id, uint32_t invocation) {
+  uint32_t s = NodeShard(id);
+  uint64_t i = NodeIndex(id);
+  LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                      i < shards_[s].size(),
+                  "SetInvocationTag: node id out of range");
+  shards_[s].invocations[i] = invocation;
+}
+
+void ProvenanceGraph::SetValueNodeFlag(NodeId id, bool is_value_node) {
+  uint32_t s = NodeShard(id);
+  uint64_t i = NodeIndex(id);
+  LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                      i < shards_[s].size(),
+                  "SetValueNodeFlag: node id out of range");
+  uint8_t& flags = shards_[s].flags[i];
+  flags = is_value_node ? (flags | internal::kValueNodeFlag)
+                        : (flags & ~internal::kValueNodeFlag);
 }
 
 size_t ProvenanceGraph::num_nodes() const {
   size_t n = 0;
-  for (const Shard& s : shards_) n += s.nodes.size();
+  for (const NodeColumns& s : shards_) n += s.size();
   return n;
 }
 
 size_t ProvenanceGraph::num_alive() const {
   size_t n = 0;
-  for (const Shard& s : shards_) {
-    for (const ProvNode& node : s.nodes) n += node.alive ? 1 : 0;
+  for (const NodeColumns& s : shards_) {
+    for (uint8_t f : s.flags) n += (f & kAliveFlag) ? 1 : 0;
   }
   return n;
 }
 
 size_t ProvenanceGraph::num_edges() const {
   size_t n = 0;
-  for (const Shard& s : shards_) {
-    for (const ProvNode& node : s.nodes) {
-      if (!node.alive) continue;
-      for (NodeId p : node.parents) n += Contains(p) ? 1 : 0;
+  for (const NodeColumns& s : shards_) {
+    for (uint64_t i = 0; i < s.size(); ++i) {
+      if (!(s.flags[i] & kAliveFlag)) continue;
+      for (NodeId p : s.ParentSpan(i)) n += Contains(p) ? 1 : 0;
     }
   }
   return n;
@@ -281,38 +403,58 @@ size_t ProvenanceGraph::num_edges() const {
 std::vector<NodeId> ProvenanceGraph::AllNodeIds() const {
   std::vector<NodeId> ids;
   ids.reserve(num_nodes());
-  for (uint32_t s = 0; s < shards_.size(); ++s) {
-    for (uint64_t i = 0; i < shards_[s].nodes.size(); ++i) {
-      ids.push_back(MakeNodeId(s, i));
-    }
-  }
+  ForEachNode([&ids](NodeId id) { ids.push_back(id); });
   return ids;
 }
 
 void ProvenanceGraph::Seal() {
-  for (Shard& s : shards_) {
-    s.children.assign(s.nodes.size(), {});
+  // Two-pass CSR build per shard: count alive-child edges into each
+  // parent, prefix-sum into offsets, then fill. Iteration order (shard,
+  // index) matches the historical nested-vector build, so children of a
+  // parent stay sorted by (child shard, child index).
+  for (NodeColumns& s : shards_) {
+    s.child_offsets.assign(s.size() + 1, 0);
+    s.child_edges.clear();
   }
   for (uint32_t s = 0; s < shards_.size(); ++s) {
-    for (uint64_t i = 0; i < shards_[s].nodes.size(); ++i) {
-      const ProvNode& node = shards_[s].nodes[i];
-      if (!node.alive) continue;
-      NodeId child = MakeNodeId(s, i);
-      for (NodeId p : node.parents) {
+    const NodeColumns& sh = shards_[s];
+    for (uint64_t i = 0; i < sh.size(); ++i) {
+      if (!(sh.flags[i] & kAliveFlag)) continue;
+      for (NodeId p : sh.ParentSpan(i)) {
         if (!Contains(p)) continue;
-        shards_[NodeShard(p)].children[NodeIndex(p)].push_back(child);
+        ++shards_[NodeShard(p)].child_offsets[NodeIndex(p) + 1];
+      }
+    }
+  }
+  for (NodeColumns& s : shards_) {
+    uint64_t total = 0;
+    for (size_t i = 1; i < s.child_offsets.size(); ++i) {
+      total += s.child_offsets[i];
+      LIPSTICK_CHECK(total <= 0xffffffffull,
+                     "shard exceeds 2^32 child edges");
+      s.child_offsets[i] = static_cast<uint32_t>(total);
+    }
+    s.child_edges.resize(total);
+  }
+  // Fill pass; cursor tracks the next free slot per parent.
+  std::vector<std::vector<uint32_t>> cursor(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    cursor[s].assign(shards_[s].child_offsets.begin(),
+                     shards_[s].child_offsets.end() - 1);
+  }
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    const NodeColumns& sh = shards_[s];
+    for (uint64_t i = 0; i < sh.size(); ++i) {
+      if (!(sh.flags[i] & kAliveFlag)) continue;
+      NodeId child = MakeNodeId(s, i);
+      for (NodeId p : sh.ParentSpan(i)) {
+        if (!Contains(p)) continue;
+        uint32_t ps = NodeShard(p);
+        shards_[ps].child_edges[cursor[ps][NodeIndex(p)]++] = child;
       }
     }
   }
   sealed_ = true;
-}
-
-const std::vector<NodeId>& ProvenanceGraph::Children(NodeId id) const {
-  // Always-on: reading children of an unsealed graph would index a stale
-  // (possibly shorter) adjacency vector — UB in release builds if this
-  // were a plain assert.
-  LIPSTICK_CHECK(sealed_, "call Seal() before Children()");
-  return shards_[NodeShard(id)].children[NodeIndex(id)];
 }
 
 size_t ProvenanceGraph::num_live_invocations() const {
@@ -325,7 +467,7 @@ size_t ProvenanceGraph::num_live_invocations() const {
 ProvenanceGraph::Savepoint ProvenanceGraph::TakeSavepoint() const {
   Savepoint sp;
   sp.shard_sizes.reserve(shards_.size());
-  for (const Shard& s : shards_) sp.shard_sizes.push_back(s.nodes.size());
+  for (const NodeColumns& s : shards_) sp.shard_sizes.push_back(s.size());
   std::lock_guard<std::mutex> lock(*invocations_mu_);
   sp.invocation_count = invocations_.size();
   return sp;
@@ -348,13 +490,15 @@ void ProvenanceGraph::RollbackTo(const Savepoint& savepoint) {
 }
 
 size_t ProvenanceGraph::ShardSize(uint32_t shard) const {
-  return shards_[shard].nodes.size();
+  return shards_[shard].size();
 }
 
 void ProvenanceGraph::KillShardTail(uint32_t shard, size_t from) {
-  Shard& s = shards_[shard];
-  if (from >= s.nodes.size()) return;
-  for (size_t i = from; i < s.nodes.size(); ++i) s.nodes[i].alive = false;
+  NodeColumns& s = shards_[shard];
+  if (from >= s.size()) return;
+  for (size_t i = from; i < s.size(); ++i) {
+    s.flags[i] &= static_cast<uint8_t>(~kAliveFlag);
+  }
   sealed_ = false;
 }
 
@@ -370,12 +514,39 @@ void ProvenanceGraph::AbortInvocation(uint32_t invocation) {
 std::vector<std::pair<std::string, size_t>> ProvenanceGraph::LabelHistogram()
     const {
   std::map<std::string, size_t> counts;
-  for (const Shard& s : shards_) {
-    for (const ProvNode& node : s.nodes) {
-      if (node.alive) ++counts[NodeLabelToString(node.label)];
+  for (const NodeColumns& s : shards_) {
+    for (uint64_t i = 0; i < s.size(); ++i) {
+      if (s.flags[i] & kAliveFlag) ++counts[NodeLabelToString(s.labels[i])];
     }
   }
   return {counts.begin(), counts.end()};
+}
+
+ProvenanceGraph::MemoryStats ProvenanceGraph::ComputeMemoryStats() const {
+  MemoryStats ms;
+  for (const NodeColumns& s : shards_) {
+    ms.column_bytes += s.labels.capacity() * sizeof(NodeLabel) +
+                       s.roles.capacity() * sizeof(NodeRole) +
+                       s.flags.capacity() * sizeof(uint8_t) +
+                       s.invocations.capacity() * sizeof(uint32_t) +
+                       s.payloads.capacity() * sizeof(StrId) +
+                       s.parents.capacity() * sizeof(ParentSlot) +
+                       s.value_idx.capacity() * sizeof(uint32_t);
+    ms.edge_arena_bytes += s.edge_arena.capacity() * sizeof(NodeId);
+    ms.csr_bytes += s.child_offsets.capacity() * sizeof(uint32_t) +
+                    s.child_edges.capacity() * sizeof(NodeId);
+    ms.value_bytes += s.values.capacity() * sizeof(Value);
+  }
+  ms.interner_bytes = pool_.MemoryBytes();
+  std::lock_guard<std::mutex> lock(*invocations_mu_);
+  for (const InvocationInfo& inv : invocations_) {
+    ms.invocation_bytes += sizeof(InvocationInfo) +
+                           (inv.input_nodes.capacity() +
+                            inv.output_nodes.capacity() +
+                            inv.state_nodes.capacity()) *
+                               sizeof(NodeId);
+  }
+  return ms;
 }
 
 }  // namespace lipstick

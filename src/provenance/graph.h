@@ -4,12 +4,16 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/check.h"
 #include "common/result.h"
+#include "provenance/string_pool.h"
 #include "relational/value.h"
 
 namespace lipstick {
@@ -64,26 +68,103 @@ enum class NodeRole : uint8_t {
 const char* NodeLabelToString(NodeLabel label);
 const char* NodeRoleToString(NodeRole role);
 
-/// A provenance graph node. `parents` are the nodes this node was derived
-/// from (edges point parent -> child in derivation order; we store the
-/// incoming side). `children` adjacency is computed by Seal().
-struct ProvNode {
-  NodeLabel label = NodeLabel::kToken;
-  NodeRole role = NodeRole::kIntermediate;
-  bool is_value_node = false;   // v-node vs p-node
-  bool alive = true;            // false after zoom/deletion materialization
-  uint32_t invocation = kNoInvocation;
-  std::vector<NodeId> parents;
-  std::string payload;          // token / op / function / module name
-  Value value;                  // for v-nodes (aggregate results, constants)
+/// The shared Null returned for nodes that carry no value.
+const Value& NullValue();
+
+namespace internal {
+
+inline constexpr uint32_t kAliveFlag = 0x1;
+inline constexpr uint32_t kValueNodeFlag = 0x2;
+inline constexpr uint32_t kNoValueIdx = 0xffffffffu;
+inline constexpr uint32_t kInlineParents = 2;
+
+/// Parent adjacency of one node. Up to kInlineParents ids are stored
+/// inline (the +/·/⊗ common case); larger lists live in the owning
+/// shard's edge arena, with ab[0] holding the arena offset.
+struct ParentSlot {
+  uint32_t count = 0;
+  uint32_t reserved = 0;
+  NodeId ab[2] = {kInvalidNode, kInvalidNode};
+};
+
+/// One shard of columnar (struct-of-arrays) node storage. A node is a row
+/// across the parallel columns; ShardWriter::Append pushes one element to
+/// each. The layout exists for traversal speed: scans touch only the
+/// columns they need, and parent/child adjacency is contiguous (inline
+/// slots + edge arena, CSR after Seal) instead of per-node heap vectors.
+struct NodeColumns {
+  std::vector<NodeLabel> labels;
+  std::vector<NodeRole> roles;
+  std::vector<uint8_t> flags;         // kAliveFlag | kValueNodeFlag
+  std::vector<uint32_t> invocations;  // kNoInvocation if untagged
+  std::vector<StrId> payloads;        // interned token/op/function/module
+  std::vector<ParentSlot> parents;
+  std::vector<NodeId> edge_arena;     // overflow parent lists
+  std::vector<uint32_t> value_idx;    // kNoValueIdx or index into values
+  std::vector<Value> values;          // sparse: v-nodes with a value
+  // CSR children index, built by Seal(): children of node i are
+  // child_edges[child_offsets[i] .. child_offsets[i+1]).
+  std::vector<uint32_t> child_offsets;
+  std::vector<NodeId> child_edges;
+
+  size_t size() const { return labels.size(); }
+
+  std::span<const NodeId> ParentSpan(uint64_t i) const {
+    const ParentSlot& p = parents[i];
+    if (p.count <= kInlineParents) return {p.ab, p.count};
+    return {edge_arena.data() + p.ab[0], p.count};
+  }
+};
+
+}  // namespace internal
+
+/// Read-only view of one node of a ProvenanceGraph. Cheap to copy (three
+/// words); reads resolve directly into the columnar storage. Views are
+/// invalidated by appends and mutations, like iterators.
+class NodeView {
+ public:
+  NodeLabel label() const { return sh_->labels[i_]; }
+  NodeRole role() const { return sh_->roles[i_]; }
+  bool is_value_node() const {
+    return (sh_->flags[i_] & internal::kValueNodeFlag) != 0;
+  }
+  bool alive() const { return (sh_->flags[i_] & internal::kAliveFlag) != 0; }
+  uint32_t invocation() const { return sh_->invocations[i_]; }
+
+  /// Token / op / function / module name (empty for unlabeled nodes).
+  std::string_view payload() const { return pool_->Get(sh_->payloads[i_]); }
+  StrId payload_id() const { return sh_->payloads[i_]; }
+
+  /// The nodes this node was derived from (edges point parent -> child in
+  /// derivation order; this is the incoming side).
+  std::span<const NodeId> parents() const { return sh_->ParentSpan(i_); }
+  size_t num_parents() const { return sh_->parents[i_].count; }
+
+  /// Value carried by v-nodes (aggregate results, constants); NullValue()
+  /// for nodes without one.
+  const Value& value() const {
+    uint32_t v = sh_->value_idx[i_];
+    return v == internal::kNoValueIdx ? NullValue() : sh_->values[v];
+  }
+
+ private:
+  friend class ProvenanceGraph;
+  NodeView(const StringPool* pool, const internal::NodeColumns* sh,
+           uint64_t i)
+      : pool_(pool), sh_(sh), i_(i) {}
+
+  const StringPool* pool_;
+  const internal::NodeColumns* sh_;
+  uint64_t i_;
 };
 
 /// Metadata for one module invocation ("m" node): which module, which
-/// workflow node, which execution of the sequence.
+/// workflow node, which execution of the sequence. Names are interned in
+/// the owning graph's StringPool — resolve with graph.str(...).
 struct InvocationInfo {
-  std::string module_name;      // module specification name (e.g. "dealer")
-  std::string instance_name;    // module identity (e.g. "dealer1")
-  uint32_t execution = 0;       // index in the execution sequence
+  StrId module_name = kEmptyStr;    // module specification name ("dealer")
+  StrId instance_name = kEmptyStr;  // module identity ("dealer1")
+  uint32_t execution = 0;           // index in the execution sequence
   NodeId m_node = kInvalidNode;
   // Structural node sets recorded during tracking; used by ZoomOut.
   std::vector<NodeId> input_nodes;
@@ -97,11 +178,25 @@ struct InvocationInfo {
   bool aborted() const { return m_node == kInvalidNode; }
 };
 
+/// A fully-formed node, used by the deserialization path (provio) to
+/// restore nodes with explicit liveness and payload.
+struct NodeRecord {
+  NodeLabel label = NodeLabel::kToken;
+  NodeRole role = NodeRole::kIntermediate;
+  bool is_value_node = false;
+  bool alive = true;
+  uint32_t invocation = kNoInvocation;
+  std::vector<NodeId> parents;
+  std::string payload;
+  Value value;
+};
+
 class ProvenanceGraph;
 
 /// Appends nodes to one shard of a ProvenanceGraph. Each concurrent task
 /// owns one ShardWriter; no locking is required because a writer only
-/// appends to its own shard and only references already-created nodes.
+/// appends to its own shard and only references already-created nodes
+/// (string interning takes the pool's internal lock).
 class ShardWriter {
  public:
   ShardWriter(ProvenanceGraph* graph, uint32_t shard)
@@ -125,6 +220,12 @@ class ShardWriter {
   NodeId ConstValue(Value v);
   /// Black-box (UDF) node.
   NodeId BlackBox(std::string function, std::vector<NodeId> parents);
+  /// Collapsed-module p-node appended by ZoomOut.
+  NodeId ZoomedModule(std::string_view module, std::vector<NodeId> parents,
+                      uint32_t invocation);
+
+  /// Appends a node with every field explicit (deserialization path).
+  NodeId Restore(const NodeRecord& record);
 
   /// Registers a module invocation and creates its "m" node.
   uint32_t BeginInvocation(std::string module_name, std::string instance_name,
@@ -151,6 +252,8 @@ class ShardWriter {
   /// observation that outputs depend on only ~2% of the state (§5.5).
   void BeginStateScope(uint32_t invocation,
                        const std::unordered_set<NodeId>* eligible);
+  /// Ends the scope and clears the wrap cache: a writer reused by a later
+  /// invocation must never resolve a stale "s" node of a previous scope.
   void EndStateScope();
 
   /// Returns the annotation to use as a derivation parent: the lazily
@@ -161,7 +264,9 @@ class ShardWriter {
   uint32_t shard() const { return shard_; }
 
  private:
-  NodeId Append(ProvNode node);
+  NodeId Append(NodeLabel label, NodeRole role, uint32_t flags,
+                uint32_t invocation, StrId payload,
+                std::span<const NodeId> parents);
 
   ProvenanceGraph* graph_;
   uint32_t shard_;
@@ -176,6 +281,10 @@ class ShardWriter {
 /// Construction phase: ShardWriters append nodes recording only parent
 /// (incoming) edges. Query phase: Seal() derives the children adjacency;
 /// zoom / deletion / subgraph operations then run on the sealed graph.
+///
+/// Storage is columnar (internal::NodeColumns, one set of parallel arrays
+/// per shard) with payload strings interned in a StringPool; see
+/// DESIGN.md §"Graph storage layout".
 class ProvenanceGraph {
  public:
   ProvenanceGraph() { shards_.emplace_back(); }
@@ -186,13 +295,110 @@ class ProvenanceGraph {
   /// Writer for the default shard 0 (single-threaded use).
   ShardWriter writer() { return ShardWriter(this, 0); }
 
-  const ProvNode& node(NodeId id) const {
-    return shards_[NodeShard(id)].nodes[NodeIndex(id)];
+  /// Read-only view of a node. Bounds are LIPSTICK_DCHECKed: passing an id
+  /// from another graph (or kInvalidNode) aborts in debug builds instead of
+  /// being silent UB.
+  NodeView node(NodeId id) const {
+    uint32_t s = NodeShard(id);
+    uint64_t i = NodeIndex(id);
+    LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                        i < shards_[s].size(),
+                    "node id out of range for this graph");
+    return NodeView(&pool_, &shards_[s], i);
   }
-  ProvNode& mutable_node(NodeId id) {
-    return shards_[NodeShard(id)].nodes[NodeIndex(id)];
+
+  /// True iff `id` names a node of this graph that is currently alive.
+  bool Contains(NodeId id) const {
+    if (id == kInvalidNode) return false;
+    uint32_t s = NodeShard(id);
+    if (s >= shards_.size()) return false;
+    uint64_t i = NodeIndex(id);
+    return i < shards_[s].size() &&
+           (shards_[s].flags[i] & internal::kAliveFlag) != 0;
   }
-  bool Contains(NodeId id) const;
+
+  /// True iff `id` names a node ever created in this graph (alive or dead).
+  bool InGraph(NodeId id) const {
+    if (id == kInvalidNode) return false;
+    uint32_t s = NodeShard(id);
+    return s < shards_.size() && NodeIndex(id) < shards_[s].size();
+  }
+
+  /// ------------------------------------------------------------------
+  /// Traversal API. Spans point into the columnar storage and are
+  /// invalidated by appends and parent mutations.
+  /// ------------------------------------------------------------------
+
+  /// Incoming edges of `id` (the nodes it was derived from).
+  std::span<const NodeId> ParentsOf(NodeId id) const {
+    uint32_t s = NodeShard(id);
+    uint64_t i = NodeIndex(id);
+    LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                        i < shards_[s].size(),
+                    "ParentsOf: node id out of range");
+    return shards_[s].ParentSpan(i);
+  }
+
+  /// Outgoing edges of `id`; graph must be sealed. Always-on check:
+  /// reading children of an unsealed graph would index a stale CSR.
+  std::span<const NodeId> ChildrenOf(NodeId id) const {
+    LIPSTICK_CHECK(sealed_, "call Seal() before ChildrenOf()");
+    uint32_t s = NodeShard(id);
+    uint64_t i = NodeIndex(id);
+    LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                        i < shards_[s].size(),
+                    "ChildrenOf: node id out of range");
+    const internal::NodeColumns& sh = shards_[s];
+    return {sh.child_edges.data() + sh.child_offsets[i],
+            sh.child_offsets[i + 1] - sh.child_offsets[i]};
+  }
+
+  /// Calls `fn(NodeId)` for every node ever created (alive or dead), in
+  /// deterministic (shard, index) order. The zero-allocation replacement
+  /// for materializing AllNodeIds().
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      size_t n = shards_[s].size();
+      for (uint64_t i = 0; i < n; ++i) fn(MakeNodeId(s, i));
+    }
+  }
+
+  /// Calls `fn(NodeId)` for every alive node, in deterministic order.
+  template <typename Fn>
+  void ForEachAliveNode(Fn&& fn) const {
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      const internal::NodeColumns& sh = shards_[s];
+      size_t n = sh.size();
+      for (uint64_t i = 0; i < n; ++i) {
+        if (sh.flags[i] & internal::kAliveFlag) fn(MakeNodeId(s, i));
+      }
+    }
+  }
+
+  /// Materialized id list (alive or dead). Test convenience; production
+  /// code uses ForEachNode.
+  std::vector<NodeId> AllNodeIds() const;
+
+  /// ------------------------------------------------------------------
+  /// Mutation API (zoom / deletion / restore paths).
+  /// ------------------------------------------------------------------
+
+  /// Marks a node alive or dead. Dirties the seal.
+  void SetAlive(NodeId id, bool alive);
+  /// Replaces the parent list of `id`. Dirties the seal.
+  void SetParents(NodeId id, std::span<const NodeId> parents);
+  /// Appends one parent edge to `id`. Dirties the seal.
+  void AddParent(NodeId id, NodeId parent);
+  /// Removes all parent edges of `id`. Dirties the seal.
+  void ClearParents(NodeId id);
+
+  /// Column pokes for tools and validator tests that need to fabricate
+  /// specific (possibly corrupt) node states. They do not touch
+  /// adjacency, so the seal stays valid.
+  void SetRole(NodeId id, NodeRole role);
+  void SetInvocationTag(NodeId id, uint32_t invocation);
+  void SetValueNodeFlag(NodeId id, bool is_value_node);
 
   /// Total nodes ever created (including dead ones).
   size_t num_nodes() const;
@@ -201,17 +407,24 @@ class ProvenanceGraph {
   /// Number of edges among alive nodes.
   size_t num_edges() const;
 
-  /// Iterates over all node ids (alive or dead) in a deterministic order.
-  std::vector<NodeId> AllNodeIds() const;
-
-  /// Builds the children adjacency. Must be called after tracking finishes
-  /// and before Children() / queries. Re-runs after mutations if dirty.
+  /// Builds the children adjacency as a per-shard CSR index (offsets +
+  /// flat edge array). Must be called after tracking finishes and before
+  /// ChildrenOf() / queries. Re-runs after mutations if dirty.
   void Seal();
   bool sealed() const { return sealed_; }
   void MarkDirty() { sealed_ = false; }
+  /// Inverse of MarkDirty(): claims the children index is fresh without
+  /// rebuilding it. Exists so the validator's stale-seal detector
+  /// (G0310) can be exercised deterministically; never call it on a
+  /// graph whose adjacency you intend to trust.
+  void MarkSealed() { sealed_ = true; }
 
-  /// Outgoing edges of `id`; graph must be sealed.
-  const std::vector<NodeId>& Children(NodeId id) const;
+  /// The graph's string interner (payloads, module/instance names).
+  const StringPool& strings() const { return pool_; }
+  /// Resolves an interned id; str(inv.module_name) etc.
+  std::string_view str(StrId id) const { return pool_.Get(id); }
+  /// Interns a string (tracking and deserialization paths).
+  StrId InternString(std::string_view s) { return pool_.Intern(s); }
 
   /// Registered invocations, indexed by invocation id.
   const std::vector<InvocationInfo>& invocations() const {
@@ -243,6 +456,10 @@ class ProvenanceGraph {
   /// Number of nodes currently in `shard` — a per-shard savepoint for
   /// rolling back a single failed invocation attempt.
   size_t ShardSize(uint32_t shard) const;
+  /// Number of shards ever created (dense: ids 0..num_shards()-1).
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
   /// Marks every node of `shard` with index >= `from` dead. Safe to call
   /// from the task that owns the shard while other shards are written.
   void KillShardTail(uint32_t shard, size_t from);
@@ -253,15 +470,31 @@ class ProvenanceGraph {
   /// Per-label alive-node counts, for diagnostics and tests.
   std::vector<std::pair<std::string, size_t>> LabelHistogram() const;
 
+  /// Bytes held by each storage component, for size accounting
+  /// (bench_prov_size) and capacity planning.
+  struct MemoryStats {
+    size_t column_bytes = 0;      // fixed-width SoA columns + parent slots
+    size_t edge_arena_bytes = 0;  // overflow parent lists
+    size_t csr_bytes = 0;         // sealed children index
+    size_t value_bytes = 0;       // sparse v-node value storage
+    size_t interner_bytes = 0;    // StringPool arena + index
+    size_t invocation_bytes = 0;  // invocation records
+    size_t total() const {
+      return column_bytes + edge_arena_bytes + csr_bytes + value_bytes +
+             interner_bytes + invocation_bytes;
+    }
+  };
+  MemoryStats ComputeMemoryStats() const;
+
  private:
   friend class ShardWriter;
 
-  struct Shard {
-    std::vector<ProvNode> nodes;
-    std::vector<std::vector<NodeId>> children;  // built by Seal()
-  };
+  internal::NodeColumns& ShardFor(NodeId id) {
+    return shards_[NodeShard(id)];
+  }
 
-  std::vector<Shard> shards_;
+  std::vector<internal::NodeColumns> shards_;
+  StringPool pool_;
   std::vector<InvocationInfo> invocations_;
   // Guards invocations_: invocation registration and the per-invocation
   // input/output/state node lists are shared across concurrent tasks

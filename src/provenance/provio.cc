@@ -14,7 +14,7 @@ namespace {
 
 // Percent-encodes whitespace, '%', and non-printable bytes so every record
 // stays on one whitespace-delimited line.
-std::string Escape(const std::string& s) {
+std::string Escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (unsigned char c : s) {
@@ -82,7 +82,7 @@ Result<Value> DecodeValue(const std::string& s) {
   }
 }
 
-std::string EncodeIdList(const std::vector<NodeId>& ids) {
+std::string EncodeIdList(std::span<const NodeId> ids) {
   if (ids.empty()) return "-";
   std::vector<std::string> parts;
   parts.reserve(ids.size());
@@ -100,26 +100,52 @@ Result<std::vector<NodeId>> DecodeIdList(const std::string& s) {
   return out;
 }
 
+// Maps string indices of the file's strings table to the loading graph's
+// pool. Index 0 is the implicit empty string.
+struct StringTable {
+  std::vector<StrId> ids{kEmptyStr};
+
+  Result<StrId> Resolve(uint32_t file_idx) const {
+    if (file_idx >= ids.size()) {
+      return Status::ParseError(StrCat("string index out of range: ",
+                                       file_idx));
+    }
+    return ids[file_idx];
+  }
+};
+
+Result<ProvenanceGraph> LoadGraphV1(std::istream& is);
+Result<ProvenanceGraph> LoadGraphV2(std::istream& is);
+
 }  // namespace
 
 Status SaveGraph(const ProvenanceGraph& graph, std::ostream& os) {
-  os << "LIPSTICKGRAPH v1\n";
-  // Shard sizes, recovered exactly on load so node ids stay stable.
-  std::vector<NodeId> ids = graph.AllNodeIds();
-  uint32_t max_shard = 0;
-  for (NodeId id : ids) max_shard = std::max(max_shard, NodeShard(id));
-  os << "shards " << (max_shard + 1) << "\n";
-  for (NodeId id : ids) {
-    const ProvNode& n = graph.node(id);
-    os << "n " << id << ' ' << static_cast<int>(n.label) << ' '
-       << static_cast<int>(n.role) << ' ' << (n.is_value_node ? 1 : 0) << ' '
-       << (n.alive ? 1 : 0) << ' ' << n.invocation << ' '
-       << EncodeIdList(n.parents) << ' ' << Escape(n.payload) << ' '
-       << EncodeValue(n.value) << "\n";
+  // v2: payloads and invocation names are written once, in a strings table
+  // up front; node and invocation records reference table indices. The
+  // graph's interner ids are already dense, so the table is the pool in id
+  // order and every StrId is its own table index.
+  os << "LIPSTICKGRAPH v2\n";
+  size_t num_shards = 1;
+  graph.ForEachNode([&](NodeId id) {
+    num_shards = std::max<size_t>(num_shards, NodeShard(id) + 1);
+  });
+  os << "shards " << num_shards << "\n";
+  const StringPool& pool = graph.strings();
+  os << "strings " << (pool.size() - 1) << "\n";
+  for (StrId i = 1; i < pool.size(); ++i) {
+    os << "s " << Escape(pool.Get(i)) << "\n";
   }
+  graph.ForEachNode([&](NodeId id) {
+    NodeView n = graph.node(id);
+    os << "n " << id << ' ' << static_cast<int>(n.label()) << ' '
+       << static_cast<int>(n.role()) << ' ' << (n.is_value_node() ? 1 : 0)
+       << ' ' << (n.alive() ? 1 : 0) << ' ' << n.invocation() << ' '
+       << EncodeIdList(n.parents()) << ' ' << n.payload_id() << ' '
+       << EncodeValue(n.value()) << "\n";
+  });
   for (const InvocationInfo& inv : graph.invocations()) {
-    os << "v " << Escape(inv.module_name) << ' ' << Escape(inv.instance_name)
-       << ' ' << inv.execution << ' ' << inv.m_node << ' '
+    os << "v " << inv.module_name << ' ' << inv.instance_name << ' '
+       << inv.execution << ' ' << inv.m_node << ' '
        << EncodeIdList(inv.input_nodes) << ' '
        << EncodeIdList(inv.output_nodes) << ' '
        << EncodeIdList(inv.state_nodes) << "\n";
@@ -137,11 +163,95 @@ Status SaveGraphToFile(const ProvenanceGraph& graph, const std::string& path) {
   return SaveGraph(graph, out);
 }
 
-Result<ProvenanceGraph> LoadGraph(std::istream& is) {
-  std::string header;
-  if (!std::getline(is, header) || header != "LIPSTICKGRAPH v1") {
-    return Status::ParseError("bad graph file header");
+namespace {
+
+Result<ProvenanceGraph> LoadGraphV2(std::istream& is) {
+  std::string tag;
+  size_t num_shards = 0;
+  if (!(is >> tag >> num_shards) || tag != "shards" || num_shards == 0) {
+    return Status::ParseError("bad shard count");
   }
+  size_t num_strings = 0;
+  if (!(is >> tag >> num_strings) || tag != "strings") {
+    return Status::ParseError("bad strings count");
+  }
+
+  ProvenanceGraph graph;
+  StringTable strings;
+  strings.ids.reserve(num_strings + 1);
+  for (size_t i = 0; i < num_strings; ++i) {
+    std::string raw;
+    if (!(is >> tag >> raw) || tag != "s") {
+      return Status::ParseError("bad string record");
+    }
+    LIPSTICK_ASSIGN_OR_RETURN(std::string str, Unescape(raw));
+    strings.ids.push_back(graph.InternString(str));
+  }
+
+  std::vector<ShardWriter> writers;
+  writers.push_back(graph.writer());
+  for (size_t s = 1; s < num_shards; ++s) writers.push_back(graph.AddShard());
+
+  while (is >> tag) {
+    if (tag == "end") break;
+    if (tag == "n") {
+      NodeId id;
+      int label, role, vflag, alive;
+      uint32_t invocation, payload_idx;
+      std::string parents_s, value_s;
+      if (!(is >> id >> label >> role >> vflag >> alive >> invocation >>
+            parents_s >> payload_idx >> value_s)) {
+        return Status::ParseError("bad node record");
+      }
+      NodeRecord rec;
+      rec.label = static_cast<NodeLabel>(label);
+      rec.role = static_cast<NodeRole>(role);
+      rec.is_value_node = vflag != 0;
+      rec.alive = alive != 0;
+      rec.invocation = invocation;
+      LIPSTICK_ASSIGN_OR_RETURN(rec.parents, DecodeIdList(parents_s));
+      LIPSTICK_ASSIGN_OR_RETURN(StrId payload, strings.Resolve(payload_idx));
+      rec.payload = std::string(graph.str(payload));
+      LIPSTICK_ASSIGN_OR_RETURN(rec.value, DecodeValue(value_s));
+      uint32_t shard = NodeShard(id);
+      if (shard >= writers.size()) {
+        return Status::ParseError("node references unknown shard");
+      }
+      // Nodes must arrive in id order within each shard.
+      NodeId got = writers[shard].Restore(rec);
+      if (got != id) {
+        return Status::ParseError(
+            StrCat("node id mismatch: expected ", id, " got ", got));
+      }
+    } else if (tag == "v") {
+      uint32_t module_idx, instance_idx, execution;
+      NodeId m_node;
+      std::string in_s, out_s, state_s;
+      if (!(is >> module_idx >> instance_idx >> execution >> m_node >> in_s >>
+            out_s >> state_s)) {
+        return Status::ParseError("bad invocation record");
+      }
+      InvocationInfo info;
+      LIPSTICK_ASSIGN_OR_RETURN(info.module_name,
+                                strings.Resolve(module_idx));
+      LIPSTICK_ASSIGN_OR_RETURN(info.instance_name,
+                                strings.Resolve(instance_idx));
+      info.execution = execution;
+      info.m_node = m_node;
+      LIPSTICK_ASSIGN_OR_RETURN(info.input_nodes, DecodeIdList(in_s));
+      LIPSTICK_ASSIGN_OR_RETURN(info.output_nodes, DecodeIdList(out_s));
+      LIPSTICK_ASSIGN_OR_RETURN(info.state_nodes, DecodeIdList(state_s));
+      graph.RestoreInvocation(std::move(info));
+    } else {
+      return Status::ParseError(StrCat("unknown record tag: ", tag));
+    }
+  }
+  return graph;
+}
+
+// Loader for the legacy v1 format (payload and invocation names written
+// inline per record). Kept so graphs saved by older builds still load.
+Result<ProvenanceGraph> LoadGraphV1(std::istream& is) {
   std::string tag;
   size_t num_shards = 0;
   if (!(is >> tag >> num_shards) || tag != "shards" || num_shards == 0) {
@@ -164,26 +274,24 @@ Result<ProvenanceGraph> LoadGraph(std::istream& is) {
             parents_s >> payload_s >> value_s)) {
         return Status::ParseError("bad node record");
       }
-      ProvNode n;
-      n.label = static_cast<NodeLabel>(label);
-      n.role = static_cast<NodeRole>(role);
-      n.is_value_node = vflag != 0;
-      n.alive = alive != 0;
-      n.invocation = invocation;
-      LIPSTICK_ASSIGN_OR_RETURN(n.parents, DecodeIdList(parents_s));
-      LIPSTICK_ASSIGN_OR_RETURN(n.payload, Unescape(payload_s));
-      LIPSTICK_ASSIGN_OR_RETURN(n.value, DecodeValue(value_s));
+      NodeRecord rec;
+      rec.label = static_cast<NodeLabel>(label);
+      rec.role = static_cast<NodeRole>(role);
+      rec.is_value_node = vflag != 0;
+      rec.alive = alive != 0;
+      rec.invocation = invocation;
+      LIPSTICK_ASSIGN_OR_RETURN(rec.parents, DecodeIdList(parents_s));
+      LIPSTICK_ASSIGN_OR_RETURN(rec.payload, Unescape(payload_s));
+      LIPSTICK_ASSIGN_OR_RETURN(rec.value, DecodeValue(value_s));
       uint32_t shard = NodeShard(id);
       if (shard >= writers.size()) {
         return Status::ParseError("node references unknown shard");
       }
-      // Nodes must arrive in id order within each shard.
-      NodeId got = shard == 0 ? writers[0].Plus({}) : writers[shard].Plus({});
+      NodeId got = writers[shard].Restore(rec);
       if (got != id) {
         return Status::ParseError(
             StrCat("node id mismatch: expected ", id, " got ", got));
       }
-      graph.mutable_node(id) = std::move(n);
     } else if (tag == "v") {
       std::string module_s, instance_s, in_s, out_s, state_s;
       uint32_t execution;
@@ -193,8 +301,10 @@ Result<ProvenanceGraph> LoadGraph(std::istream& is) {
         return Status::ParseError("bad invocation record");
       }
       InvocationInfo info;
-      LIPSTICK_ASSIGN_OR_RETURN(info.module_name, Unescape(module_s));
-      LIPSTICK_ASSIGN_OR_RETURN(info.instance_name, Unescape(instance_s));
+      LIPSTICK_ASSIGN_OR_RETURN(std::string module, Unescape(module_s));
+      LIPSTICK_ASSIGN_OR_RETURN(std::string instance, Unescape(instance_s));
+      info.module_name = graph.InternString(module);
+      info.instance_name = graph.InternString(instance);
       info.execution = execution;
       info.m_node = m_node;
       LIPSTICK_ASSIGN_OR_RETURN(info.input_nodes, DecodeIdList(in_s));
@@ -206,6 +316,18 @@ Result<ProvenanceGraph> LoadGraph(std::istream& is) {
     }
   }
   return graph;
+}
+
+}  // namespace
+
+Result<ProvenanceGraph> LoadGraph(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) {
+    return Status::ParseError("bad graph file header");
+  }
+  if (header == "LIPSTICKGRAPH v2") return LoadGraphV2(is);
+  if (header == "LIPSTICKGRAPH v1") return LoadGraphV1(is);
+  return Status::ParseError("bad graph file header");
 }
 
 Result<ProvenanceGraph> LoadGraphFromFile(const std::string& path) {

@@ -9,42 +9,47 @@
 namespace lipstick {
 
 NodePredicate ByLabel(NodeLabel label) {
-  return [label](NodeId, const ProvNode& n) { return n.label == label; };
+  return [label](NodeId, const NodeView& n) { return n.label() == label; };
 }
 
 NodePredicate ByRole(NodeRole role) {
-  return [role](NodeId, const ProvNode& n) { return n.role == role; };
+  return [role](NodeId, const NodeView& n) { return n.role() == role; };
 }
 
 NodePredicate ByPayload(const std::string& substring) {
-  return [substring](NodeId, const ProvNode& n) {
-    return n.payload.find(substring) != std::string::npos;
+  return [substring](NodeId, const NodeView& n) {
+    return n.payload().find(substring) != std::string_view::npos;
   };
 }
 
 NodePredicate ByModule(const ProvenanceGraph& graph, std::string module) {
   const ProvenanceGraph* g = &graph;
-  return [g, module = std::move(module)](NodeId, const ProvNode& n) {
-    if (n.invocation == kNoInvocation) return false;
-    if (n.invocation >= g->invocations().size()) return false;
-    return g->invocations()[n.invocation].module_name == module;
+  // Interned names make this an integer comparison per node; a module
+  // name absent from the pool can never match.
+  StrId module_id = graph.strings().Find(module);
+  return [g, module_id](NodeId, const NodeView& n) {
+    if (module_id == kStrNotFound) return false;
+    uint32_t inv = n.invocation();
+    if (inv == kNoInvocation) return false;
+    if (inv >= g->invocations().size()) return false;
+    return g->invocations()[inv].module_name == module_id;
   };
 }
 
 NodePredicate And(NodePredicate a, NodePredicate b) {
-  return [a = std::move(a), b = std::move(b)](NodeId id, const ProvNode& n) {
+  return [a = std::move(a), b = std::move(b)](NodeId id, const NodeView& n) {
     return a(id, n) && b(id, n);
   };
 }
 
 NodePredicate Or(NodePredicate a, NodePredicate b) {
-  return [a = std::move(a), b = std::move(b)](NodeId id, const ProvNode& n) {
+  return [a = std::move(a), b = std::move(b)](NodeId id, const NodeView& n) {
     return a(id, n) || b(id, n);
   };
 }
 
 NodePredicate Not(NodePredicate p) {
-  return [p = std::move(p)](NodeId id, const ProvNode& n) {
+  return [p = std::move(p)](NodeId id, const NodeView& n) {
     return !p(id, n);
   };
 }
@@ -52,10 +57,9 @@ NodePredicate Not(NodePredicate p) {
 std::vector<NodeId> FindNodes(const ProvenanceGraph& graph,
                               const NodePredicate& pred) {
   std::vector<NodeId> out;
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!graph.Contains(id)) continue;
+  graph.ForEachAliveNode([&](NodeId id) {
     if (pred(id, graph.node(id))) out.push_back(id);
-  }
+  });
   return out;
 }
 
@@ -79,7 +83,7 @@ Result<std::vector<NodeId>> ShortestDerivationPath(
   while (!queue.empty()) {
     NodeId id = queue.front();
     queue.pop_front();
-    for (NodeId child : graph.Children(id)) {
+    for (NodeId child : graph.ChildrenOf(id)) {
       if (!graph.Contains(child) || parent_of.count(child)) continue;
       parent_of[child] = id;
       if (child == to) {
@@ -116,32 +120,28 @@ Result<GraphStats> ComputeGraphStats(const ProvenanceGraph& graph) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (NodeId id : graph.AllNodeIds()) {
-      if (!graph.Contains(id)) continue;
-      const ProvNode& n = graph.node(id);
+    graph.ForEachAliveNode([&](NodeId id) {
       size_t best = 0;
-      for (NodeId p : n.parents) {
+      for (NodeId p : graph.ParentsOf(id)) {
         if (graph.Contains(p)) best = std::max(best, depth[p] + 1);
       }
       if (best > depth[id]) {
         depth[id] = best;
         changed = true;
       }
-    }
+    });
   }
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!graph.Contains(id)) continue;
-    const ProvNode& n = graph.node(id);
+  graph.ForEachAliveNode([&](NodeId id) {
     ++stats.nodes;
     size_t fan_in = 0;
-    for (NodeId p : n.parents) fan_in += graph.Contains(p) ? 1 : 0;
+    for (NodeId p : graph.ParentsOf(id)) fan_in += graph.Contains(p) ? 1 : 0;
     stats.edges += fan_in;
     stats.max_fan_in = std::max(stats.max_fan_in, fan_in);
     stats.max_fan_out = std::max(stats.max_fan_out,
-                                 graph.Children(id).size());
-    stats.tokens += n.label == NodeLabel::kToken ? 1 : 0;
+                                 graph.ChildrenOf(id).size());
+    stats.tokens += graph.node(id).label() == NodeLabel::kToken ? 1 : 0;
     stats.depth = std::max(stats.depth, depth[id]);
-  }
+  });
   return stats;
 }
 

@@ -15,8 +15,8 @@ namespace lipstick {
 /// selections and reachability patterns used in its examples, composed
 /// with the zoom / deletion transformations of Section 4).
 
-/// Predicate over nodes.
-using NodePredicate = std::function<bool(NodeId, const ProvNode&)>;
+/// Predicate over nodes (views into the columnar storage).
+using NodePredicate = std::function<bool(NodeId, const NodeView&)>;
 
 /// Common predicate constructors.
 NodePredicate ByLabel(NodeLabel label);

@@ -87,17 +87,17 @@ namespace {
 
 std::string ExprString(const ProvenanceGraph& g, NodeId id, int depth) {
   if (depth <= 0) return "...";
-  const ProvNode& n = g.node(id);
+  NodeView n = g.node(id);
   auto join_parents = [&](const char* sep) {
     std::vector<std::string> parts;
-    for (NodeId p : n.parents) {
+    for (NodeId p : g.ParentsOf(id)) {
       if (g.Contains(p)) parts.push_back(ExprString(g, p, depth - 1));
     }
     return Join(parts, sep);
   };
-  switch (n.label) {
+  switch (n.label()) {
     case NodeLabel::kToken:
-      return n.payload.empty() ? "x?" : n.payload;
+      return n.payload().empty() ? std::string("x?") : std::string(n.payload());
     case NodeLabel::kPlus:
       return StrCat("(", join_parents(" + "), ")");
     case NodeLabel::kTimes:
@@ -107,15 +107,15 @@ std::string ExprString(const ProvenanceGraph& g, NodeId id, int depth) {
     case NodeLabel::kTensor:
       return StrCat("(", join_parents(" (x) "), ")");
     case NodeLabel::kAggregate:
-      return StrCat(n.payload, "[", join_parents(", "), "]");
+      return StrCat(n.payload(), "[", join_parents(", "), "]");
     case NodeLabel::kConstValue:
-      return n.value.ToString();
+      return n.value().ToString();
     case NodeLabel::kBlackBox:
-      return StrCat(n.payload, "(", join_parents(", "), ")");
+      return StrCat(n.payload(), "(", join_parents(", "), ")");
     case NodeLabel::kModuleInvocation:
-      return StrCat("m<", n.payload, ">");
+      return StrCat("m<", n.payload(), ">");
     case NodeLabel::kZoomedModule:
-      return StrCat("M<", n.payload, ">(", join_parents(", "), ")");
+      return StrCat("M<", n.payload(), ">(", join_parents(", "), ")");
   }
   return "?";
 }

@@ -173,9 +173,10 @@ class GraphEvaluator {
   V Eval(NodeId id) {
     auto it = memo_.find(id);
     if (it != memo_.end()) return it->second;
-    const ProvNode& n = graph_.node(id);
+    NodeView n = graph_.node(id);
+    std::span<const NodeId> parents = graph_.ParentsOf(id);
     V result = S::Zero();
-    switch (n.label) {
+    switch (n.label()) {
       case NodeLabel::kToken: {
         auto a = assignment_.find(id);
         result = a == assignment_.end() ? S::One() : a->second;
@@ -188,7 +189,7 @@ class GraphEvaluator {
       case NodeLabel::kTimes:
       case NodeLabel::kTensor: {
         result = S::One();
-        for (NodeId p : n.parents) {
+        for (NodeId p : parents) {
           if (graph_.Contains(p)) result = S::Times(result, Eval(p));
         }
         break;
@@ -197,13 +198,13 @@ class GraphEvaluator {
       case NodeLabel::kAggregate:
       case NodeLabel::kBlackBox:
       case NodeLabel::kZoomedModule: {
-        for (NodeId p : n.parents) {
+        for (NodeId p : parents) {
           if (graph_.Contains(p)) result = S::Plus(result, Eval(p));
         }
         break;
       }
       case NodeLabel::kDelta: {
-        for (NodeId p : n.parents) {
+        for (NodeId p : parents) {
           if (graph_.Contains(p)) result = S::Plus(result, Eval(p));
         }
         result = S::Delta(result);

@@ -1,0 +1,81 @@
+#ifndef LIPSTICK_PROVENANCE_STRING_POOL_H_
+#define LIPSTICK_PROVENANCE_STRING_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lipstick {
+
+/// Id of an interned string in a StringPool. Id 0 is always the empty
+/// string; kStrNotFound is returned by Find() for strings never interned.
+using StrId = uint32_t;
+inline constexpr StrId kEmptyStr = 0;
+inline constexpr StrId kStrNotFound = 0xffffffffu;
+
+/// Interns strings into a chunked arena and hands out dense 32-bit ids.
+///
+/// Provenance graphs repeat the same payloads (token prefixes, module and
+/// function names, aggregate ops) thousands of times; interning stores each
+/// distinct string once and lets the node columns carry 4-byte ids instead
+/// of 32-byte std::strings. Views returned by Get() stay valid for the
+/// lifetime of the pool (strings never move: the arena grows by adding
+/// chunks, never by reallocating one) and across moves of the pool.
+///
+/// Thread safety: Intern() may be called from concurrent ShardWriters and
+/// takes an internal mutex. Get()/Find() are lock-free reads and must not
+/// race Intern() — in this codebase interning happens only while tracking
+/// appends nodes, and payload lookups only on the sealed graph.
+class StringPool {
+ public:
+  StringPool() { spans_.push_back({nullptr, 0}); }  // id 0: empty string
+
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
+  /// Returns the id of `s`, interning it on first use.
+  StrId Intern(std::string_view s);
+
+  /// Returns the id of `s` if already interned, else kStrNotFound. Lets
+  /// lookups by name (zoom, ByModule, ByPayload prefilters) run as integer
+  /// comparisons against node columns.
+  StrId Find(std::string_view s) const;
+
+  /// The interned string. `id` must come from this pool.
+  std::string_view Get(StrId id) const {
+    const Span& sp = spans_[id];
+    return {sp.data, sp.size};
+  }
+
+  /// Number of distinct strings, including the implicit empty string.
+  size_t size() const { return spans_.size(); }
+
+  /// Bytes held by the pool: arena chunks, span table, and hash index.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Span {
+    const char* data;
+    uint32_t size;
+  };
+
+  static constexpr size_t kChunkSize = 64 * 1024;
+
+  const char* Store(std::string_view s);
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* tail_ = nullptr;            // write cursor into the last open chunk
+  size_t tail_left_ = 0;
+  size_t arena_bytes_ = 0;          // total bytes allocated across chunks
+  std::vector<Span> spans_;         // indexed by StrId
+  std::unordered_map<std::string_view, StrId> index_;
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+};
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_STRING_POOL_H_

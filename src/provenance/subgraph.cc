@@ -1,6 +1,6 @@
 #include "provenance/subgraph.h"
 
-#include <deque>
+#include <vector>
 
 namespace lipstick {
 
@@ -8,52 +8,100 @@ namespace {
 
 enum class Direction { kUp, kDown };
 
-std::unordered_set<NodeId> Reach(const ProvenanceGraph& graph, NodeId start,
-                                 Direction dir) {
-  std::unordered_set<NodeId> seen;
-  std::deque<NodeId> queue{start};
-  while (!queue.empty()) {
-    NodeId id = queue.front();
-    queue.pop_front();
-    const auto& next = dir == Direction::kUp ? graph.node(id).parents
-                                             : graph.Children(id);
-    for (NodeId n : next) {
-      if (!graph.Contains(n)) continue;
-      if (seen.insert(n).second) queue.push_back(n);
+/// Per-shard visited bitmap. Traversals over the sealed columnar graph
+/// are bound by set overhead, not edge chasing: a bit per node replaces
+/// one heap allocation per unordered_set insert on the BFS hot path.
+class VisitedMap {
+ public:
+  explicit VisitedMap(const ProvenanceGraph& graph) {
+    bits_.resize(graph.num_shards());
+    for (uint32_t s = 0; s < bits_.size(); ++s) {
+      bits_[s].assign((graph.ShardSize(s) + 63) / 64, 0);
     }
   }
-  return seen;
+
+  /// Marks `id`; returns true if it was already marked.
+  bool TestAndSet(NodeId id) {
+    uint64_t& word = bits_[NodeShard(id)][NodeIndex(id) >> 6];
+    uint64_t mask = 1ull << (NodeIndex(id) & 63);
+    if (word & mask) return true;
+    word |= mask;
+    return false;
+  }
+
+ private:
+  std::vector<std::vector<uint64_t>> bits_;
+};
+
+/// Appends to `out` every alive node reachable from `start` (exclusive,
+/// unless re-reached through a cycle), marking them in `visited`.
+void Reach(const ProvenanceGraph& graph, NodeId start, Direction dir,
+           VisitedMap& visited, std::vector<NodeId>& out) {
+  std::vector<NodeId> queue{start};
+  while (!queue.empty()) {
+    NodeId id = queue.back();
+    queue.pop_back();
+    std::span<const NodeId> next = dir == Direction::kUp
+                                       ? graph.ParentsOf(id)
+                                       : graph.ChildrenOf(id);
+    for (NodeId n : next) {
+      if (!graph.Contains(n)) continue;
+      if (!visited.TestAndSet(n)) {
+        out.push_back(n);
+        queue.push_back(n);
+      }
+    }
+  }
+}
+
+std::unordered_set<NodeId> ToSet(const std::vector<NodeId>& ids) {
+  std::unordered_set<NodeId> set;
+  set.reserve(ids.size());
+  set.insert(ids.begin(), ids.end());
+  return set;
 }
 
 }  // namespace
 
 std::unordered_set<NodeId> Ancestors(const ProvenanceGraph& graph,
                                      NodeId node) {
-  return Reach(graph, node, Direction::kUp);
+  VisitedMap visited(graph);
+  std::vector<NodeId> up;
+  Reach(graph, node, Direction::kUp, visited, up);
+  return ToSet(up);
 }
 
 Result<std::unordered_set<NodeId>> Descendants(const ProvenanceGraph& graph,
                                                NodeId node) {
   LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "descendant queries"));
-  return Reach(graph, node, Direction::kDown);
+  VisitedMap visited(graph);
+  std::vector<NodeId> down;
+  Reach(graph, node, Direction::kDown, visited, down);
+  return ToSet(down);
 }
 
 Result<std::unordered_set<NodeId>> SubgraphQuery(const ProvenanceGraph& graph,
                                                  NodeId node) {
   LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "subgraph queries"));
   if (!graph.Contains(node)) return std::unordered_set<NodeId>{};
-  std::unordered_set<NodeId> result = Ancestors(graph, node);
-  LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> down,
-                            Descendants(graph, node));
-  // Siblings of descendants: every co-parent a descendant is derived from.
+  // One result bitmap accumulates ancestors, descendants, and siblings of
+  // descendants; the unordered_set is materialized once, pre-sized.
+  VisitedMap in_result(graph);
+  std::vector<NodeId> result;
+  Reach(graph, node, Direction::kUp, in_result, result);
+  VisitedMap down_only(graph);
+  std::vector<NodeId> down;
+  Reach(graph, node, Direction::kDown, down_only, down);
   for (NodeId d : down) {
-    for (NodeId p : graph.node(d).parents) {
-      if (graph.Contains(p)) result.insert(p);
+    if (!in_result.TestAndSet(d)) result.push_back(d);
+    // Siblings of descendants: every co-parent a descendant is derived
+    // from.
+    for (NodeId p : graph.ParentsOf(d)) {
+      if (graph.Contains(p) && !in_result.TestAndSet(p)) result.push_back(p);
     }
   }
-  result.insert(down.begin(), down.end());
-  result.insert(node);
-  return result;
+  if (!in_result.TestAndSet(node)) result.push_back(node);
+  return ToSet(result);
 }
 
 }  // namespace lipstick

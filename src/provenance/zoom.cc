@@ -1,5 +1,6 @@
 #include "provenance/zoom.h"
 
+#include <array>
 #include <deque>
 
 #include "common/str_util.h"
@@ -13,10 +14,11 @@ Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
   // Seed the reachability with the input and state nodes of every invocation
   // of the module; expand through children, stopping at (and excluding)
   // module output nodes, per Definition 4.1.
+  StrId want = graph.strings().Find(module_name);
   std::deque<NodeId> queue;
   std::unordered_set<NodeId> seeds;
   for (const InvocationInfo& inv : graph.invocations()) {
-    if (inv.module_name != module_name) continue;
+    if (want == kStrNotFound || inv.module_name != want) continue;
     for (NodeId n : inv.input_nodes) {
       if (graph.Contains(n)) {
         queue.push_back(n);
@@ -35,9 +37,9 @@ Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
   while (!queue.empty()) {
     NodeId id = queue.front();
     queue.pop_front();
-    for (NodeId child : graph.Children(id)) {
+    for (NodeId child : graph.ChildrenOf(id)) {
       if (!graph.Contains(child)) continue;
-      if (graph.node(child).role == NodeRole::kModuleOutput) continue;
+      if (graph.node(child).role() == NodeRole::kModuleOutput) continue;
       if (!visited.insert(child).second) continue;
       result.insert(child);
       queue.push_back(child);
@@ -51,12 +53,11 @@ Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
   bool changed = true;
   while (changed) {
     changed = false;
-    for (NodeId id : graph.AllNodeIds()) {
-      if (!graph.Contains(id) || result.count(id)) continue;
-      const ProvNode& n = graph.node(id);
-      if (n.label != NodeLabel::kConstValue) continue;
-      const auto& children = graph.Children(id);
-      if (children.empty()) continue;
+    graph.ForEachAliveNode([&](NodeId id) {
+      if (result.count(id)) return;
+      if (graph.node(id).label() != NodeLabel::kConstValue) return;
+      std::span<const NodeId> children = graph.ChildrenOf(id);
+      if (children.empty()) return;
       bool all_intermediate = true;
       for (NodeId c : children) {
         if (graph.Contains(c) && !result.count(c)) {
@@ -68,7 +69,7 @@ Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
         result.insert(id);
         changed = true;
       }
-    }
+    });
   }
   return result;
 }
@@ -87,10 +88,13 @@ Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
     // Pass 1: gather all live invocation ids of this module. Aborted
     // invocations (failed attempts whose provenance was rolled back) carry
     // no structure to collapse.
+    StrId want = graph_->strings().Find(module);
     std::vector<uint32_t> inv_ids;
     for (uint32_t i = 0; i < graph_->invocations().size(); ++i) {
       const InvocationInfo& inv = graph_->invocations()[i];
-      if (inv.module_name == module && !inv.aborted()) inv_ids.push_back(i);
+      if (want != kStrNotFound && inv.module_name == want && !inv.aborted()) {
+        inv_ids.push_back(i);
+      }
     }
     if (inv_ids.empty()) {
       return Status::NotFound(
@@ -101,14 +105,13 @@ Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
     // Pass 2: intermediate nodes are tagged with their invocation id during
     // tracking; collect the ones belonging to zoomed invocations.
     std::unordered_set<NodeId> removed;
-    for (NodeId id : graph_->AllNodeIds()) {
-      const ProvNode& n = graph_->node(id);
-      if (!n.alive) continue;
-      if (n.role == NodeRole::kIntermediate &&
-          n.invocation != kNoInvocation && inv_set.count(n.invocation)) {
+    graph_->ForEachAliveNode([&](NodeId id) {
+      NodeView n = graph_->node(id);
+      if (n.role() == NodeRole::kIntermediate &&
+          n.invocation() != kNoInvocation && inv_set.count(n.invocation())) {
         removed.insert(id);
       }
-    }
+    });
 
     // Pass 3: state nodes, and state-base tokens used only by removed
     // state nodes ("the basic tuple nodes ... adjacent to those state
@@ -124,22 +127,21 @@ Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
     // outside the removal set still derives from them. Bases that were
     // never used (lazy "s" wrapping means they have no children) are part
     // of the hidden module state and disappear with it.
-    for (NodeId id : graph_->AllNodeIds()) {
-      if (!graph_->Contains(id)) continue;
-      const ProvNode& n = graph_->node(id);
-      if (n.role != NodeRole::kStateBase) continue;
-      if (n.invocation == kNoInvocation || !inv_set.count(n.invocation)) {
-        continue;
+    graph_->ForEachAliveNode([&](NodeId id) {
+      NodeView n = graph_->node(id);
+      if (n.role() != NodeRole::kStateBase) return;
+      if (n.invocation() == kNoInvocation || !inv_set.count(n.invocation())) {
+        return;
       }
       bool only_removed_uses = true;
-      for (NodeId child : graph_->Children(id)) {
+      for (NodeId child : graph_->ChildrenOf(id)) {
         if (graph_->Contains(child) && !removed.count(child)) {
           only_removed_uses = false;
           break;
         }
       }
       if (only_removed_uses) removed.insert(id);
-    }
+    });
 
     // Pass 4: per invocation, create the collapsed module p-node and rewire
     // outputs through it.
@@ -152,27 +154,23 @@ Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
       for (NodeId in : inv.input_nodes) {
         if (graph_->Contains(in)) zoom_parents.push_back(in);
       }
-      ProvNode zn;
-      zn.label = NodeLabel::kZoomedModule;
-      zn.role = NodeRole::kZoom;
-      zn.payload = module;
-      zn.invocation = inv_id;
-      zn.parents = std::move(zoom_parents);
       // Appending via the writer keeps id allocation uniform.
-      detail.zoom_node = writer.Plus({});  // placeholder, replaced below
-      graph_->mutable_node(detail.zoom_node) = std::move(zn);
+      detail.zoom_node =
+          writer.ZoomedModule(module, std::move(zoom_parents), inv_id);
 
       for (NodeId out : inv.output_nodes) {
         if (!graph_->Contains(out)) continue;
-        ProvNode& on = graph_->mutable_node(out);
-        detail.output_parents.emplace_back(out, on.parents);
-        on.parents = {detail.zoom_node, inv.m_node};
+        std::span<const NodeId> old = graph_->ParentsOf(out);
+        detail.output_parents.emplace_back(
+            out, std::vector<NodeId>(old.begin(), old.end()));
+        std::array<NodeId, 2> rewired{detail.zoom_node, inv.m_node};
+        graph_->SetParents(out, rewired);
       }
       details.push_back(std::move(detail));
     }
 
     // Record removals on the module's first detail entry for restoration.
-    for (NodeId id : removed) graph_->mutable_node(id).alive = false;
+    for (NodeId id : removed) graph_->SetAlive(id, false);
     if (!details.empty()) {
       details.front().removed.assign(removed.begin(), removed.end());
     }
@@ -191,11 +189,11 @@ Status Zoomer::ZoomIn(const std::set<std::string>& module_names) {
           StrCat("module '", module, "' is not zoomed out"));
     }
     for (const InvocationDetail& detail : it->second) {
-      for (NodeId id : detail.removed) graph_->mutable_node(id).alive = true;
+      for (NodeId id : detail.removed) graph_->SetAlive(id, true);
       for (const auto& [out, parents] : detail.output_parents) {
-        graph_->mutable_node(out).parents = parents;
+        graph_->SetParents(out, parents);
       }
-      graph_->mutable_node(detail.zoom_node).alive = false;
+      graph_->SetAlive(detail.zoom_node, false);
     }
     store_.erase(it);
   }
@@ -206,7 +204,7 @@ Status Zoomer::ZoomIn(const std::set<std::string>& module_names) {
 Status Zoomer::ZoomOutAll() {
   std::set<std::string> names;
   for (const InvocationInfo& inv : graph_->invocations()) {
-    names.insert(inv.module_name);
+    names.insert(std::string(graph_->str(inv.module_name)));
   }
   return ZoomOut(names);
 }

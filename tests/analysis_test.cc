@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 
 #include "analysis/diagnostics.h"
@@ -441,65 +442,66 @@ TEST(GraphValidatorTest, AcceptsWellFormedGraph) {
 
 TEST(GraphValidatorTest, G0301DanglingParent) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.plus).parents.push_back(
-      MakeNodeId(9, 123));  // shard 9 does not exist
+  mini.graph.AddParent(mini.plus, MakeNodeId(9, 123));  // no shard 9
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0301"));
 }
 
 TEST(GraphValidatorTest, G0302JointNodeOverDeadParent) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.t2).alive = false;  // · keeps a dead operand
+  mini.graph.SetAlive(mini.t2, false);  // · keeps a dead operand
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0302"));
 }
 
 TEST(GraphValidatorTest, G0303TokenWithParents) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.t1).parents.push_back(mini.t2);
+  mini.graph.AddParent(mini.t1, mini.t2);
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0303"));
 }
 
 TEST(GraphValidatorTest, G0304DerivationWithoutParents) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.plus).parents.clear();
+  mini.graph.ClearParents(mini.plus);
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0304"));
 }
 
 TEST(GraphValidatorTest, G0304ValueFlagInconsistent) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.cv).is_value_node = false;
+  mini.graph.SetValueNodeFlag(mini.cv, false);
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0304"));
 }
 
 TEST(GraphValidatorTest, G0305TensorArityBroken) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.tensor).parents.push_back(mini.t1);
+  mini.graph.AddParent(mini.tensor, mini.t1);
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0305"));
 }
 
 TEST(GraphValidatorTest, G0305TensorOperandsSwapped) {
   MiniGraph mini;
-  auto& parents = mini.graph.mutable_node(mini.tensor).parents;
-  std::swap(parents[0], parents[1]);
+  std::span<const NodeId> p = mini.graph.ParentsOf(mini.tensor);
+  const NodeId swapped[2] = {p[1], p[0]};
+  mini.graph.SetParents(mini.tensor, swapped);
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0305"));
 }
 
 TEST(GraphValidatorTest, G0306AggregateOverConst) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.agg).parents = {mini.cv};
+  const NodeId only_const[1] = {mini.cv};
+  mini.graph.SetParents(mini.agg, only_const);
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0306"));
 }
 
 TEST(GraphValidatorTest, G0307UnknownInvocationTag) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.plus).invocation = 42;
+  mini.graph.SetInvocationTag(mini.plus, 42);
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0307"));
 }
@@ -515,14 +517,14 @@ TEST(GraphValidatorTest, G0307AbortedInvocationWithSurvivors) {
 
 TEST(GraphValidatorTest, G0308CorruptedInvocationRecord) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.inode).role = NodeRole::kIntermediate;
+  mini.graph.SetRole(mini.inode, NodeRole::kIntermediate);
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0308"));
 }
 
 TEST(GraphValidatorTest, G0309Cycle) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.times).parents.push_back(mini.plus);
+  mini.graph.AddParent(mini.times, mini.plus);
   mini.graph.Seal();
   EXPECT_TRUE(Validate(mini.graph).Has("G0309"));
 }
@@ -538,9 +540,11 @@ TEST(GraphValidatorTest, G0310UnsealedIsWarning) {
 
 TEST(GraphValidatorTest, G0310StaleSealIsError) {
   MiniGraph mini;
-  // Mutating parents without resealing leaves the children adjacency
-  // stale; the sealed() flag still claims it is fresh.
-  mini.graph.mutable_node(mini.plus).parents.push_back(mini.t1);
+  // Mutate parents, then force the sealed() flag back on without
+  // rebuilding: the children adjacency is stale while the graph claims
+  // it is fresh.
+  mini.graph.AddParent(mini.plus, mini.t1);
+  mini.graph.MarkSealed();
   DiagnosticSink sink = Validate(mini.graph);
   ASSERT_TRUE(sink.Has("G0310")) << sink.RenderText();
   EXPECT_EQ(sink.Find("G0310")->severity, Severity::kError);
@@ -548,7 +552,7 @@ TEST(GraphValidatorTest, G0310StaleSealIsError) {
 
 TEST(GraphValidatorTest, CheckGraphInvariantsFoldsToInternalError) {
   MiniGraph mini;
-  mini.graph.mutable_node(mini.plus).parents.clear();
+  mini.graph.ClearParents(mini.plus);
   mini.graph.Seal();
   Status status = CheckGraphInvariants(mini.graph);
   ASSERT_FALSE(status.ok());
@@ -591,12 +595,13 @@ ProvenanceGraph ArcticGraph() {
 
 NodeId FirstNode(const ProvenanceGraph& graph, NodeLabel label,
                  size_t min_parents = 0) {
-  for (NodeId id : graph.AllNodeIds()) {
-    if (!graph.Contains(id)) continue;
-    const ProvNode& n = graph.node(id);
-    if (n.label == label && n.parents.size() >= min_parents) return id;
-  }
-  return kInvalidNode;
+  NodeId found = kInvalidNode;
+  graph.ForEachAliveNode([&](NodeId id) {
+    if (found != kInvalidNode) return;
+    NodeView n = graph.node(id);
+    if (n.label() == label && n.parents().size() >= min_parents) found = id;
+  });
+  return found;
 }
 
 TEST(WorkflowGenPropertyTest, UnmutatedGraphsValidate) {
@@ -615,7 +620,7 @@ TEST(WorkflowGenPropertyTest, DroppedParentsAreRejected) {
   ProvenanceGraph graph = DealershipGraph();
   NodeId victim = FirstNode(graph, NodeLabel::kTimes, 1);
   ASSERT_NE(victim, kInvalidNode);
-  graph.mutable_node(victim).parents.clear();
+  graph.ClearParents(victim);
   graph.Seal();
   DiagnosticSink sink = Validate(graph);
   EXPECT_TRUE(sink.HasErrors()) << sink.RenderText();
@@ -628,7 +633,7 @@ TEST(WorkflowGenPropertyTest, BrokenTensorArityIsRejected) {
   ASSERT_NE(tensor, kInvalidNode);
   NodeId token = FirstNode(graph, NodeLabel::kToken);
   ASSERT_NE(token, kInvalidNode);
-  graph.mutable_node(tensor).parents.push_back(token);
+  graph.AddParent(tensor, token);
   graph.Seal();
   DiagnosticSink sink = Validate(graph);
   EXPECT_TRUE(sink.HasErrors()) << sink.RenderText();
@@ -647,8 +652,8 @@ TEST(WorkflowGenPropertyTest, DeadParentUnderJointNodeIsRejected) {
   ProvenanceGraph graph = ArcticGraph();
   NodeId times = FirstNode(graph, NodeLabel::kTimes, 2);
   ASSERT_NE(times, kInvalidNode);
-  NodeId parent = graph.node(times).parents[0];
-  graph.mutable_node(parent).alive = false;
+  NodeId parent = graph.ParentsOf(times)[0];
+  graph.SetAlive(parent, false);
   graph.Seal();
   DiagnosticSink sink = Validate(graph);
   EXPECT_TRUE(sink.HasErrors()) << sink.RenderText();

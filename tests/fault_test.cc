@@ -244,7 +244,7 @@ TEST_F(FaultTest, RetryUntilSuccessDiscardsFailedProvenance) {
   EXPECT_EQ(stats.invocations, 3u);
   for (NodeId id : graph.AllNodeIds()) {
     if (!graph.Contains(id)) continue;
-    for (NodeId p : graph.node(id).parents) {
+    for (NodeId p : graph.ParentsOf(id)) {
       EXPECT_TRUE(graph.Contains(p)) << "live node with dead parent";
     }
   }
@@ -336,7 +336,7 @@ TEST_F(FaultTest, SkipDownstreamKeepsIndependentBranch) {
     graph.Seal();
     for (NodeId id : graph.AllNodeIds()) {
       if (!graph.Contains(id)) continue;
-      for (NodeId p : graph.node(id).parents) {
+      for (NodeId p : graph.ParentsOf(id)) {
         EXPECT_TRUE(graph.Contains(p)) << "live node with dead parent";
       }
     }

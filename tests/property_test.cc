@@ -44,7 +44,7 @@ TEST_P(DealershipPropertyTest, GraphIsAcyclicWithValidParents) {
                                                   // a cycle (memoized DFS)
   for (NodeId id : graph_.AllNodeIds()) {
     if (!graph_.Contains(id)) continue;
-    for (NodeId p : graph_.node(id).parents) {
+    for (NodeId p : graph_.ParentsOf(id)) {
       EXPECT_TRUE(graph_.Contains(p)) << "dangling parent of " << id;
     }
     EXPECT_GE(eval.Eval(id), 1u)
@@ -58,10 +58,10 @@ TEST_P(DealershipPropertyTest, DeletionMatchesCountingSemiring) {
   std::vector<NodeId> tokens;
   for (NodeId id : graph_.AllNodeIds()) {
     if (!graph_.Contains(id)) continue;
-    const ProvNode& n = graph_.node(id);
-    if (n.label != NodeLabel::kToken) continue;
-    if (n.role == NodeRole::kWorkflowInput ||
-        !graph_.Children(id).empty()) {
+    NodeView n = graph_.node(id);
+    if (n.label() != NodeLabel::kToken) continue;
+    if (n.role() == NodeRole::kWorkflowInput ||
+        !graph_.ChildrenOf(id).empty()) {
       tokens.push_back(id);
     }
   }
@@ -73,7 +73,7 @@ TEST_P(DealershipPropertyTest, DeletionMatchesCountingSemiring) {
     for (NodeId n : graph_.AllNodeIds()) {
       if (!graph_.Contains(n)) continue;
       EXPECT_EQ(deleted.count(n) > 0, eval.Eval(n) == 0)
-          << "token " << graph_.node(t).payload << ", node " << n;
+          << "token " << graph_.node(t).payload() << ", node " << n;
     }
   }
 }
@@ -99,7 +99,7 @@ TEST_P(DealershipPropertyTest, ZoomRoundTripPreservesAliveCount) {
   EXPECT_LT(coarse, before);
   std::set<std::string> modules;
   for (const InvocationInfo& inv : graph_.invocations()) {
-    modules.insert(inv.module_name);
+    modules.insert(std::string(graph_.str(inv.module_name)));
   }
   LIPSTICK_ASSERT_OK(zoomer.ZoomIn(modules));
   EXPECT_EQ(graph_.num_alive(), before);
@@ -168,7 +168,7 @@ TEST_P(DealershipPropertyTest, SubgraphContainsAncestryClosure) {
       // Must be a parent of some descendant (sibling).
       bool is_sibling = false;
       for (NodeId d : desc) {
-        for (NodeId p : graph_.node(d).parents) {
+        for (NodeId p : graph_.ParentsOf(d)) {
           if (p == s) is_sibling = true;
         }
       }
@@ -255,7 +255,8 @@ TEST_P(ArcticPropertyTest, GlobalMinMatchesDirectComputation) {
   graph.Seal();
   NodeId global_out = kInvalidNode;
   for (const InvocationInfo& inv : graph.invocations()) {
-    if (inv.module_name == "arctic_out" && !inv.output_nodes.empty()) {
+    if (graph.str(inv.module_name) == "arctic_out" &&
+        !inv.output_nodes.empty()) {
       global_out = inv.output_nodes.front();
     }
   }
@@ -263,9 +264,9 @@ TEST_P(ArcticPropertyTest, GlobalMinMatchesDirectComputation) {
   auto anc = Ancestors(graph, global_out);
   bool winner_found = false;
   for (NodeId id : anc) {
-    const ProvNode& n = graph.node(id);
-    if (n.label == NodeLabel::kConstValue && n.value.is_double() &&
-        std::abs(n.value.double_value() - expected) < 1e-9) {
+    NodeView n = graph.node(id);
+    if (n.label() == NodeLabel::kConstValue && n.value().is_double() &&
+        std::abs(n.value().double_value() - expected) < 1e-9) {
       winner_found = true;
     }
   }

@@ -51,9 +51,9 @@ TEST(OperatorProvenanceTest, ForEachProjectionMakesPlusNodes) {
   auto rel = RunPig("B = FOREACH A GENERATE x;", &env, "B", nullptr, &w);
   LIPSTICK_ASSERT_OK(rel.status());
   for (size_t i = 0; i < rel->bag.size(); ++i) {
-    const ProvNode& n = g.node(rel->bag.at(i).annot);
-    EXPECT_EQ(n.label, NodeLabel::kPlus);
-    EXPECT_EQ(n.parents, std::vector<NodeId>{tokens[i]});
+    NodeView n = g.node(rel->bag.at(i).annot);
+    EXPECT_EQ(n.label(), NodeLabel::kPlus);
+    EXPECT_EQ(testing::ToVec(n.parents()), std::vector<NodeId>{tokens[i]});
   }
 }
 
@@ -68,9 +68,9 @@ TEST(OperatorProvenanceTest, JoinMakesTimesNodes) {
   auto rel = RunPig("J = JOIN A BY x, B BY y;", &env, "J", nullptr, &w);
   LIPSTICK_ASSERT_OK(rel.status());
   ASSERT_EQ(rel->bag.size(), 1u);
-  const ProvNode& n = g.node(rel->bag.at(0).annot);
-  EXPECT_EQ(n.label, NodeLabel::kTimes);
-  EXPECT_EQ(n.parents, (std::vector<NodeId>{la[0], lb[0]}));
+  NodeView n = g.node(rel->bag.at(0).annot);
+  EXPECT_EQ(n.label(), NodeLabel::kTimes);
+  EXPECT_EQ(testing::ToVec(n.parents()), (std::vector<NodeId>{la[0], lb[0]}));
 }
 
 TEST(OperatorProvenanceTest, GroupMakesDeltaOverMembers) {
@@ -84,12 +84,14 @@ TEST(OperatorProvenanceTest, GroupMakesDeltaOverMembers) {
   LIPSTICK_ASSERT_OK(rel.status());
   ASSERT_EQ(rel->bag.size(), 2u);
   for (const AnnotatedTuple& t : rel->bag) {
-    const ProvNode& n = g.node(t.annot);
-    EXPECT_EQ(n.label, NodeLabel::kDelta);
+    NodeView n = g.node(t.annot);
+    EXPECT_EQ(n.label(), NodeLabel::kDelta);
     if (t.tuple.at(0).string_value() == "a") {
-      EXPECT_EQ(n.parents, (std::vector<NodeId>{tokens[0], tokens[2]}));
+      EXPECT_EQ(testing::ToVec(n.parents()),
+                (std::vector<NodeId>{tokens[0], tokens[2]}));
     } else {
-      EXPECT_EQ(n.parents, std::vector<NodeId>{tokens[1]});
+      EXPECT_EQ(testing::ToVec(n.parents()),
+                std::vector<NodeId>{tokens[1]});
     }
     // Nested tuples keep their original provenance.
     for (const AnnotatedTuple& inner : *t.tuple.at(1).bag()) {
@@ -108,7 +110,7 @@ TEST(OperatorProvenanceTest, DistinctMakesDeltaAndFilterPassesThrough) {
   auto dist = RunPig("D = DISTINCT A;", &env, "D", nullptr, &w);
   LIPSTICK_ASSERT_OK(dist.status());
   for (const AnnotatedTuple& t : dist->bag) {
-    EXPECT_EQ(g.node(t.annot).label, NodeLabel::kDelta);
+    EXPECT_EQ(g.node(t.annot).label(), NodeLabel::kDelta);
   }
   auto filt = RunPig("F = FILTER A BY x == 1;", &env, "F", nullptr, &w);
   ASSERT_EQ(filt->bag.size(), 2u);
@@ -131,33 +133,33 @@ TEST(OperatorProvenanceTest, AggregationBuildsTensorStructure) {
   LIPSTICK_ASSERT_OK(rel.status());
   ASSERT_EQ(rel->bag.size(), 1u);
   // The output tuple is a + over (group δ, SUM agg, COUNT agg).
-  const ProvNode& out = g.node(rel->bag.at(0).annot);
-  EXPECT_EQ(out.label, NodeLabel::kPlus);
+  NodeView out = g.node(rel->bag.at(0).annot);
+  EXPECT_EQ(out.label(), NodeLabel::kPlus);
   int aggs = 0, deltas = 0;
-  for (NodeId p : out.parents) {
-    if (g.node(p).label == NodeLabel::kAggregate) ++aggs;
-    if (g.node(p).label == NodeLabel::kDelta) ++deltas;
+  for (NodeId p : out.parents()) {
+    if (g.node(p).label() == NodeLabel::kAggregate) ++aggs;
+    if (g.node(p).label() == NodeLabel::kDelta) ++deltas;
   }
   EXPECT_EQ(aggs, 2);
   EXPECT_EQ(deltas, 1);
   // SUM feeds through ⊗ pairs of (value v-node, tuple p-node); COUNT uses
   // the simplified direct-edge construction; results are stored values.
-  for (NodeId p : out.parents) {
-    const ProvNode& n = g.node(p);
-    if (n.label != NodeLabel::kAggregate) continue;
-    if (n.payload == "SUM") {
-      EXPECT_EQ(n.value.int_value(), 30);
-      ASSERT_EQ(n.parents.size(), 2u);
-      for (NodeId tp : n.parents) {
-        EXPECT_EQ(g.node(tp).label, NodeLabel::kTensor);
-        EXPECT_EQ(g.node(g.node(tp).parents[0]).label,
+  for (NodeId p : out.parents()) {
+    NodeView n = g.node(p);
+    if (n.label() != NodeLabel::kAggregate) continue;
+    if (n.payload() == "SUM") {
+      EXPECT_EQ(n.value().int_value(), 30);
+      ASSERT_EQ(n.parents().size(), 2u);
+      for (NodeId tp : n.parents()) {
+        EXPECT_EQ(g.node(tp).label(), NodeLabel::kTensor);
+        EXPECT_EQ(g.node(g.node(tp).parents()[0]).label(),
                   NodeLabel::kConstValue);
       }
     } else {
-      EXPECT_EQ(n.payload, "COUNT");
-      EXPECT_EQ(n.value.int_value(), 2);
-      for (NodeId tp : n.parents) {
-        EXPECT_EQ(g.node(tp).label, NodeLabel::kToken);
+      EXPECT_EQ(n.payload(), "COUNT");
+      EXPECT_EQ(n.value().int_value(), 2);
+      for (NodeId tp : n.parents()) {
+        EXPECT_EQ(g.node(tp).label(), NodeLabel::kToken);
       }
     }
   }
@@ -180,13 +182,14 @@ TEST(OperatorProvenanceTest, BlackBoxNodeForUdf) {
   auto rel =
       RunPig("B = FOREACH A GENERATE Triple(x) AS t;", &env, "B", &udfs, &w);
   LIPSTICK_ASSERT_OK(rel.status());
-  const ProvNode& out = g.node(rel->bag.at(0).annot);
+  NodeView out = g.node(rel->bag.at(0).annot);
   bool has_bb = false;
-  for (NodeId p : out.parents) {
-    if (g.node(p).label == NodeLabel::kBlackBox) {
+  for (NodeId p : out.parents()) {
+    if (g.node(p).label() == NodeLabel::kBlackBox) {
       has_bb = true;
-      EXPECT_EQ(g.node(p).payload, "triple");
-      EXPECT_EQ(g.node(p).parents, std::vector<NodeId>{tokens[0]});
+      EXPECT_EQ(g.node(p).payload(), "triple");
+      EXPECT_EQ(testing::ToVec(g.node(p).parents()),
+                std::vector<NodeId>{tokens[0]});
     }
   }
   EXPECT_TRUE(has_bb);
@@ -288,7 +291,8 @@ TEST(DeletionTest, DeletingBothCivicsKillsCountButNotBlackBox) {
   size_t dead_aggs = 0;
   for (NodeId id : f.graph.AllNodeIds()) {
     if (f.graph.Contains(id) &&
-        f.graph.node(id).label == NodeLabel::kAggregate && deleted.count(id)) {
+        f.graph.node(id).label() == NodeLabel::kAggregate &&
+        deleted.count(id)) {
       ++dead_aggs;
     }
   }
@@ -324,8 +328,9 @@ TEST(DeletionTest, AgreesWithCountingSemiringZeroing) {
       bool in_set = deleted.count(n) > 0;
       bool eval_zero = eval.Eval(n) == 0;
       EXPECT_EQ(in_set, eval_zero)
-          << "node " << n << " (" << NodeLabelToString(f.graph.node(n).label)
-          << ") disagreement for token " << f.graph.node(t).payload;
+          << "node " << n << " ("
+          << NodeLabelToString(f.graph.node(n).label())
+          << ") disagreement for token " << f.graph.node(t).payload();
     }
   }
 }
@@ -389,11 +394,11 @@ std::string AliveSignature(const ProvenanceGraph& g) {
   std::ostringstream os;
   for (NodeId id : g.AllNodeIds()) {
     if (!g.Contains(id)) continue;
-    const ProvNode& n = g.node(id);
-    os << id << '|' << static_cast<int>(n.label) << '|'
-       << static_cast<int>(n.role) << '|' << n.payload << '|';
+    NodeView n = g.node(id);
+    os << id << '|' << static_cast<int>(n.label()) << '|'
+       << static_cast<int>(n.role()) << '|' << n.payload() << '|';
     std::vector<NodeId> parents;
-    for (NodeId p : n.parents) {
+    for (NodeId p : n.parents()) {
       if (g.Contains(p)) parents.push_back(p);
     }
     std::sort(parents.begin(), parents.end());
@@ -429,23 +434,26 @@ TEST_F(ZoomTest, ZoomOutRemovesIntermediatesAndState) {
   // No intermediate or state node of any dealer invocation survives.
   for (NodeId id : graph_.AllNodeIds()) {
     if (!graph_.Contains(id)) continue;
-    const ProvNode& n = graph_.node(id);
-    if (n.invocation == kNoInvocation) continue;
-    if (graph_.invocations()[n.invocation].module_name != "dealer") continue;
-    EXPECT_NE(n.role, NodeRole::kIntermediate) << "id " << id;
-    EXPECT_NE(n.role, NodeRole::kModuleState) << "id " << id;
+    NodeView n = graph_.node(id);
+    if (n.invocation() == kNoInvocation) continue;
+    if (graph_.str(graph_.invocations()[n.invocation()].module_name) !=
+        "dealer") {
+      continue;
+    }
+    EXPECT_NE(n.role(), NodeRole::kIntermediate) << "id " << id;
+    EXPECT_NE(n.role(), NodeRole::kModuleState) << "id " << id;
   }
   // Each dealer invocation now has a zoom node wired inputs -> M -> outputs.
   size_t zoom_nodes = 0;
   for (NodeId id : graph_.AllNodeIds()) {
     if (graph_.Contains(id) &&
-        graph_.node(id).label == NodeLabel::kZoomedModule) {
+        graph_.node(id).label() == NodeLabel::kZoomedModule) {
       ++zoom_nodes;
     }
   }
   size_t dealer_invocations = 0;
   for (const InvocationInfo& inv : graph_.invocations()) {
-    if (inv.module_name == "dealer") ++dealer_invocations;
+    if (graph_.str(inv.module_name) == "dealer") ++dealer_invocations;
   }
   EXPECT_EQ(zoom_nodes, dealer_invocations);
 }
@@ -466,14 +474,14 @@ TEST_F(ZoomTest, ZoomOutAllYieldsCoarseGrainedGraph) {
   // input/output wrappers, and collapsed module nodes remain.
   for (NodeId id : graph_.AllNodeIds()) {
     if (!graph_.Contains(id)) continue;
-    const ProvNode& n = graph_.node(id);
-    bool coarse = n.role == NodeRole::kWorkflowInput ||
-                  n.role == NodeRole::kInvocation ||
-                  n.role == NodeRole::kModuleInput ||
-                  n.role == NodeRole::kModuleOutput ||
-                  n.role == NodeRole::kZoom;
+    NodeView n = graph_.node(id);
+    bool coarse = n.role() == NodeRole::kWorkflowInput ||
+                  n.role() == NodeRole::kInvocation ||
+                  n.role() == NodeRole::kModuleInput ||
+                  n.role() == NodeRole::kModuleOutput ||
+                  n.role() == NodeRole::kZoom;
     EXPECT_TRUE(coarse) << "unexpected node " << id << " with role "
-                        << NodeRoleToString(n.role);
+                        << NodeRoleToString(n.role());
   }
 }
 
@@ -500,30 +508,31 @@ TEST_F(ZoomTest, TagBasedIntermediatesMatchDefinition41) {
   std::unordered_set<NodeId> by_tags;
   std::unordered_set<uint32_t> dealer_invs;
   for (uint32_t i = 0; i < graph_.invocations().size(); ++i) {
-    if (graph_.invocations()[i].module_name == "dealer") {
+    if (graph_.str(graph_.invocations()[i].module_name) == "dealer") {
       dealer_invs.insert(i);
       for (NodeId s : graph_.invocations()[i].state_nodes) by_tags.insert(s);
     }
   }
   for (NodeId id : graph_.AllNodeIds()) {
     if (!graph_.Contains(id)) continue;
-    const ProvNode& n = graph_.node(id);
-    if (n.role == NodeRole::kIntermediate && n.invocation != kNoInvocation &&
-        dealer_invs.count(n.invocation)) {
+    NodeView n = graph_.node(id);
+    if (n.role() == NodeRole::kIntermediate &&
+        n.invocation() != kNoInvocation &&
+        dealer_invs.count(n.invocation())) {
       by_tags.insert(id);
     }
   }
   for (NodeId id : by_definition) {
     EXPECT_TRUE(by_tags.count(id))
         << "definition-4.1 node " << id << " ("
-        << NodeLabelToString(graph_.node(id).label) << "/"
-        << NodeRoleToString(graph_.node(id).role)
+        << NodeLabelToString(graph_.node(id).label()) << "/"
+        << NodeRoleToString(graph_.node(id).role())
         << ") missing from tag-based removal set";
   }
   // And conversely, every tagged intermediate (not state/base) is reachable
   // per Definition 4.1.
   for (NodeId id : by_tags) {
-    if (graph_.node(id).role != NodeRole::kIntermediate) continue;
+    if (graph_.node(id).role() != NodeRole::kIntermediate) continue;
     EXPECT_TRUE(by_definition.count(id))
         << "tagged intermediate " << id << " not identified by "
         << "Definition 4.1";

@@ -26,10 +26,10 @@ TEST(GraphTest, BasicConstruction) {
   NodeId prod = w.Times({x, y});
   NodeId delta = w.Delta({sum});
   EXPECT_EQ(g.num_nodes(), 5u);
-  EXPECT_EQ(g.node(sum).label, NodeLabel::kPlus);
-  EXPECT_EQ(g.node(prod).label, NodeLabel::kTimes);
-  EXPECT_EQ(g.node(delta).parents.size(), 1u);
-  EXPECT_EQ(g.node(x).payload, "x");
+  EXPECT_EQ(g.node(sum).label(), NodeLabel::kPlus);
+  EXPECT_EQ(g.node(prod).label(), NodeLabel::kTimes);
+  EXPECT_EQ(g.node(delta).parents().size(), 1u);
+  EXPECT_EQ(g.node(x).payload(), "x");
   EXPECT_TRUE(g.Contains(x));
   EXPECT_FALSE(g.Contains(kInvalidNode));
   EXPECT_FALSE(g.Contains(MakeNodeId(7, 0)));  // unknown shard
@@ -43,10 +43,10 @@ TEST(GraphTest, SealBuildsChildren) {
   NodeId b = w.Times({x, a});
   g.Seal();
   ASSERT_TRUE(g.sealed());
-  const auto& children = g.Children(x);
+  std::span<const NodeId> children = g.ChildrenOf(x);
   EXPECT_EQ(children.size(), 2u);
-  EXPECT_EQ(g.Children(a), std::vector<NodeId>{b});
-  EXPECT_TRUE(g.Children(b).empty());
+  EXPECT_EQ(testing::ToVec(g.ChildrenOf(a)), std::vector<NodeId>{b});
+  EXPECT_TRUE(g.ChildrenOf(b).empty());
 }
 
 TEST(GraphTest, DeadNodesAreExcluded) {
@@ -54,11 +54,11 @@ TEST(GraphTest, DeadNodesAreExcluded) {
   auto w = g.writer();
   NodeId x = w.Token("x");
   NodeId a = w.Plus({x});
-  g.mutable_node(a).alive = false;
+  g.SetAlive(a, false);
   g.Seal();
   EXPECT_EQ(g.num_alive(), 1u);
   EXPECT_EQ(g.num_edges(), 0u);
-  EXPECT_TRUE(g.Children(x).empty());
+  EXPECT_TRUE(g.ChildrenOf(x).empty());
 }
 
 TEST(GraphTest, ShardsAllocateIndependently) {
@@ -71,7 +71,7 @@ TEST(GraphTest, ShardsAllocateIndependently) {
   EXPECT_EQ(NodeShard(a), 0u);
   EXPECT_EQ(NodeShard(b), 1u);
   g.Seal();
-  EXPECT_EQ(g.Children(a), std::vector<NodeId>{joint});
+  EXPECT_EQ(testing::ToVec(g.ChildrenOf(a)), std::vector<NodeId>{joint});
 }
 
 TEST(GraphTest, InvocationRegistration) {
@@ -83,16 +83,16 @@ TEST(GraphTest, InvocationRegistration) {
   NodeId out = w.ModuleOutput(inv, in);
   NodeId st = w.ModuleState(inv, tok);
   const InvocationInfo& info = g.invocations()[inv];
-  EXPECT_EQ(info.module_name, "dealer");
-  EXPECT_EQ(info.instance_name, "dealer1");
+  EXPECT_EQ(g.str(info.module_name), "dealer");
+  EXPECT_EQ(g.str(info.instance_name), "dealer1");
   EXPECT_EQ(info.input_nodes, std::vector<NodeId>{in});
   EXPECT_EQ(info.output_nodes, std::vector<NodeId>{out});
   EXPECT_EQ(info.state_nodes, std::vector<NodeId>{st});
   // i/o/s nodes are · of (tuple, m).
-  EXPECT_EQ(g.node(in).label, NodeLabel::kTimes);
-  EXPECT_EQ(g.node(in).role, NodeRole::kModuleInput);
-  ASSERT_EQ(g.node(in).parents.size(), 2u);
-  EXPECT_EQ(g.node(in).parents[1], info.m_node);
+  EXPECT_EQ(g.node(in).label(), NodeLabel::kTimes);
+  EXPECT_EQ(g.node(in).role(), NodeRole::kModuleInput);
+  ASSERT_EQ(g.node(in).parents().size(), 2u);
+  EXPECT_EQ(g.node(in).parents()[1], info.m_node);
 }
 
 TEST(GraphTest, LazyStateScopeWrapsOnFirstUse) {
@@ -106,7 +106,7 @@ TEST(GraphTest, LazyStateScopeWrapsOnFirstUse) {
   size_t before = g.num_nodes();
   NodeId wrapped = w.ResolveParent(base1);
   EXPECT_NE(wrapped, base1);
-  EXPECT_EQ(g.node(wrapped).role, NodeRole::kModuleState);
+  EXPECT_EQ(g.node(wrapped).role(), NodeRole::kModuleState);
   // Second use returns the cached wrapper; base2 is never wrapped.
   EXPECT_EQ(w.ResolveParent(base1), wrapped);
   EXPECT_EQ(g.num_nodes(), before + 1);
@@ -115,6 +115,63 @@ TEST(GraphTest, LazyStateScopeWrapsOnFirstUse) {
   EXPECT_EQ(w.ResolveParent(other), other);
   w.EndStateScope();
   EXPECT_EQ(w.ResolveParent(base2), base2);  // scope closed
+}
+
+TEST(GraphTest, StateScopeCacheClearedBetweenInvocations) {
+  // Regression: ShardWriter's state-wrap cache must not leak across
+  // invocations that share the writer — a stale entry would alias the
+  // reads of execution 2 onto execution 1's "s" node.
+  ProvenanceGraph g;
+  auto w = g.writer();
+  uint32_t inv1 = w.BeginInvocation("m", "m", 0);
+  uint32_t inv2 = w.BeginInvocation("m", "m", 1);
+  NodeId base = w.Token("s", NodeRole::kStateBase);
+  std::unordered_set<NodeId> eligible{base};
+
+  w.BeginStateScope(inv1, &eligible);
+  NodeId s1 = w.ResolveParent(base);
+  w.EndStateScope();
+
+  w.BeginStateScope(inv2, &eligible);
+  NodeId s2 = w.ResolveParent(base);
+  w.EndStateScope();
+
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(g.node(s1).invocation(), inv1);
+  EXPECT_EQ(g.node(s2).invocation(), inv2);
+  EXPECT_EQ(g.invocations()[inv1].state_nodes, std::vector<NodeId>{s1});
+  EXPECT_EQ(g.invocations()[inv2].state_nodes, std::vector<NodeId>{s2});
+}
+
+TEST(GraphTest, SavepointRollbackPreservesArenaBackedParents) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  NodeId a = w.Token("a");
+  NodeId b = w.Token("b");
+  NodeId c = w.Token("c");
+  NodeId wide = w.Plus({a, b, c});  // 3 parents: spills to the edge arena
+  auto sp = g.TakeSavepoint();
+
+  uint32_t inv = w.BeginInvocation("mod", "mod1", 9);
+  NodeId in = w.ModuleInput(inv, a);
+  NodeId wide2 = w.Times({a, b, c, in});  // arena traffic post-savepoint
+  w.Token("post-savepoint payload");
+  EXPECT_EQ(g.num_nodes(), 8u);
+
+  g.RollbackTo(sp);
+  // Pre-savepoint nodes keep their (arena-backed) parents...
+  EXPECT_TRUE(g.Contains(wide));
+  EXPECT_EQ(testing::ToVec(g.node(wide).parents()),
+            (std::vector<NodeId>{a, b, c}));
+  // ...post-savepoint nodes are dead and the invocation record is gone.
+  EXPECT_FALSE(g.Contains(in));
+  EXPECT_FALSE(g.Contains(wide2));
+  EXPECT_EQ(g.invocations().size(), 0u);
+  // The interner is append-only by design; writing resumes cleanly.
+  NodeId d = w.Token("resumed");
+  EXPECT_EQ(g.node(d).payload(), "resumed");
+  g.Seal();
+  EXPECT_EQ(testing::ToVec(g.ChildrenOf(a)), std::vector<NodeId>{wide});
 }
 
 TEST(GraphTest, LabelHistogram) {
@@ -272,7 +329,7 @@ TEST(ProvIoTest, RoundTripPreservesEverything) {
   NodeId cv = w1.ConstValue(Value::Double(2.5));
   NodeId tens = w1.Tensor(cv, in);
   NodeId bb = w0.BlackBox("calcbid", {tens, agg});
-  g.mutable_node(bb).alive = false;  // dead nodes round-trip too
+  g.SetAlive(bb, false);  // dead nodes round-trip too
 
   std::ostringstream os;
   LIPSTICK_ASSERT_OK(SaveGraph(g, os));
@@ -282,20 +339,60 @@ TEST(ProvIoTest, RoundTripPreservesEverything) {
 
   EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
   EXPECT_EQ(loaded->num_alive(), g.num_alive());
-  EXPECT_EQ(loaded->node(x).payload, "state tuple [0]");
-  EXPECT_EQ(loaded->node(x).role, NodeRole::kStateBase);
-  EXPECT_EQ(loaded->node(agg).payload, "COUNT");
-  EXPECT_EQ(loaded->node(agg).value.int_value(), 7);
-  EXPECT_DOUBLE_EQ(loaded->node(cv).value.double_value(), 2.5);
-  EXPECT_EQ(loaded->node(tens).parents, g.node(tens).parents);
+  EXPECT_EQ(loaded->node(x).payload(), "state tuple [0]");
+  EXPECT_EQ(loaded->node(x).role(), NodeRole::kStateBase);
+  EXPECT_EQ(loaded->node(agg).payload(), "COUNT");
+  EXPECT_EQ(loaded->node(agg).value().int_value(), 7);
+  EXPECT_DOUBLE_EQ(loaded->node(cv).value().double_value(), 2.5);
+  EXPECT_EQ(testing::ToVec(loaded->node(tens).parents()),
+            testing::ToVec(g.node(tens).parents()));
   EXPECT_FALSE(loaded->Contains(bb));
   ASSERT_EQ(loaded->invocations().size(), 1u);
-  EXPECT_EQ(loaded->invocations()[0].module_name, "dealer");
+  EXPECT_EQ(loaded->str(loaded->invocations()[0].module_name), "dealer");
   EXPECT_EQ(loaded->invocations()[0].execution, 3u);
   EXPECT_EQ(loaded->invocations()[0].input_nodes,
             g.invocations()[0].input_nodes);
 
   // A second round trip is byte-identical (canonical form).
+  std::ostringstream os2;
+  LIPSTICK_ASSERT_OK(SaveGraph(*loaded, os2));
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(ProvIoTest, RoundTripAbortedInvocationsAndDeadNodes) {
+  ProvenanceGraph g;
+  auto w = g.writer();
+  uint32_t ok_inv = w.BeginInvocation("keep", "keep1", 1);
+  NodeId x = w.Token("x");
+  w.ModuleInput(ok_inv, x);
+
+  uint32_t doomed = w.BeginInvocation("doomed", "doomed1", 2);
+  w.ModuleInput(doomed, x);
+  g.AbortInvocation(doomed);
+
+  auto sp = g.TakeSavepoint();
+  NodeId wide = w.Plus({x, x, x});  // arena-backed, then rolled back
+  g.RollbackTo(sp);
+
+  std::ostringstream os;
+  LIPSTICK_ASSERT_OK(SaveGraph(g, os));
+  std::istringstream is(os.str());
+  Result<ProvenanceGraph> loaded = LoadGraph(is);
+  LIPSTICK_ASSERT_OK(loaded.status());
+
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_alive(), g.num_alive());
+  EXPECT_TRUE(loaded->InGraph(wide));    // the row survives...
+  EXPECT_FALSE(loaded->Contains(wide));  // ...but stays dead
+  ASSERT_EQ(loaded->invocations().size(), 2u);
+  EXPECT_FALSE(loaded->invocations()[ok_inv].aborted());
+  EXPECT_TRUE(loaded->invocations()[doomed].aborted());
+  EXPECT_EQ(loaded->str(loaded->invocations()[doomed].module_name),
+            "doomed");
+  loaded->Seal();
+  EXPECT_FALSE(loaded->ChildrenOf(x).empty());
+
+  // Canonical form: a second save is byte-identical, interner ids and all.
   std::ostringstream os2;
   LIPSTICK_ASSERT_OK(SaveGraph(*loaded, os2));
   EXPECT_EQ(os.str(), os2.str());
@@ -319,7 +416,7 @@ TEST(ProvIoTest, FileRoundTrip) {
   LIPSTICK_ASSERT_OK(SaveGraphToFile(g, path));
   Result<ProvenanceGraph> loaded = LoadGraphFromFile(path);
   LIPSTICK_ASSERT_OK(loaded.status());
-  EXPECT_EQ(loaded->node(MakeNodeId(0, 0)).payload,
+  EXPECT_EQ(loaded->node(MakeNodeId(0, 0)).payload(),
             "payload with spaces\nand newline");
   EXPECT_FALSE(LoadGraphFromFile("/nonexistent/path").ok());
 }

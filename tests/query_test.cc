@@ -190,13 +190,13 @@ TEST(QueryWorkflowTest, ProQLStyleAnalysisOnDealershipRun) {
       graph, And(ByLabel(NodeLabel::kAggregate), ByPayload("COUNT")));
   EXPECT_FALSE(counts.empty());
   for (NodeId id : counts) {
-    uint32_t inv = graph.node(id).invocation;
+    uint32_t inv = graph.node(id).invocation();
     ASSERT_NE(inv, kNoInvocation);
-    EXPECT_EQ(graph.invocations()[inv].module_name, "dealer");
+    EXPECT_EQ(graph.str(graph.invocations()[inv].module_name), "dealer");
   }
   // Every black box in this workflow is calcbid.
   auto bbs = FindNodes(graph, ByLabel(NodeLabel::kBlackBox));
-  for (NodeId id : bbs) EXPECT_EQ(graph.node(id).payload, "calcbid");
+  for (NodeId id : bbs) EXPECT_EQ(graph.node(id).payload(), "calcbid");
   // There is a derivation path from some workflow input to some module
   // output of the aggregate module.
   auto inputs = FindNodes(graph, ByRole(NodeRole::kWorkflowInput));

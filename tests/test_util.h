@@ -4,14 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "pig/interpreter.h"
 #include "pig/parser.h"
+#include "provenance/graph.h"
 #include "relational/value.h"
 
 namespace lipstick::testing {
+
+/// Materializes a traversal span (ParentsOf / ChildrenOf / parents()) for
+/// gtest container matchers.
+inline std::vector<NodeId> ToVec(std::span<const NodeId> ids) {
+  return std::vector<NodeId>(ids.begin(), ids.end());
+}
 
 /// EXPECT that a Status/Result is OK, printing the message otherwise.
 #define LIPSTICK_EXPECT_OK(expr)                        \

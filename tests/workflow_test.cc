@@ -327,14 +327,15 @@ TEST(WorkflowProvenanceTest, StructuralNodesAreCreated) {
   // Workflow-input tokens exist and are labeled by execution.
   size_t wf_inputs = 0;
   for (NodeId id : graph.AllNodeIds()) {
-    if (graph.node(id).role == NodeRole::kWorkflowInput) ++wf_inputs;
+    if (graph.node(id).role() == NodeRole::kWorkflowInput) ++wf_inputs;
   }
   EXPECT_EQ(wf_inputs, 2u);
   // State flows from execution 0 to execution 1: the accumulator's second
   // invocation must consume a state ("s") node.
   bool second_exec_state = false;
   for (const InvocationInfo& inv : graph.invocations()) {
-    if (inv.module_name == "accumulator" && inv.execution == 1) {
+    if (graph.str(inv.module_name) == "accumulator" &&
+        inv.execution == 1) {
       second_exec_state = !inv.state_nodes.empty();
     }
   }
@@ -429,7 +430,7 @@ TEST(ParallelExecutorTest, MatchesSerialResults) {
   EXPECT_GT(graph.num_edges(), 0u);
   // Every recorded parent resolves to a live node across shards.
   for (NodeId id : graph.AllNodeIds()) {
-    for (NodeId p : graph.node(id).parents) {
+    for (NodeId p : graph.ParentsOf(id)) {
       EXPECT_TRUE(graph.Contains(p));
     }
   }

@@ -149,7 +149,7 @@ TEST(DealershipTest, FineGrainedDependencyStat) {
   // Find the o-node of the final PurchasedCar output (car module).
   NodeId sold_output = kInvalidNode;
   for (const InvocationInfo& inv : graph.invocations()) {
-    if (inv.module_name == "car" && !inv.output_nodes.empty()) {
+    if (graph.str(inv.module_name) == "car" && !inv.output_nodes.empty()) {
       sold_output = inv.output_nodes.back();
     }
   }
@@ -160,7 +160,7 @@ TEST(DealershipTest, FineGrainedDependencyStat) {
   size_t state_bases_total = 0;
   for (NodeId id : graph.AllNodeIds()) {
     if (!graph.Contains(id)) continue;
-    if (graph.node(id).role != NodeRole::kStateBase) continue;
+    if (graph.node(id).role() != NodeRole::kStateBase) continue;
     ++state_bases_total;
     if (ancestors.count(id)) ++state_bases_in_ancestry;
   }
@@ -315,8 +315,8 @@ TEST(ArcticTest, WhatIfDeletionOnColdestObservation) {
   NodeId used_base = kInvalidNode;
   for (NodeId id : graph.AllNodeIds()) {
     if (graph.Contains(id) &&
-        graph.node(id).role == NodeRole::kStateBase &&
-        !graph.Children(id).empty()) {
+        graph.node(id).role() == NodeRole::kStateBase &&
+        !graph.ChildrenOf(id).empty()) {
       used_base = id;
       break;
     }

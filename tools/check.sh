@@ -5,9 +5,13 @@
 #      executor run re-validates its provenance graph),
 #   3. clang-tidy over src/ and tools/ (skipped when not installed),
 #   4. `lipstick lint` over every example workflow — any diagnostic of
-#      severity warning or above fails the gate.
-# Usage: tools/check.sh [tidy] [extra ctest args...]
+#      severity warning or above fails the gate,
+#   5. Release-mode perf smoke: bench_prov_size and bench_fig7a_zoom at
+#      small scale must run to completion and produce output (catches
+#      crashes and silent regressions in the columnar graph hot paths).
+# Usage: tools/check.sh [tidy|perf] [extra ctest args...]
 #   tidy  run only the clang-tidy step (useful while iterating).
+#   perf  run only the perf smoke step.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -43,8 +47,33 @@ run_lint() {
   done
 }
 
+run_perf_smoke() {
+  echo "=== perf smoke (Release, LIPSTICK_BENCH_SCALE=0.02) ==="
+  local build_dir="${repo}/build-release"
+  cmake -B "${build_dir}" -S "${repo}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "${build_dir}" -j "${jobs}" \
+        --target bench_prov_size bench_fig7a_zoom
+  local out
+  for bench in bench_prov_size bench_fig7a_zoom; do
+    echo "--- ${bench}"
+    out="$(LIPSTICK_BENCH_SCALE=0.02 "${build_dir}/bench/${bench}")" || {
+      echo "FAIL: ${bench} exited non-zero"; return 1; }
+    [[ -n "${out}" ]] || { echo "FAIL: ${bench} produced no output"; return 1; }
+    echo "${out}" | tail -3
+    if [[ "${bench}" == bench_prov_size ]] &&
+       ! grep -q '^memory_stats_json: ' <<<"${out}"; then
+      echo "FAIL: bench_prov_size lost its memory_stats_json line"
+      return 1
+    fi
+  done
+}
+
 if [[ "${1:-}" == "tidy" ]]; then
   run_tidy
+  exit 0
+fi
+if [[ "${1:-}" == "perf" ]]; then
+  run_perf_smoke
   exit 0
 fi
 
@@ -53,4 +82,5 @@ run_config build
 run_config build-asan -DLIPSTICK_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 run_tidy
 run_lint
+run_perf_smoke
 echo "All checks passed."

@@ -320,7 +320,7 @@ int CmdQuery(const std::vector<std::string>& args) {
     return 0;
   }
   if (op == "find") {
-    NodePredicate pred = [](NodeId, const ProvNode&) { return true; };
+    NodePredicate pred = [](NodeId, const NodeView&) { return true; };
     for (size_t i = 0; i + 1 < rest.size(); i += 2) {
       const std::string& flag = rest[i];
       const std::string& value = rest[i + 1];
@@ -351,11 +351,12 @@ int CmdQuery(const std::vector<std::string>& args) {
     }
     std::vector<NodeId> found = FindNodes(*graph, pred);
     for (NodeId id : found) {
-      const ProvNode& n = graph->node(id);
-      std::printf("%llu  %-9s %-13s %s\n",
+      NodeView n = graph->node(id);
+      std::string_view payload = n.payload();
+      std::printf("%llu  %-9s %-13s %.*s\n",
                   static_cast<unsigned long long>(id),
-                  NodeLabelToString(n.label), NodeRoleToString(n.role),
-                  n.payload.c_str());
+                  NodeLabelToString(n.label()), NodeRoleToString(n.role()),
+                  static_cast<int>(payload.size()), payload.data());
     }
     std::printf("(%zu nodes)\n", found.size());
     return 0;
