@@ -21,6 +21,7 @@ int main() {
   int num_cars = Scaled(20000, 400);
   std::printf("%-8s %-10s %-12s %-12s %-14s %s\n", "mode", "numExec",
               "nodes", "edges", "track_sec", "nodes_per_exec");
+  size_t final_nodes[2] = {0, 0};  // [eager]
   for (int num_exec : {5, 10, 20}) {
     for (bool eager : {false, true}) {
       DealershipConfig cfg;
@@ -40,6 +41,7 @@ int main() {
       std::printf("%-8s %-10d %-12zu %-12zu %-14.3f %zu\n",
                   eager ? "eager" : "lazy", num_exec, graph.num_nodes(),
                   graph.num_edges(), sec, graph.num_nodes() / num_exec);
+      final_nodes[eager ? 1 : 0] = graph.num_nodes();
     }
   }
   std::printf(
@@ -47,5 +49,12 @@ int main() {
       "size per invocation (~2x8 dealer invocations x numCars/4 nodes per\n"
       "execution) with no change in query semantics; lazy keeps the graph\n"
       "proportional to the data actually used.\n");
+
+  ResultsJson results("bench_ablation_state_nodes");
+  results.Add("lazy_nodes", static_cast<double>(final_nodes[0]));
+  results.Add("eager_nodes", static_cast<double>(final_nodes[1]));
+  results.Add("eager_inflation_ratio",
+              double(final_nodes[1]) / double(final_nodes[0]));
+  results.Emit();
   return 0;
 }

@@ -59,5 +59,11 @@ int main() {
   std::printf(
       "\nexpected shape (paper): deletion traverses only descendants, so\n"
       "most queries complete in <1 ms, max ~10-13 ms.\n");
+
+  ResultsJson results("bench_delete");
+  results.Add("queries", static_cast<double>(fanout.size()));
+  results.Add("avg_delete_ms", total_ms / fanout.size());
+  results.Add("max_delete_ms", max_ms);
+  results.Emit();
   return 0;
 }

@@ -203,5 +203,11 @@ int main() {
       "well under 2%%. Non-default options pay for per-attempt state\n"
       "snapshots, proportional to module state size; that is the documented\n"
       "price of opting in, not a hook cost.\n");
+
+  ResultsJson results("bench_fault_overhead");
+  results.Add("disarmed_fire_ns", disarmed_ns);
+  results.Add("computed_overhead_pct", computed_pct);
+  results.Add("chain_default_seconds", plain);
+  results.Emit();
   return 0;
 }

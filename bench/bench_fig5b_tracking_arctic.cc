@@ -47,14 +47,17 @@ int main() {
   };
   std::printf("%-10s %-10s %-16s %-18s %s\n", "topology", "numExec",
               "no_provenance", "with_provenance", "overhead");
+  ResultsJson results("bench_fig5b_tracking_arctic");
   for (const Config& config : kConfigs) {
+    double plain = 0, tracked = 0;
     for (int num_exec : {10, 40, 70, 100}) {
-      double plain = RunSeries(config, num_exec, false);
-      double tracked = RunSeries(config, num_exec, true);
+      plain = RunSeries(config, num_exec, false);
+      tracked = RunSeries(config, num_exec, true);
       std::printf("%-10s %-10d %-16.4f %-18.4f %.1f%%\n", config.name,
                   num_exec, plain, tracked,
                   100.0 * (tracked - plain) / plain);
     }
+    results.Add(std::string(config.name) + "_with_prov_seconds", tracked);
   }
   std::printf(
       "\nexpected shape (paper): time roughly flat in numExec (no direct\n"
@@ -63,5 +66,6 @@ int main() {
       "per-program file-system parameter passing, which this in-process\n"
       "engine does not pay, so topologies here differ mainly in edge\n"
       "count (dense > serial > parallel).\n");
+  results.Emit();
   return 0;
 }

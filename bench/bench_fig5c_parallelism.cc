@@ -120,5 +120,11 @@ int main() {
       "(the 4 dealer bids are the parallel portion), mild decline beyond\n"
       "as coordination overhead grows; provenance and no-provenance\n"
       "curves are close.\n");
+
+  ResultsJson results("bench_fig5c_parallelism");
+  results.Add("makespan_base_no_prov_seconds", base[0]);
+  results.Add("makespan_base_with_prov_seconds", base[1]);
+  results.Add("parallel_run_nodes", static_cast<double>(graph.num_nodes()));
+  results.Emit();
   return 0;
 }

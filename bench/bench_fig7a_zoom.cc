@@ -19,6 +19,8 @@ int main() {
   std::printf("%-10s %-12s %-14s %-14s %-14s %-14s %s\n", "numExec",
               "nodes", "zoomout_dlr", "zoomin_dlr", "zoomout_agg",
               "zoomin_agg", "(ms)");
+  double last_ms[4] = {0, 0, 0, 0};
+  size_t last_nodes = 0;
   for (int num_exec : {10, 25, 50, 100, 150}) {
     DealershipConfig cfg;
     cfg.num_cars = num_cars;
@@ -47,10 +49,20 @@ int main() {
     }
     std::printf("%-10d %-12zu %-14.2f %-14.2f %-14.2f %-14.2f\n", num_exec,
                 nodes, ms[0], ms[1], ms[2], ms[3]);
+    for (int i = 0; i < 4; ++i) last_ms[i] = ms[i];
+    last_nodes = nodes;
   }
   std::printf(
       "\nexpected shape (paper): both operations linear in graph size;\n"
       "zooming the aggregate module is faster than the dealer module\n"
       "(fewer invocations); ZoomIn faster than ZoomOut.\n");
+
+  ResultsJson results("bench_fig7a_zoom");
+  results.Add("nodes", static_cast<double>(last_nodes));
+  results.Add("zoomout_dealer_ms", last_ms[0]);
+  results.Add("zoomin_dealer_ms", last_ms[1]);
+  results.Add("zoomout_aggregate_ms", last_ms[2]);
+  results.Add("zoomin_aggregate_ms", last_ms[3]);
+  results.Emit();
   return 0;
 }

@@ -1,0 +1,144 @@
+// Observability overhead: cost of the always-compiled-in tracing/metrics
+// hooks (ObsSpan construction, MetricsRegistry::CounterAdd/Observe) on the
+// happy path, disarmed and armed. The observability layer follows the
+// fault layer's bar: a run with neither --trace nor --metrics must pay
+// well under 2% for carrying the hooks.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workflowgen/dealership.h"
+
+using namespace lipstick;
+using namespace lipstick::bench;
+using namespace lipstick::workflowgen;
+
+namespace {
+
+/// Nanoseconds per disarmed ObsSpan construct+destruct.
+double SpanNanos(size_t calls) {
+  WallTimer timer;
+  for (size_t i = 0; i < calls; ++i) {
+    obs::ObsSpan span("bench", "bench.span");
+    if (span.active()) Check(Status::Internal("tracer unexpectedly armed"));
+  }
+  return timer.ElapsedSeconds() * 1e9 / calls;
+}
+
+/// Nanoseconds per disarmed CounterAdd + Observe pair.
+double MetricNanos(size_t calls) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static const obs::MetricId kCounter = metrics.RegisterCounter("bench.count");
+  static const obs::MetricId kHist = metrics.RegisterHistogram("bench.us");
+  WallTimer timer;
+  for (size_t i = 0; i < calls; ++i) {
+    metrics.CounterAdd(kCounter);
+    metrics.Observe(kHist, 1.0);
+  }
+  return timer.ElapsedSeconds() * 1e9 / calls;
+}
+
+/// Average seconds per dealership execution with the tracer/registry in
+/// their current armed state (ExecuteOnce uses the default serial path —
+/// the exact code the CLI runs).
+double DealershipSecPerExec(int num_cars, int num_exec) {
+  DealershipConfig cfg;
+  cfg.num_cars = num_cars;
+  cfg.num_executions = num_exec;
+  cfg.seed = 12345;
+  cfg.accept_probability = 0;
+  auto wf = DealershipWorkflow::Create(cfg);
+  Check(wf.status());
+  WallTimer timer;
+  for (int e = 1; e <= num_exec; ++e) {
+    Check((*wf)->ExecuteOnce(e, nullptr).status());
+  }
+  return timer.ElapsedSeconds() / num_exec;
+}
+
+double Pct(double base, double v) { return 100.0 * (v - base) / base; }
+
+}  // namespace
+
+int main() {
+  Banner("Observability overhead",
+         "disarmed hook cost and armed tracing/metrics cost",
+         "sec per dealership execution; hooks at execute / node / "
+         "statement / seal / query boundaries");
+
+  // 1. Micro: the disarmed hooks themselves.
+  constexpr size_t kCalls = 4u << 20;
+  double span_ns = SpanNanos(kCalls);
+  double metric_ns = MetricNanos(kCalls);
+  std::printf("%-36s %8.2f ns\n", "disarmed ObsSpan ctor+dtor", span_ns);
+  std::printf("%-36s %8.2f ns\n", "disarmed CounterAdd+Observe", metric_ns);
+
+  // 2. End-to-end: the dealership workflow, repeated to take the min (the
+  // run least disturbed by scheduler noise).
+  int num_cars = Scaled(20000, 400);
+  int num_exec = Scaled(20, 4);
+  constexpr int kReps = 3;
+  double disarmed = 1e30, metrics_on = 1e30, both_on = 1e30;
+  for (int r = 0; r < kReps; ++r) {
+    disarmed = std::min(disarmed, DealershipSecPerExec(num_cars, num_exec));
+
+    obs::MetricsRegistry::Global().Enable();
+    metrics_on = std::min(metrics_on,
+                          DealershipSecPerExec(num_cars, num_exec));
+    obs::MetricsRegistry::Global().Disable();
+    obs::MetricsRegistry::Global().ResetValues();
+
+    obs::Tracer::Global().Start();
+    obs::MetricsRegistry::Global().Enable();
+    both_on = std::min(both_on, DealershipSecPerExec(num_cars, num_exec));
+    obs::Tracer::Global().Stop();
+    obs::MetricsRegistry::Global().Disable();
+    obs::MetricsRegistry::Global().ResetValues();
+  }
+  std::printf("%-36s %8.4f sec/exec\n", "dealerships, disarmed", disarmed);
+  std::printf("%-36s %8.4f sec/exec  (%+.2f%%)\n",
+              "dealerships, metrics armed", metrics_on,
+              Pct(disarmed, metrics_on));
+  std::printf("%-36s %8.4f sec/exec  (%+.2f%%)\n",
+              "dealerships, trace + metrics armed", both_on,
+              Pct(disarmed, both_on));
+
+  // 3. The timer-noise-free bound: count the hook crossings of one
+  // execution with metrics armed (every hook site ticks a counter), then
+  // charge each crossing the measured disarmed span + metric cost.
+  obs::MetricsRegistry::Global().Enable();
+  DealershipSecPerExec(num_cars, num_exec);
+  obs::MetricsRegistry::Global().Disable();
+  uint64_t hooks = 0;
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::Global().Snap().counters) {
+    if (name == "pig.statements" || name == "executor.nodes_run" ||
+        name == "executor.executions") {
+      hooks += value;
+    }
+  }
+  obs::MetricsRegistry::Global().ResetValues();
+  hooks /= num_exec;
+  double computed_pct =
+      hooks * (span_ns + metric_ns) * 1e-9 / disarmed * 100.0;
+  std::printf("%-36s %8llu hooks/exec -> %.4f%% of exec time\n\n",
+              "computed disarmed-hook bound",
+              static_cast<unsigned long long>(hooks), computed_pct);
+
+  std::printf(
+      "expected: the disarmed hooks are one relaxed atomic load each (a\n"
+      "few ns); the computed per-execution bound stays well under 2%%.\n"
+      "Armed costs are the opt-in price of --trace/--metrics and scale\n"
+      "with hook crossings, not data volume.\n");
+
+  ResultsJson results("bench_obs_overhead");
+  results.Add("disarmed_span_ns", span_ns);
+  results.Add("disarmed_metric_ns", metric_ns);
+  results.Add("disarmed_sec_per_exec", disarmed);
+  results.Add("computed_overhead_pct", computed_pct);
+  results.Add("armed_overhead_pct", Pct(disarmed, both_on));
+  results.Emit();
+  return 0;
+}

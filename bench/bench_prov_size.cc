@@ -93,6 +93,14 @@ int main() {
         double(mem.total()) / double(edges), mem.column_bytes,
         mem.edge_arena_bytes, mem.csr_bytes, mem.value_bytes,
         mem.interner_bytes, mem.invocation_bytes);
+
+    ResultsJson results("bench_prov_size");
+    results.Add("nodes", static_cast<double>(nodes));
+    results.Add("total_bytes", static_cast<double>(mem.total()));
+    results.Add("memory_bytes_per_node",
+                double(mem.total()) / double(nodes));
+    results.Add("csr_bytes", static_cast<double>(mem.csr_bytes));
+    results.Emit();
   }
   return 0;
 }

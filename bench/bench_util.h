@@ -11,10 +11,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "obs/json.h"
 
 namespace lipstick::bench {
 
@@ -52,6 +55,44 @@ inline int Scaled(int n, int min_value = 1) {
   int v = static_cast<int>(n * Scale());
   return v < min_value ? min_value : v;
 }
+
+/// Machine-readable result emission, consumed by tools/bench_compare.py.
+/// Each harness creates one ResultsJson, adds its headline metrics, and
+/// Emit()s a single line:
+///
+///   results_json: {"bench":"bench_x","scale":0.02,"metrics":{...}}
+///
+/// Metric naming convention: suffix the unit (`_seconds`, `_ms`, `_us`,
+/// `_ns`, `_bytes`, `_bytes_per_node`, `_pct`). The CI perf gate treats
+/// time/space-suffixed metrics as "lower is better" and fails on
+/// regressions vs the checked-in BENCH_baseline.json; unsuffixed metrics
+/// (counts, ratios used as sanity echoes) are recorded but not gated.
+class ResultsJson {
+ public:
+  explicit ResultsJson(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void Add(const std::string& metric, double value) {
+    metrics_.emplace_back(metric, value);
+  }
+
+  /// Prints the single results_json line to stdout.
+  void Emit() const {
+    obs::JsonValue root = obs::JsonValue::Object();
+    root.Set("bench", obs::JsonValue::Str(bench_));
+    root.Set("scale", obs::JsonValue::Number(Scale()));
+    obs::JsonValue metrics = obs::JsonValue::Object();
+    for (const auto& [name, value] : metrics_) {
+      metrics.Set(name, obs::JsonValue::Number(value));
+    }
+    root.Set("metrics", std::move(metrics));
+    std::printf("results_json: %s\n", root.Serialize().c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace lipstick::bench
 

@@ -1,0 +1,256 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "obs/json.h"
+
+namespace lipstick::obs {
+
+namespace {
+
+inline double FromBits(uint64_t bits) { return std::bit_cast<double>(bits); }
+inline uint64_t ToBits(double d) { return std::bit_cast<uint64_t>(d); }
+
+/// Bucket index for a histogram value: floor(log2(v)) clamped to range.
+size_t BucketFor(double value) {
+  if (value < 1.0) return 0;
+  int exp = std::min<int>(static_cast<int>(std::log2(value)),
+                          MetricsRegistry::kHistBuckets - 1);
+  return static_cast<size_t>(std::max(exp, 0));
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+/// Thread-exit hook: returns the thread's slab to the registry free list
+/// so worker pools (the executor spawns threads per Execute) recycle slabs
+/// instead of growing the registry without bound. Values are preserved —
+/// a recycled slab keeps accumulating into the same aggregate.
+struct SlabRef {
+  MetricsRegistry::Slab* slab = nullptr;
+  ~SlabRef() {
+    if (slab != nullptr) MetricsRegistry::Global().ReleaseSlab(slab);
+  }
+};
+
+namespace {
+thread_local SlabRef t_slab;
+}  // namespace
+
+MetricsRegistry::Slab* MetricsRegistry::LocalSlab() {
+  if (t_slab.slab != nullptr) return t_slab.slab;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_slabs_.empty()) {
+    t_slab.slab = free_slabs_.back();
+    free_slabs_.pop_back();
+  } else {
+    slabs_.push_back(std::make_unique<Slab>());
+    t_slab.slab = slabs_.back().get();
+  }
+  return t_slab.slab;
+}
+
+void MetricsRegistry::ReleaseSlab(Slab* slab) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_slabs_.push_back(slab);
+}
+
+MetricId MetricsRegistry::RegisterNamed(std::vector<std::string>* names,
+                                        size_t limit, const char* kind,
+                                        std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < names->size(); ++i) {
+    if ((*names)[i] == name) return static_cast<MetricId>(i);
+  }
+  LIPSTICK_CHECK(names->size() < limit, "too many registered metrics");
+  (void)kind;
+  names->emplace_back(name);
+  return static_cast<MetricId>(names->size() - 1);
+}
+
+MetricId MetricsRegistry::RegisterCounter(std::string_view name) {
+  return RegisterNamed(&counter_names_, kMaxCounters, "counter", name);
+}
+
+MetricId MetricsRegistry::RegisterGauge(std::string_view name) {
+  return RegisterNamed(&gauge_names_, kMaxGauges, "gauge", name);
+}
+
+MetricId MetricsRegistry::RegisterHistogram(std::string_view name) {
+  return RegisterNamed(&histogram_names_, kMaxHistograms, "histogram", name);
+}
+
+void MetricsRegistry::Observe(MetricId id, double value) {
+  if (!Enabled()) return;
+  HistSlot& h = LocalSlab()->histograms[id];
+  // Single-writer slots: load/modify/store with relaxed ordering is safe
+  // because only the owning thread writes, and the aggregator tolerates
+  // tearing-free (atomic) but unsynchronized reads.
+  uint64_t count = h.count.load(std::memory_order_relaxed);
+  double sum = FromBits(h.sum_bits.load(std::memory_order_relaxed));
+  if (count == 0) {
+    h.min_bits.store(ToBits(value), std::memory_order_relaxed);
+    h.max_bits.store(ToBits(value), std::memory_order_relaxed);
+  } else {
+    if (value < FromBits(h.min_bits.load(std::memory_order_relaxed))) {
+      h.min_bits.store(ToBits(value), std::memory_order_relaxed);
+    }
+    if (value > FromBits(h.max_bits.load(std::memory_order_relaxed))) {
+      h.max_bits.store(ToBits(value), std::memory_order_relaxed);
+    }
+  }
+  h.sum_bits.store(ToBits(sum + value), std::memory_order_relaxed);
+  size_t b = BucketFor(value);
+  h.buckets[b].store(h.buckets[b].load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  h.count.store(count + 1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slab : slabs_) {
+    for (auto& c : slab->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : slab->histograms) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum_bits.store(0, std::memory_order_relaxed);
+      h.min_bits.store(0, std::memory_order_relaxed);
+      h.max_bits.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : gauges_) {
+    g.value.store(0, std::memory_order_relaxed);
+    g.set.store(false, std::memory_order_relaxed);
+  }
+}
+
+double MetricsRegistry::HistogramStats::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      double lo = b == 0 ? 0.0 : std::exp2(static_cast<double>(b));
+      double hi = std::exp2(static_cast<double>(b + 1));
+      double mid = (lo + hi) / 2;
+      return std::min(std::max(mid, min), max);
+    }
+  }
+  return max;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (size_t i = 0; i < counter_names_.size(); ++i) {
+    uint64_t total = 0;
+    for (const auto& slab : slabs_) {
+      total += slab->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(counter_names_[i], total);
+  }
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (!gauges_[i].set.load(std::memory_order_relaxed)) continue;
+    snap.gauges.emplace_back(gauge_names_[i],
+                             gauges_[i].value.load(std::memory_order_relaxed));
+  }
+  for (size_t i = 0; i < histogram_names_.size(); ++i) {
+    HistogramStats stats;
+    stats.name = histogram_names_[i];
+    bool first = true;
+    for (const auto& slab : slabs_) {
+      const HistSlot& h = slab->histograms[i];
+      uint64_t c = h.count.load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      stats.count += c;
+      stats.sum += FromBits(h.sum_bits.load(std::memory_order_relaxed));
+      double mn = FromBits(h.min_bits.load(std::memory_order_relaxed));
+      double mx = FromBits(h.max_bits.load(std::memory_order_relaxed));
+      if (first || mn < stats.min) stats.min = mn;
+      if (first || mx > stats.max) stats.max = mx;
+      first = false;
+      for (size_t b = 0; b < kHistBuckets; ++b) {
+        stats.buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.push_back(std::move(stats));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  Snapshot snap = Snap();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += StrCat("counter ", name, " ", value, "\n");
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += StrCat("gauge ", name, " ", value, "\n");
+  }
+  char buf[256];
+  for (const HistogramStats& h : snap.histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "hist %s count=%llu sum=%.3f min=%.3f max=%.3f mean=%.3f "
+                  "p50~%.3f p99~%.3f\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.sum, h.min, h.max, h.mean(), h.ApproxQuantile(0.50),
+                  h.ApproxQuantile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  Snapshot snap = Snap();
+  JsonValue root = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, value] : snap.counters) {
+    counters.Set(name, JsonValue::Number(static_cast<double>(value)));
+  }
+  root.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : snap.gauges) {
+    gauges.Set(name, JsonValue::Number(static_cast<double>(value)));
+  }
+  root.Set("gauges", std::move(gauges));
+  JsonValue hists = JsonValue::Object();
+  for (const HistogramStats& h : snap.histograms) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", JsonValue::Number(static_cast<double>(h.count)));
+    entry.Set("sum", JsonValue::Number(h.sum));
+    entry.Set("min", JsonValue::Number(h.min));
+    entry.Set("max", JsonValue::Number(h.max));
+    entry.Set("mean", JsonValue::Number(h.mean()));
+    entry.Set("p50", JsonValue::Number(h.ApproxQuantile(0.50)));
+    entry.Set("p99", JsonValue::Number(h.ApproxQuantile(0.99)));
+    JsonValue buckets = JsonValue::Array();
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      JsonValue pair = JsonValue::Array();
+      pair.Push(JsonValue::Number(b == 0 ? 0.0 : std::exp2(double(b))));
+      pair.Push(JsonValue::Number(static_cast<double>(h.buckets[b])));
+      buckets.Push(std::move(pair));
+    }
+    entry.Set("buckets", std::move(buckets));
+    hists.Set(h.name, std::move(entry));
+  }
+  root.Set("histograms", std::move(hists));
+  return root.Serialize();
+}
+
+size_t MetricsRegistry::num_slabs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slabs_.size();
+}
+
+}  // namespace lipstick::obs

@@ -1,0 +1,174 @@
+#ifndef LIPSTICK_OBS_METRICS_H_
+#define LIPSTICK_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace lipstick::obs {
+
+/// Index of a registered metric within its kind (counter / gauge /
+/// histogram). Ids are dense, stable for the process lifetime, and cheap
+/// to cache in a function-local static at the instrumentation site.
+using MetricId = uint32_t;
+
+/// Process-wide metrics registry: counters, gauges, and log2-bucketed
+/// histograms, designed so the instrumented hot paths never contend.
+///
+/// The design mirrors the provenance graph's ShardWriter: each thread that
+/// records a metric owns a private slab of slots (acquired once, returned
+/// to a free list on thread exit so worker pools recycle them), and writes
+/// are single-writer relaxed atomics — no lock, no cache-line ping-pong
+/// between the executor's workers. Aggregation walks all slabs at render
+/// time, which is rare and off the hot path.
+///
+/// Disarmed (the default), every Record call is one relaxed atomic load —
+/// the same precedent as FaultInjector::Fire (<2% end-to-end, see
+/// bench_obs_overhead). Arm with Enable(); Render*/Snapshot aggregate.
+class MetricsRegistry {
+ public:
+  /// Capacity per kind. Registration beyond this fails a CHECK; the limit
+  /// keeps per-thread slabs small and allocation-free on the hot path.
+  static constexpr size_t kMaxCounters = 64;
+  static constexpr size_t kMaxHistograms = 32;
+  static constexpr size_t kMaxGauges = 32;
+  /// Histogram buckets: bucket b counts values in [2^b, 2^(b+1)); values
+  /// < 1 land in bucket 0. With 40 buckets a microsecond-valued series
+  /// spans 1us .. ~12 days.
+  static constexpr size_t kHistBuckets = 40;
+
+  static MetricsRegistry& Global();
+
+  /// True when metrics recording is on (one relaxed atomic load).
+  static bool Enabled() {
+    return Global().enabled_.load(std::memory_order_relaxed);
+  }
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Zeroes all recorded values. Registrations (names, ids) survive —
+  /// function-local static ids at instrumentation sites stay valid.
+  void ResetValues();
+
+  /// Registers a metric (idempotent per name) and returns its id. Names
+  /// are dot-separated, e.g. "executor.node_us"; the conventional unit
+  /// suffixes are _us (microseconds), _bytes, and bare names for counts.
+  MetricId RegisterCounter(std::string_view name);
+  MetricId RegisterGauge(std::string_view name);
+  MetricId RegisterHistogram(std::string_view name);
+
+  /// Hot-path recording. No-ops when disarmed.
+  void CounterAdd(MetricId id, uint64_t delta = 1) {
+    if (!Enabled()) return;
+    Slab* slab = LocalSlab();
+    slab->counters[id].store(
+        slab->counters[id].load(std::memory_order_relaxed) + delta,
+        std::memory_order_relaxed);
+  }
+  void GaugeSet(MetricId id, int64_t value) {
+    if (!Enabled()) return;
+    gauges_[id].value.store(value, std::memory_order_relaxed);
+    gauges_[id].set.store(true, std::memory_order_relaxed);
+  }
+  void Observe(MetricId id, double value);
+
+  /// Aggregated view across all thread slabs.
+  struct HistogramStats {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    uint64_t buckets[kHistBuckets] = {};
+    double mean() const { return count == 0 ? 0 : sum / count; }
+    /// Approximate quantile from the log2 buckets (geometric midpoint of
+    /// the bucket containing the q-th sample).
+    double ApproxQuantile(double q) const;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;  // only set gauges
+    std::vector<HistogramStats> histograms;
+  };
+  Snapshot Snap() const;
+
+  /// Human-readable rendering, one metric per line.
+  std::string RenderText() const;
+  /// Machine-readable rendering (parsable by obs::ParseJson):
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}.
+  std::string RenderJson() const;
+
+  /// Number of thread slabs ever created (diagnostic; slabs are recycled
+  /// through a free list when threads exit).
+  size_t num_slabs() const;
+
+ private:
+  struct HistSlot {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};  // bit-cast double
+    std::atomic<uint64_t> min_bits{0};  // bit-cast double; valid if count>0
+    std::atomic<uint64_t> max_bits{0};
+    std::atomic<uint32_t> buckets[kHistBuckets] = {};
+  };
+  struct Slab {
+    std::atomic<uint64_t> counters[kMaxCounters] = {};
+    HistSlot histograms[kMaxHistograms];
+  };
+  struct GaugeSlot {
+    std::atomic<int64_t> value{0};
+    std::atomic<bool> set{false};
+  };
+
+  MetricsRegistry() = default;
+
+  /// The calling thread's slab, acquired from the free list (or freshly
+  /// allocated) on first use and returned on thread exit.
+  Slab* LocalSlab();
+  void ReleaseSlab(Slab* slab);
+
+  MetricId RegisterNamed(std::vector<std::string>* names, size_t limit,
+                         const char* kind, std::string_view name);
+
+  friend struct SlabRef;
+
+  std::atomic<bool> enabled_{false};
+  GaugeSlot gauges_[kMaxGauges];
+
+  mutable std::mutex mu_;  // guards names and slab bookkeeping
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::vector<Slab*> free_slabs_;
+};
+
+/// RAII histogram timer: observes the elapsed wall-clock microseconds into
+/// `id` on destruction. Free when the registry is disarmed.
+class ScopedHistTimer {
+ public:
+  explicit ScopedHistTimer(MetricId id) : id_(id) {
+    armed_ = MetricsRegistry::Enabled();
+  }
+  ~ScopedHistTimer() {
+    if (armed_) MetricsRegistry::Global().Observe(id_, timer_.ElapsedMicros());
+  }
+  ScopedHistTimer(const ScopedHistTimer&) = delete;
+  ScopedHistTimer& operator=(const ScopedHistTimer&) = delete;
+
+ private:
+  MetricId id_;
+  bool armed_;
+  WallTimer timer_;
+};
+
+}  // namespace lipstick::obs
+
+#endif  // LIPSTICK_OBS_METRICS_H_

@@ -1,0 +1,187 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "obs/json.h"
+
+namespace lipstick::obs {
+
+namespace {
+
+/// Dense per-thread ids for the trace "tid" field (std::thread::id is
+/// opaque and unstable across runs).
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Innermost active span of the calling thread.
+thread_local uint64_t t_current_span = 0;
+
+/// Thread-exit hook returning the event buffer to the tracer's free list.
+/// Recorded events are kept — they belong to the trace, and each event
+/// carries the tid it was recorded under, so buffer recycling across
+/// threads cannot mix attribution.
+struct BufferRef {
+  ThreadEventBuffer* buffer = nullptr;
+  ~BufferRef() {
+    if (buffer != nullptr) Tracer::Global().ReleaseBuffer(buffer);
+  }
+};
+
+thread_local BufferRef t_buffer;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+ThreadEventBuffer* Tracer::LocalBuffer() {
+  if (t_buffer.buffer != nullptr) return t_buffer.buffer;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_buffers_.empty()) {
+    t_buffer.buffer = free_buffers_.back();
+    free_buffers_.pop_back();
+  } else {
+    buffers_.push_back(std::make_unique<ThreadEventBuffer>());
+    t_buffer.buffer = buffers_.back().get();
+  }
+  return t_buffer.buffer;
+}
+
+void Tracer::ReleaseBuffer(ThreadEventBuffer* buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_buffers_.push_back(buffer);
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) buffer->events.clear();
+  next_span_id_.store(0, std::memory_order_relaxed);
+  clock_.Restart();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->events.size();
+  return n;
+}
+
+std::string Tracer::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"lipstick\"}}";
+  char buf[128];
+  for (const auto& buffer : buffers_) {
+    for (const TraceEvent& e : buffer->events) {
+      out += ",{\"name\":\"";
+      out += JsonEscape(e.name);
+      out += "\",\"cat\":\"";
+      out += JsonEscape(e.category);
+      out += "\",\"ph\":\"X\",\"pid\":1";
+      std::snprintf(buf, sizeof(buf), ",\"tid\":%u,\"ts\":%s", e.tid,
+                    JsonNumber(e.ts_us).c_str());
+      out += buf;
+      out += ",\"dur\":";
+      out += JsonNumber(e.dur_us);
+      out += ",\"args\":{\"span\":";
+      out += JsonNumber(static_cast<double>(e.id));
+      out += ",\"parent\":";
+      out += JsonNumber(static_cast<double>(e.parent));
+      for (const TraceEvent::Arg& arg : e.args) {
+        out += ",\"";
+        out += JsonEscape(arg.key);
+        out += "\":";
+        if (arg.quoted) {
+          out += '"';
+          out += JsonEscape(arg.value);
+          out += '"';
+        } else {
+          out += arg.value;
+        }
+      }
+      out += "}}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status Tracer::WriteJsonToFile(const std::string& path) const {
+  std::string json = ExportJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError(StrCat("cannot open '", path, "' for writing"));
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int rc = std::fclose(f);
+  if (written != json.size() || rc != 0) {
+    return Status::IOError(StrCat("short write to '", path, "'"));
+  }
+  return Status::OK();
+}
+
+ObsSpan::ObsSpan(const char* category, std::string_view name,
+                 uint64_t parent) {
+  if (!Tracer::Enabled()) return;
+  Tracer& tracer = Tracer::Global();
+  active_ = true;
+  id_ = tracer.NextSpanId();
+  prev_current_ = t_current_span;
+  parent_ = parent != 0 ? parent : t_current_span;
+  t_current_span = id_;
+  start_us_ = tracer.NowUs();
+  category_ = category;
+  name_.assign(name);
+}
+
+uint64_t ObsSpan::Current() { return t_current_span; }
+
+void ObsSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  Tracer& tracer = Tracer::Global();
+  t_current_span = prev_current_;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = category_;
+  event.ts_us = start_us_;
+  event.dur_us = tracer.NowUs() - start_us_;
+  event.tid = CurrentTid();
+  event.id = id_;
+  event.parent = parent_;
+  event.args = std::move(args_);
+  tracer.LocalBuffer()->events.push_back(std::move(event));
+}
+
+void ObsSpan::Arg(const char* key, std::string_view value) {
+  if (!active_) return;
+  args_.push_back({key, std::string(value), /*quoted=*/true});
+}
+
+void ObsSpan::Arg(const char* key, int64_t value) {
+  if (!active_) return;
+  args_.push_back({key, StrCat(value), /*quoted=*/false});
+}
+
+void ObsSpan::Arg(const char* key, uint64_t value) {
+  if (!active_) return;
+  args_.push_back({key, StrCat(value), /*quoted=*/false});
+}
+
+void ObsSpan::Arg(const char* key, double value) {
+  if (!active_) return;
+  args_.push_back({key, JsonNumber(value), /*quoted=*/false});
+}
+
+}  // namespace lipstick::obs

@@ -1,0 +1,150 @@
+#ifndef LIPSTICK_OBS_TRACE_H_
+#define LIPSTICK_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace lipstick::obs {
+
+/// One recorded span, stored per-thread until export. Timestamps are
+/// microseconds since Tracer::Start().
+struct TraceEvent {
+  std::string name;  // e.g. the workflow node id or Pig statement target
+  const char* category = "";  // static string: "executor", "pig", "query"...
+  double ts_us = 0;
+  double dur_us = 0;
+  uint32_t tid = 0;
+  uint64_t id = 0;      // span id, unique within one trace
+  uint64_t parent = 0;  // parent span id; 0 = root
+  // Pre-rendered args: value is raw JSON when quoted == false, else a
+  // string literal body still needing escaping.
+  struct Arg {
+    std::string key;
+    std::string value;
+    bool quoted = true;
+  };
+  std::vector<Arg> args;
+};
+
+struct ThreadEventBuffer;
+
+/// Process-wide span tracer producing Chrome trace_event JSON (the
+/// "traceEvents" array format), loadable in about:tracing and Perfetto.
+///
+/// Recording mirrors the metrics registry's sharding: each thread appends
+/// to a private event buffer acquired on first use and recycled on thread
+/// exit, so worker threads never contend. Spans nest per-thread through a
+/// thread-local current-span id; cross-thread parent/child links (the
+/// executor's worker spans under the main thread's execute span) are made
+/// explicit by passing the parent span id to the child ObsSpan.
+///
+/// Disarmed (the default), span construction is one relaxed atomic load.
+/// Export is valid once recording threads have quiesced (the executor
+/// joins its workers before returning, so "after Execute" is safe).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  static bool Enabled() {
+    return Global().enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears previously recorded events, re-zeroes the clock, and arms.
+  void Start();
+  /// Disarms; recorded events remain available for export.
+  void Stop();
+
+  /// Microseconds since Start() (0 if never started).
+  double NowUs() const { return clock_.ElapsedSeconds() * 1e6; }
+
+  /// Exports all recorded events as a Chrome trace JSON document:
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}. Spans become complete
+  /// ("ph":"X") events; process/thread metadata events are included.
+  std::string ExportJson() const;
+  Status WriteJsonToFile(const std::string& path) const;
+
+  size_t num_events() const;
+
+  /// Next unique span id (>= 1).
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// The calling thread's event buffer (internal; used by ObsSpan).
+  ThreadEventBuffer* LocalBuffer();
+  void ReleaseBuffer(ThreadEventBuffer* buffer);
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{0};
+  WallTimer clock_;
+
+  mutable std::mutex mu_;  // guards buffer bookkeeping
+  std::vector<std::unique_ptr<ThreadEventBuffer>> buffers_;
+  std::vector<ThreadEventBuffer*> free_buffers_;
+};
+
+/// Event storage owned by one thread at a time. Appends are lock-free
+/// (exclusive ownership); the tracer aggregates at export.
+struct ThreadEventBuffer {
+  std::vector<TraceEvent> events;
+};
+
+/// Scoped span: records a complete trace event for its lifetime.
+///
+///   obs::ObsSpan span("executor", node_id);        // parent = innermost
+///   obs::ObsSpan span("executor", node_id, pid);   // explicit parent id
+///
+/// When the tracer is disarmed the constructor returns immediately — the
+/// name is never copied and no thread-local state is touched. Args are
+/// attached lazily and dropped when inactive.
+class ObsSpan {
+ public:
+  /// `category` must be a string literal (stored unowned). `name` is
+  /// copied only when the tracer is armed. `parent` = 0 inherits the
+  /// calling thread's innermost active span.
+  ObsSpan(const char* category, std::string_view name, uint64_t parent = 0);
+  ~ObsSpan() { End(); }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Finishes the span early (idempotent; also called by the destructor).
+  void End();
+
+  bool active() const { return active_; }
+  /// This span's id (0 when the tracer was disarmed at construction).
+  uint64_t id() const { return id_; }
+
+  /// The calling thread's innermost active span id (0 = none). Pass to a
+  /// child ObsSpan on another thread to parent across threads.
+  static uint64_t Current();
+
+  void Arg(const char* key, std::string_view value);
+  void Arg(const char* key, int64_t value);
+  void Arg(const char* key, uint64_t value);
+  void Arg(const char* key, double value);
+
+ private:
+  bool active_ = false;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t prev_current_ = 0;
+  double start_us_ = 0;
+  const char* category_ = "";
+  std::string name_;
+  std::vector<TraceEvent::Arg> args_;
+};
+
+}  // namespace lipstick::obs
+
+#endif  // LIPSTICK_OBS_TRACE_H_

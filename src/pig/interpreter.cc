@@ -6,6 +6,8 @@
 
 #include "common/fault.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lipstick::pig {
 
@@ -1025,6 +1027,15 @@ Result<const Relation*> Interpreter::RunStatement(const Statement& stmt,
                                                   ShardWriter* writer) const {
   LIPSTICK_RETURN_IF_ERROR(
       FaultInjector::Fire("pig.statement", stmt.target));
+  // Observability: a span per Pig statement (named after its target
+  // relation) and a latency histogram. Disarmed cost: two relaxed loads.
+  obs::ObsSpan obs_span("pig", stmt.target);
+  static const obs::MetricId kStatements =
+      obs::MetricsRegistry::Global().RegisterCounter("pig.statements");
+  static const obs::MetricId kStatementUs =
+      obs::MetricsRegistry::Global().RegisterHistogram("pig.statement_us");
+  obs::MetricsRegistry::Global().CounterAdd(kStatements);
+  obs::ScopedHistTimer obs_timer(kStatementUs);
   OpContext op{env, writer, udfs_};
   Result<Relation> result = Status::Internal("unhandled statement");
   switch (stmt.kind) {

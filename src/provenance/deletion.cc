@@ -3,6 +3,9 @@
 #include <deque>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lipstick {
 
 Result<std::unordered_set<NodeId>> ComputeDeletionSet(
@@ -40,10 +43,16 @@ Result<std::unordered_set<NodeId>> ComputeDeletionSet(
 }
 
 Result<size_t> PropagateDeletion(ProvenanceGraph* graph, NodeId seed) {
+  obs::ObsSpan span("query", "delete");
+  static const obs::MetricId kDeleteUs =
+      obs::MetricsRegistry::Global().RegisterHistogram("query.delete_us");
+  obs::ScopedHistTimer obs_timer(kDeleteUs);
+
   LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> dead,
                             ComputeDeletionSet(*graph, {seed}));
   for (NodeId id : dead) graph->SetAlive(id, false);
   graph->Seal();
+  span.Arg("deleted_nodes", static_cast<uint64_t>(dead.size()));
   return dead.size();
 }
 

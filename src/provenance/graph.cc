@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <map>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lipstick {
 
 const char* NodeLabelToString(NodeLabel label) {
@@ -408,6 +412,13 @@ std::vector<NodeId> ProvenanceGraph::AllNodeIds() const {
 }
 
 void ProvenanceGraph::Seal() {
+  // Observability: time the CSR build and report graph shape + bytes/node
+  // (from the existing memory accounting) when armed. Disarmed, the whole
+  // block is two relaxed atomic loads.
+  obs::ObsSpan span("provenance", "seal");
+  const bool obs_armed = span.active() || obs::MetricsRegistry::Enabled();
+  WallTimer seal_timer;
+
   // Two-pass CSR build per shard: count alive-child edges into each
   // parent, prefix-sum into offsets, then fill. Iteration order (shard,
   // index) matches the historical nested-vector build, so children of a
@@ -455,6 +466,33 @@ void ProvenanceGraph::Seal() {
     }
   }
   sealed_ = true;
+
+  if (obs_armed) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    static const obs::MetricId kSeals = metrics.RegisterCounter(
+        "provenance.seals");
+    static const obs::MetricId kSealUs = metrics.RegisterHistogram(
+        "provenance.seal_us");
+    static const obs::MetricId kBytesPerNode = metrics.RegisterGauge(
+        "provenance.bytes_per_node");
+    static const obs::MetricId kNodes = metrics.RegisterGauge(
+        "provenance.nodes");
+    double seal_us = seal_timer.ElapsedMicros();
+    size_t nodes = num_nodes();
+    size_t edges = 0;
+    for (const NodeColumns& s : shards_) edges += s.child_edges.size();
+    MemoryStats stats = ComputeMemoryStats();
+    size_t bytes_per_node = nodes == 0 ? 0 : stats.total() / nodes;
+    metrics.CounterAdd(kSeals);
+    metrics.Observe(kSealUs, seal_us);
+    metrics.GaugeSet(kNodes, static_cast<int64_t>(nodes));
+    metrics.GaugeSet(kBytesPerNode, static_cast<int64_t>(bytes_per_node));
+    span.Arg("nodes", static_cast<uint64_t>(nodes));
+    span.Arg("edges", static_cast<uint64_t>(edges));
+    span.Arg("shards", static_cast<uint64_t>(shards_.size()));
+    span.Arg("bytes_per_node", static_cast<uint64_t>(bytes_per_node));
+    span.Arg("build_us", seal_us);
+  }
 }
 
 size_t ProvenanceGraph::num_live_invocations() const {

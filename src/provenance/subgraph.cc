@@ -2,6 +2,9 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lipstick {
 
 namespace {
@@ -83,6 +86,11 @@ Result<std::unordered_set<NodeId>> Descendants(const ProvenanceGraph& graph,
 Result<std::unordered_set<NodeId>> SubgraphQuery(const ProvenanceGraph& graph,
                                                  NodeId node) {
   LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "subgraph queries"));
+  obs::ObsSpan span("query", "subgraph");
+  static const obs::MetricId kSubgraphUs =
+      obs::MetricsRegistry::Global().RegisterHistogram("query.subgraph_us");
+  obs::ScopedHistTimer obs_timer(kSubgraphUs);
+
   if (!graph.Contains(node)) return std::unordered_set<NodeId>{};
   // One result bitmap accumulates ancestors, descendants, and siblings of
   // descendants; the unordered_set is materialized once, pre-sized.
@@ -101,6 +109,7 @@ Result<std::unordered_set<NodeId>> SubgraphQuery(const ProvenanceGraph& graph,
     }
   }
   if (!in_result.TestAndSet(node)) result.push_back(node);
+  span.Arg("result_nodes", static_cast<uint64_t>(result.size()));
   return ToSet(result);
 }
 

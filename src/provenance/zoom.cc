@@ -4,6 +4,8 @@
 #include <deque>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lipstick {
 
@@ -75,6 +77,12 @@ Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
 }
 
 Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
+  obs::ObsSpan span("query", "zoomout");
+  static const obs::MetricId kZoomOutUs =
+      obs::MetricsRegistry::Global().RegisterHistogram("query.zoomout_us");
+  obs::ScopedHistTimer obs_timer(kZoomOutUs);
+  span.Arg("modules", static_cast<uint64_t>(module_names.size()));
+
   if (!graph_->sealed()) graph_->Seal();
   auto writer = graph_->writer();
 
@@ -182,6 +190,12 @@ Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
 }
 
 Status Zoomer::ZoomIn(const std::set<std::string>& module_names) {
+  obs::ObsSpan span("query", "zoomin");
+  static const obs::MetricId kZoomInUs =
+      obs::MetricsRegistry::Global().RegisterHistogram("query.zoomin_us");
+  obs::ScopedHistTimer obs_timer(kZoomInUs);
+  span.Arg("modules", static_cast<uint64_t>(module_names.size()));
+
   for (const std::string& module : module_names) {
     auto it = store_.find(module);
     if (it == store_.end()) {

@@ -14,11 +14,50 @@
 #include "common/fault.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pig/interpreter.h"
 
 namespace lipstick {
 
 namespace {
+
+/// Metric ids for the executor's instrumentation hooks, registered once.
+/// Recording is a no-op (one relaxed load) until obs is enabled.
+struct ExecutorMetrics {
+  obs::MetricId executions;     // committed + aborted Execute() calls
+  obs::MetricId nodes_run;      // node invocations that produced a result
+  obs::MetricId node_failures;  // nodes whose final attempt failed
+  obs::MetricId retries;        // attempts beyond the first, across nodes
+  obs::MetricId node_us;        // per-node wall time (all attempts)
+  obs::MetricId queue_wait_us;  // ready-to-dispatch wait (parallel path)
+  obs::MetricId prov_nodes;     // provenance nodes appended by node runs
+  obs::MetricId shard_nodes;    // appended nodes per shard per execution
+
+  static const ExecutorMetrics& Get() {
+    static const ExecutorMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return ExecutorMetrics{
+          r.RegisterCounter("executor.executions"),
+          r.RegisterCounter("executor.nodes_run"),
+          r.RegisterCounter("executor.node_failures"),
+          r.RegisterCounter("executor.retries"),
+          r.RegisterHistogram("executor.node_us"),
+          r.RegisterHistogram("executor.queue_wait_us"),
+          r.RegisterCounter("provenance.nodes_appended"),
+          r.RegisterHistogram("executor.shard_nodes"),
+      };
+    }();
+    return m;
+  }
+};
+
+/// Steady-clock seconds, for queue-wait bookkeeping across threads.
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Checks that nodes sharing a module instance are totally ordered by the
 /// DAG, so state threading is deterministic and parallel execution safe.
@@ -302,6 +341,10 @@ struct WorkflowExecutor::ExecState {
   ProvenanceGraph* graph = nullptr;
   const ExecutionOptions* options = nullptr;
   uint32_t execution = 0;
+  // Span id of the surrounding Execute() span, so worker-thread node spans
+  // parent under it even though they run on different threads (0 when the
+  // tracer is disarmed).
+  uint64_t exec_span = 0;
   WorkflowOutputs outputs;
   // First-touch snapshots of module-instance state, keyed by instance:
   // taken before the first node of an instance runs, used to restore the
@@ -319,6 +362,19 @@ Status WorkflowExecutor::RunNodeWithRetries(const std::string& node_id,
   LIPSTICK_ASSIGN_OR_RETURN(const ModuleSpec* spec,
                             workflow_->FindModule(node->module));
   std::map<std::string, Relation>* state = &state_.find(node->instance)->second;
+
+  // Per-node (module invocation) span, explicitly parented under the
+  // Execute() span because workers run on their own threads.
+  obs::ObsSpan node_span("executor.node", node_id, exec->exec_span);
+  if (node_span.active()) {
+    node_span.Arg("module", spec->name);
+    node_span.Arg("instance", node->instance);
+    node_span.Arg("execution", static_cast<uint64_t>(exec->execution));
+    if (report_entry->queue_wait_seconds > 0) {
+      node_span.Arg("queue_wait_us", report_entry->queue_wait_seconds * 1e6);
+    }
+  }
+  size_t prov_appended = 0;
 
   std::map<std::string, Bag> edge_inputs;
   {
@@ -358,6 +414,11 @@ Status WorkflowExecutor::RunNodeWithRetries(const std::string& node_id,
                 exec->inputs,    state,  exec->execution,
                 writer,          eager_state_nodes_, &deadline};
 
+    // Retry-attempt span; nests under the node span via thread-local
+    // scoping (same thread).
+    obs::ObsSpan attempt_span("executor.attempt", node_id);
+    attempt_span.Arg("attempt", static_cast<uint64_t>(attempt));
+
     st = FaultInjector::Fire("executor.node", node_id);
     std::map<std::string, Relation> node_outputs;
     if (st.ok()) {
@@ -373,8 +434,14 @@ Status WorkflowExecutor::RunNodeWithRetries(const std::string& node_id,
         node_outputs = std::move(result).value();
       }
     }
+    attempt_span.Arg("ok", st.ok() ? std::string_view("true")
+                                   : std::string_view("false"));
+    attempt_span.End();
 
     if (st.ok()) {
+      if (writer != nullptr) {
+        prov_appended = exec->graph->ShardSize(writer->shard()) - shard_mark;
+      }
       std::lock_guard<std::mutex> lock(exec->mu);
       exec->outputs.emplace(node_id, std::move(node_outputs));
       last_node_times_[node_id] = timer.ElapsedSeconds();
@@ -403,6 +470,30 @@ Status WorkflowExecutor::RunNodeWithRetries(const std::string& node_id,
 
   report_entry->status = st;
   report_entry->elapsed_seconds = timer.ElapsedSeconds();
+
+  if (obs::MetricsRegistry::Enabled()) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    const ExecutorMetrics& m = ExecutorMetrics::Get();
+    metrics.CounterAdd(st.ok() ? m.nodes_run : m.node_failures);
+    if (report_entry->attempts > 1) {
+      metrics.CounterAdd(m.retries,
+                         static_cast<uint64_t>(report_entry->attempts - 1));
+    }
+    metrics.Observe(m.node_us, report_entry->elapsed_seconds * 1e6);
+    if (report_entry->queue_wait_seconds > 0) {
+      metrics.Observe(m.queue_wait_us,
+                      report_entry->queue_wait_seconds * 1e6);
+    }
+    if (prov_appended > 0) {
+      metrics.CounterAdd(m.prov_nodes, prov_appended);
+    }
+  }
+  if (node_span.active()) {
+    node_span.Arg("attempts", static_cast<uint64_t>(report_entry->attempts));
+    node_span.Arg("prov_nodes", static_cast<uint64_t>(prov_appended));
+    node_span.Arg("ok", st.ok() ? std::string_view("true")
+                                : std::string_view("false"));
+  }
   return st;
 }
 
@@ -439,11 +530,24 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
   if (!initialized_) return Status::Internal("Initialize() not called");
   WallTimer total_timer;
 
+  // Whole-execution span: worker-thread node spans parent under it via
+  // ExecState::exec_span. Counter ticks for every call, committed or not.
+  obs::ObsSpan execute_span("executor", "execute");
+  obs::MetricsRegistry::Global().CounterAdd(ExecutorMetrics::Get().executions);
+  if (execute_span.active()) {
+    execute_span.Arg("execution", static_cast<uint64_t>(execution_count_));
+    execute_span.Arg("workers", static_cast<int64_t>(num_workers));
+    execute_span.Arg("policy", FailurePolicyToString(options.failure_policy));
+    execute_span.Arg("tracking", graph != nullptr ? std::string_view("true")
+                                                  : std::string_view("false"));
+  }
+
   ExecState exec;
   exec.inputs = &inputs;
   exec.graph = graph;
   exec.options = &options;
   exec.execution = execution_count_;
+  exec.exec_span = execute_span.id();
 
   ExecutionReport local_report;
   if (report == nullptr) report = &local_report;
@@ -505,6 +609,7 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
 
   if (num_workers <= 1 || workflow_->nodes().size() <= 1) {
     ShardWriter writer = graph ? graph->writer() : ShardWriter(nullptr, 0);
+    size_t serial_shard_base = graph != nullptr ? graph->ShardSize(0) : 0;
     std::unordered_set<std::string> dead;  // failed or skipped nodes
     for (const std::string& node_id : topo_order_) {
       NodeReport& entry = report->nodes[node_id];
@@ -524,6 +629,11 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
     }
     ++execution_count_;
     report->total_seconds = total_timer.ElapsedSeconds();
+    if (obs::MetricsRegistry::Enabled() && graph != nullptr) {
+      obs::MetricsRegistry::Global().Observe(
+          ExecutorMetrics::Get().shard_nodes,
+          static_cast<double>(graph->ShardSize(0) - serial_shard_base));
+    }
     LIPSTICK_RETURN_IF_ERROR(DebugValidateGraph(graph));
     return std::move(exec.outputs);
   }
@@ -537,15 +647,26 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
   // Same-instance nodes must also run in topological sequence even without
   // a connecting edge; CheckInstanceOrdering guarantees an edge path
   // exists, so edge counting suffices.
+  // Ready-queue enqueue timestamps, for the queue-wait metric (how long a
+  // dispatchable node waited for a free worker). Guarded by `mu`.
+  std::map<std::string, double> enqueued_at;
   std::deque<std::string> ready;
   for (const auto& [id, count] : pending) {
-    if (count == 0) ready.push_back(id);
+    if (count == 0) {
+      enqueued_at[id] = NowSeconds();
+      ready.push_back(id);
+    }
   }
 
   std::vector<ShardWriter> writers;
+  std::vector<size_t> shard_base;  // per-writer shard size before execution
   if (graph != nullptr) {
     writers.reserve(num_workers);
     for (int w = 0; w < num_workers; ++w) writers.push_back(graph->AddShard());
+    shard_base.reserve(writers.size());
+    for (const ShardWriter& w : writers) {
+      shard_base.push_back(graph->ShardSize(w.shard()));
+    }
   }
 
   std::mutex mu;
@@ -564,7 +685,10 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
   auto settle = [&](const std::string& node_id) {
     ++settled;
     for (const WorkflowEdge* e : workflow_->OutgoingEdges(node_id)) {
-      if (--pending[e->to] == 0) ready.push_back(e->to);
+      if (--pending[e->to] == 0) {
+        enqueued_at[e->to] = NowSeconds();
+        ready.push_back(e->to);
+      }
     }
   };
 
@@ -583,6 +707,10 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
         node_id = ready.front();
         ready.pop_front();
         entry = &report->nodes[node_id];
+        auto enq = enqueued_at.find(node_id);
+        if (enq != enqueued_at.end()) {
+          entry->queue_wait_seconds = NowSeconds() - enq->second;
+        }
         if (resolve_skip(node_id, dead, entry)) {
           dead.insert(node_id);
           settle(node_id);
@@ -622,6 +750,15 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
   }
   ++execution_count_;
   report->total_seconds = total_timer.ElapsedSeconds();
+  // Per-shard provenance append counts: how evenly the workers' shards
+  // grew this execution (a skewed histogram means poor load balance).
+  if (obs::MetricsRegistry::Enabled() && graph != nullptr) {
+    for (size_t w = 0; w < writers.size(); ++w) {
+      size_t grown = graph->ShardSize(writers[w].shard()) - shard_base[w];
+      obs::MetricsRegistry::Global().Observe(
+          ExecutorMetrics::Get().shard_nodes, static_cast<double>(grown));
+    }
+  }
   LIPSTICK_RETURN_IF_ERROR(DebugValidateGraph(graph));
   return std::move(exec.outputs);
 }

@@ -68,6 +68,7 @@ struct NodeReport {
   int attempts = 0;          // invocation attempts made (0 if skipped)
   Status status;             // final status of the last attempt
   double elapsed_seconds = 0;// wall-clock across all attempts (inc. backoff)
+  double queue_wait_seconds = 0;  // ready-to-dispatch wait (parallel path)
   bool skipped = false;      // true: never attempted (kSkipDownstream)
   std::string skipped_because_of;  // failed ancestor that caused the skip
 };

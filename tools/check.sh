@@ -1,29 +1,53 @@
 #!/usr/bin/env bash
-# Full verification gate:
-#   1. build + ctest in the regular configuration (-Wshadow -Werror),
-#   2. build + ctest under ASan+UBSan in Debug (assertions on, so every
-#      executor run re-validates its provenance graph),
-#   3. clang-tidy over src/ and tools/ (skipped when not installed),
-#   4. `lipstick lint` over every example workflow — any diagnostic of
-#      severity warning or above fails the gate,
-#   5. Release-mode perf smoke: bench_prov_size and bench_fig7a_zoom at
-#      small scale must run to completion and produce output (catches
-#      crashes and silent regressions in the columnar graph hot paths).
-# Usage: tools/check.sh [tidy|perf] [extra ctest args...]
-#   tidy  run only the clang-tidy step (useful while iterating).
-#   perf  run only the perf smoke step.
+# Full verification gate, split into individually callable stages so CI
+# jobs and local iteration reuse the exact same commands:
+#   build  build + ctest in the regular configuration (-Wshadow -Werror),
+#   asan   build + ctest under ASan+UBSan in Debug (assertions on, so
+#          every executor run re-validates its provenance graph),
+#   tidy   clang-tidy over src/ and tools/ (skipped when not installed),
+#   lint   `lipstick lint` over every example workflow — any diagnostic
+#          of severity warning or above fails the gate,
+#   perf   Release-mode perf smoke: the PERF_BENCHES harnesses at small
+#          scale must run to completion; their results_json lines are
+#          collected into BENCH_results.json and compared against the
+#          checked-in BENCH_baseline.json (tools/bench_compare.py). The
+#          compare is enforced when LIPSTICK_PERF_GATE=1 (CI sets this);
+#          otherwise it is report-only, since absolute timings differ
+#          across machines. Regenerate the baseline on the reference
+#          machine with:
+#            tools/check.sh perf && python3 tools/bench_compare.py \
+#              compare BENCH_baseline.json build-release/BENCH_results.json --update
+#   all    every stage, in the order above (the default).
+# Usage: tools/check.sh [build|asan|tidy|lint|perf|all] [extra ctest args...]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+# The one perf-smoke bench list, shared by the perf stage here and the
+# bench job in .github/workflows/ci.yml (which calls this stage).
+PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_obs_overhead bench_fault_overhead)
+
+# Use ccache when available (CI caches it across runs).
+CMAKE_LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_LAUNCHER_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 run_config() {
   local build_dir="$1"; shift
   echo "=== ${build_dir} ($*) ==="
-  cmake -B "${repo}/${build_dir}" -S "${repo}" "$@" >/dev/null
+  cmake -B "${repo}/${build_dir}" -S "${repo}" \
+        ${CMAKE_LAUNCHER_ARGS[@]+"${CMAKE_LAUNCHER_ARGS[@]}"} "$@" >/dev/null
   cmake --build "${repo}/${build_dir}" -j "${jobs}"
   ctest --test-dir "${repo}/${build_dir}" --output-on-failure -j "${jobs}" \
         ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+}
+
+run_build() { run_config build; }
+
+run_asan() {
+  run_config build-asan -DLIPSTICK_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 }
 
 run_tidy() {
@@ -41,46 +65,75 @@ run_tidy() {
 run_lint() {
   echo "=== lint: examples/workflows ==="
   local cli="${repo}/build/tools/lipstick"
+  if [[ ! -x "${cli}" ]]; then
+    echo "building lipstick_cli for lint..."
+    cmake -B "${repo}/build" -S "${repo}" \
+          ${CMAKE_LAUNCHER_ARGS[@]+"${CMAKE_LAUNCHER_ARGS[@]}"} >/dev/null
+    cmake --build "${repo}/build" -j "${jobs}" --target lipstick_cli
+  fi
   for wf in "${repo}"/examples/workflows/*.wf; do
     echo "--- ${wf#"${repo}"/}"
     "${cli}" lint "${wf}"
   done
 }
 
-run_perf_smoke() {
-  echo "=== perf smoke (Release, LIPSTICK_BENCH_SCALE=0.02) ==="
+run_perf() {
+  echo "=== perf smoke (Release, LIPSTICK_BENCH_SCALE=${LIPSTICK_BENCH_SCALE:-0.02}) ==="
+  local scale="${LIPSTICK_BENCH_SCALE:-0.02}"
   local build_dir="${repo}/build-release"
-  cmake -B "${build_dir}" -S "${repo}" -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build "${build_dir}" -j "${jobs}" \
-        --target bench_prov_size bench_fig7a_zoom
-  local out
-  for bench in bench_prov_size bench_fig7a_zoom; do
+  cmake -B "${build_dir}" -S "${repo}" -DCMAKE_BUILD_TYPE=Release \
+        ${CMAKE_LAUNCHER_ARGS[@]+"${CMAKE_LAUNCHER_ARGS[@]}"} >/dev/null
+  cmake --build "${build_dir}" -j "${jobs}" --target "${PERF_BENCHES[@]}"
+  local out outputs=()
+  for bench in "${PERF_BENCHES[@]}"; do
     echo "--- ${bench}"
-    out="$(LIPSTICK_BENCH_SCALE=0.02 "${build_dir}/bench/${bench}")" || {
+    out="$(LIPSTICK_BENCH_SCALE="${scale}" "${build_dir}/bench/${bench}")" || {
       echo "FAIL: ${bench} exited non-zero"; return 1; }
     [[ -n "${out}" ]] || { echo "FAIL: ${bench} produced no output"; return 1; }
     echo "${out}" | tail -3
+    if ! grep -q '^results_json: ' <<<"${out}"; then
+      echo "FAIL: ${bench} lost its results_json line"
+      return 1
+    fi
     if [[ "${bench}" == bench_prov_size ]] &&
        ! grep -q '^memory_stats_json: ' <<<"${out}"; then
       echo "FAIL: bench_prov_size lost its memory_stats_json line"
       return 1
     fi
+    echo "${out}" > "${build_dir}/${bench}.out"
+    outputs+=("${build_dir}/${bench}.out")
   done
+
+  echo "--- collect + compare vs BENCH_baseline.json"
+  python3 "${repo}/tools/bench_compare.py" collect \
+          "${build_dir}/BENCH_results.json" "${outputs[@]}"
+  if [[ "${LIPSTICK_PERF_GATE:-0}" == "1" ]]; then
+    python3 "${repo}/tools/bench_compare.py" compare \
+            "${repo}/BENCH_baseline.json" "${build_dir}/BENCH_results.json"
+  else
+    python3 "${repo}/tools/bench_compare.py" compare \
+            "${repo}/BENCH_baseline.json" "${build_dir}/BENCH_results.json" ||
+      echo "(report-only: set LIPSTICK_PERF_GATE=1 to enforce)"
+  fi
 }
 
-if [[ "${1:-}" == "tidy" ]]; then
-  run_tidy
-  exit 0
-fi
-if [[ "${1:-}" == "perf" ]]; then
-  run_perf_smoke
-  exit 0
-fi
+stage="${1:-all}"
+case "${stage}" in
+  build|asan|tidy|lint|perf)
+    shift
+    CTEST_ARGS=("$@")
+    "run_${stage}"
+    exit 0
+    ;;
+  all) if [[ $# -gt 0 ]]; then shift; fi ;;
+  -*|'') ;;  # no stage named: run everything, args go to ctest
+  *) echo "unknown stage '${stage}' (build|asan|tidy|lint|perf|all)"; exit 2 ;;
+esac
 
 CTEST_ARGS=("$@")
-run_config build
-run_config build-asan -DLIPSTICK_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+run_build
+run_asan
 run_tidy
 run_lint
-run_perf_smoke
+run_perf
 echo "All checks passed."

@@ -33,6 +33,8 @@
 #include "analysis/workflow_linter.h"
 #include "common/fault.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "provenance/deletion.h"
 #include "provenance/dot.h"
 #include "provenance/opm.h"
@@ -166,6 +168,8 @@ int CmdRun(const std::vector<std::string>& args) {
   int workers = 1;
   bool print_outputs = false;
   std::string graph_path;
+  std::string trace_path;    // --trace: Chrome trace_event JSON
+  std::string metrics_path;  // --metrics: metrics registry JSON
   std::vector<Binding> inputs, states;
   for (size_t i = 1; i < args.size(); ++i) {
     auto need_value = [&](const char* flag) -> Result<std::string> {
@@ -186,6 +190,14 @@ int CmdRun(const std::vector<std::string>& args) {
       auto v = need_value("--graph");
       if (!v.ok()) return Fail(v.status().ToString());
       graph_path = *v;
+    } else if (args[i] == "--trace") {
+      auto v = need_value("--trace");
+      if (!v.ok()) return Fail(v.status().ToString());
+      trace_path = *v;
+    } else if (args[i] == "--metrics") {
+      auto v = need_value("--metrics");
+      if (!v.ok()) return Fail(v.status().ToString());
+      metrics_path = *v;
     } else if (args[i] == "--input" || args[i] == "--state") {
       bool is_input = args[i] == "--input";
       auto v = need_value(is_input ? "--input" : "--state");
@@ -248,6 +260,11 @@ int CmdRun(const std::vector<std::string>& args) {
     workflow_inputs[b.owner][b.relation] = std::move(*bag);
   }
 
+  // Observability: arm the tracer / metrics registry around the execution
+  // loop when requested; both stay disarmed (no overhead) otherwise.
+  if (!trace_path.empty()) obs::Tracer::Global().Start();
+  if (!metrics_path.empty()) obs::MetricsRegistry::Global().Enable();
+
   ProvenanceGraph graph;
   ProvenanceGraph* graph_ptr = graph_path.empty() ? nullptr : &graph;
   WorkflowOutputs last_outputs;
@@ -271,10 +288,35 @@ int CmdRun(const std::vector<std::string>& args) {
     }
   }
   if (graph_ptr != nullptr) {
+    graph.Seal();
     st = SaveGraphToFile(graph, graph_path);
     if (!st.ok()) return Fail(st.ToString());
     std::printf("provenance graph: %zu nodes -> %s\n", graph.num_nodes(),
                 graph_path.c_str());
+  }
+
+  // Export after the graph save so Seal() spans/metrics are captured.
+  if (!trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Stop();
+    st = tracer.WriteJsonToFile(trace_path);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("trace: %zu event(s) -> %s (load in about:tracing or "
+                "ui.perfetto.dev)\n",
+                tracer.num_events(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    metrics.Disable();
+    std::string json = metrics.RenderJson();
+    std::FILE* f = std::fopen(metrics_path.c_str(), "wb");
+    if (f == nullptr || std::fwrite(json.data(), 1, json.size(), f) !=
+                            json.size()) {
+      if (f != nullptr) std::fclose(f);
+      return Fail(StrCat("cannot write metrics to '", metrics_path, "'"));
+    }
+    std::fclose(f);
+    std::printf("metrics: %s\n", metrics_path.c_str());
   }
   return 0;
 }
