@@ -103,7 +103,12 @@ NodeId ShardWriter::Append(NodeLabel label, NodeRole role, uint32_t flags,
   sh.value_idx.push_back(kNoValueIdx);
   StoreParents(sh, i, parents);
   graph_->sealed_ = false;
-  return MakeNodeId(shard_, i);
+  NodeId id = MakeNodeId(shard_, i);
+  if (GraphWalSink* sink = graph_->wal_sink_) {
+    sink->OnNodeAppend(id, label, role, static_cast<uint8_t>(flags),
+                       invocation, payload, parents);
+  }
+  return id;
 }
 
 NodeId ShardWriter::Token(std::string name, NodeRole role) {
@@ -144,6 +149,9 @@ NodeId ShardWriter::Aggregate(std::string op, std::vector<NodeId> parents,
     NodeColumns& sh = graph_->shards_[shard_];
     sh.value_idx.back() = static_cast<uint32_t>(sh.values.size());
     sh.values.push_back(std::move(result));
+    if (GraphWalSink* sink = graph_->wal_sink_) {
+      sink->OnNodeValue(id, sh.values.back());
+    }
   }
   return id;
 }
@@ -156,6 +164,9 @@ NodeId ShardWriter::ConstValue(Value v) {
     NodeColumns& sh = graph_->shards_[shard_];
     sh.value_idx.back() = static_cast<uint32_t>(sh.values.size());
     sh.values.push_back(std::move(v));
+    if (GraphWalSink* sink = graph_->wal_sink_) {
+      sink->OnNodeValue(id, sh.values.back());
+    }
   }
   return id;
 }
@@ -182,6 +193,9 @@ NodeId ShardWriter::Restore(const NodeRecord& record) {
     NodeColumns& sh = graph_->shards_[shard_];
     sh.value_idx.back() = static_cast<uint32_t>(sh.values.size());
     sh.values.push_back(record.value);
+    if (GraphWalSink* sink = graph_->wal_sink_) {
+      sink->OnNodeValue(id, sh.values.back());
+    }
   }
   return id;
 }
@@ -203,6 +217,9 @@ uint32_t ShardWriter::BeginInvocation(std::string module_name,
   info.m_node = m_node;
   graph_->invocations_.push_back(std::move(info));
   graph_->shards_[shard_].invocations[NodeIndex(m_node)] = id;
+  if (GraphWalSink* sink = graph_->wal_sink_) {
+    sink->OnBeginInvocation(id, graph_->invocations_.back());
+  }
   return id;
 }
 
@@ -226,6 +243,9 @@ NodeId ShardWriter::ModuleInput(uint32_t invocation, NodeId tuple_node) {
       Times({tuple_node, m_node}, NodeRole::kModuleInput, invocation);
   std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
   graph_->invocations_[invocation].input_nodes.push_back(id);
+  if (GraphWalSink* sink = graph_->wal_sink_) {
+    sink->OnInvocationNode(invocation, 0, id);
+  }
   return id;
 }
 
@@ -239,6 +259,9 @@ NodeId ShardWriter::ModuleOutput(uint32_t invocation, NodeId tuple_node) {
       Times({tuple_node, m_node}, NodeRole::kModuleOutput, invocation);
   std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
   graph_->invocations_[invocation].output_nodes.push_back(id);
+  if (GraphWalSink* sink = graph_->wal_sink_) {
+    sink->OnInvocationNode(invocation, 1, id);
+  }
   return id;
 }
 
@@ -252,6 +275,9 @@ NodeId ShardWriter::ModuleState(uint32_t invocation, NodeId tuple_node) {
       Times({tuple_node, m_node}, NodeRole::kModuleState, invocation);
   std::lock_guard<std::mutex> lock(*graph_->invocations_mu_);
   graph_->invocations_[invocation].state_nodes.push_back(id);
+  if (GraphWalSink* sink = graph_->wal_sink_) {
+    sink->OnInvocationNode(invocation, 2, id);
+  }
   return id;
 }
 
@@ -299,6 +325,7 @@ void ProvenanceGraph::SetAlive(NodeId id, bool alive) {
   flags = alive ? (flags | internal::kAliveFlag)
                 : (flags & ~internal::kAliveFlag);
   sealed_ = false;
+  if (GraphWalSink* sink = wal_sink_) sink->OnSetAlive(id, alive);
 }
 
 void ProvenanceGraph::SetParents(NodeId id, std::span<const NodeId> parents) {
@@ -309,6 +336,7 @@ void ProvenanceGraph::SetParents(NodeId id, std::span<const NodeId> parents) {
                   "SetParents: node id out of range");
   StoreParents(shards_[s], i, parents);
   sealed_ = false;
+  if (GraphWalSink* sink = wal_sink_) sink->OnSetParents(id, parents);
 }
 
 void ProvenanceGraph::AddParent(NodeId id, NodeId parent) {
@@ -344,6 +372,9 @@ void ProvenanceGraph::AddParent(NodeId id, NodeId parent) {
     ++slot.count;
   }
   sealed_ = false;
+  if (GraphWalSink* sink = wal_sink_) {
+    sink->OnSetParents(id, sh.ParentSpan(i));
+  }
 }
 
 void ProvenanceGraph::ClearParents(NodeId id) {
@@ -377,6 +408,37 @@ void ProvenanceGraph::SetValueNodeFlag(NodeId id, bool is_value_node) {
   uint8_t& flags = shards_[s].flags[i];
   flags = is_value_node ? (flags | internal::kValueNodeFlag)
                         : (flags & ~internal::kValueNodeFlag);
+}
+
+void ProvenanceGraph::SetNodeValue(NodeId id, Value value) {
+  uint32_t s = NodeShard(id);
+  uint64_t i = NodeIndex(id);
+  LIPSTICK_DCHECK(id != kInvalidNode && s < shards_.size() &&
+                      i < shards_[s].size(),
+                  "SetNodeValue: node id out of range");
+  NodeColumns& sh = shards_[s];
+  uint32_t& vi = sh.value_idx[i];
+  if (vi == kNoValueIdx) {
+    vi = static_cast<uint32_t>(sh.values.size());
+    sh.values.push_back(std::move(value));
+  } else {
+    sh.values[vi] = std::move(value);
+  }
+  if (GraphWalSink* sink = wal_sink_) sink->OnNodeValue(id, sh.values[vi]);
+}
+
+namespace {
+
+void ForwardInternToSink(void* ctx, StrId id, std::string_view s) {
+  static_cast<GraphWalSink*>(ctx)->OnIntern(id, s);
+}
+
+}  // namespace
+
+void ProvenanceGraph::AttachWalSink(GraphWalSink* sink) {
+  wal_sink_ = sink;
+  pool_.SetInternObserver(sink != nullptr ? &ForwardInternToSink : nullptr,
+                          sink);
 }
 
 size_t ProvenanceGraph::num_nodes() const {
@@ -517,14 +579,19 @@ void ProvenanceGraph::RollbackTo(const Savepoint& savepoint) {
         s < savepoint.shard_sizes.size() ? savepoint.shard_sizes[s] : 0;
     KillShardTail(s, from);
   }
-  std::lock_guard<std::mutex> lock(*invocations_mu_);
   // Invocation ids are indices handed out monotonically, so everything
   // registered after the savepoint forms a suffix; the nodes referencing
   // those ids were just killed above.
-  if (invocations_.size() > savepoint.invocation_count) {
-    invocations_.resize(savepoint.invocation_count);
-  }
+  TruncateInvocations(savepoint.invocation_count);
   sealed_ = false;
+}
+
+void ProvenanceGraph::TruncateInvocations(size_t count) {
+  std::lock_guard<std::mutex> lock(*invocations_mu_);
+  if (invocations_.size() > count) invocations_.resize(count);
+  if (GraphWalSink* sink = wal_sink_) {
+    sink->OnTruncateInvocations(invocations_.size());
+  }
 }
 
 size_t ProvenanceGraph::ShardSize(uint32_t shard) const {
@@ -538,6 +605,7 @@ void ProvenanceGraph::KillShardTail(uint32_t shard, size_t from) {
     s.flags[i] &= static_cast<uint8_t>(~kAliveFlag);
   }
   sealed_ = false;
+  if (GraphWalSink* sink = wal_sink_) sink->OnKillShardTail(shard, from);
 }
 
 void ProvenanceGraph::AbortInvocation(uint32_t invocation) {
@@ -547,6 +615,7 @@ void ProvenanceGraph::AbortInvocation(uint32_t invocation) {
   inv.input_nodes.clear();
   inv.output_nodes.clear();
   inv.state_nodes.clear();
+  if (GraphWalSink* sink = wal_sink_) sink->OnAbortInvocation(invocation);
 }
 
 std::vector<std::pair<std::string, size_t>> ProvenanceGraph::LabelHistogram()

@@ -193,6 +193,45 @@ struct NodeRecord {
 
 class ProvenanceGraph;
 
+/// Observer of every graph mutation that matters for durability. The
+/// write-ahead log (provenance/wal.h) implements this interface; the graph
+/// calls the attached sink synchronously from the mutating thread, in an
+/// order that guarantees referential integrity on replay: interns arrive
+/// before any node referencing the id (under the pool lock), invocation
+/// registrations in id order (under the invocations lock), and node
+/// appends before their value/parent updates. Detached (the default),
+/// every hook site costs one null-pointer check.
+class GraphWalSink {
+ public:
+  virtual ~GraphWalSink() = default;
+
+  /// A string was interned for the first time.
+  virtual void OnIntern(StrId id, std::string_view s) = 0;
+  /// A node was appended (ShardWriter::Append), with the columns exactly
+  /// as written.
+  virtual void OnNodeAppend(NodeId id, NodeLabel label, NodeRole role,
+                            uint8_t flags, uint32_t invocation, StrId payload,
+                            std::span<const NodeId> parents) = 0;
+  /// A v-node received (or replaced) its carried value.
+  virtual void OnNodeValue(NodeId id, const Value& value) = 0;
+  /// The parent list of `id` was replaced (SetParents / AddParent /
+  /// ClearParents all report the resulting full list).
+  virtual void OnSetParents(NodeId id, std::span<const NodeId> parents) = 0;
+  virtual void OnSetAlive(NodeId id, bool alive) = 0;
+  /// Every node of `shard` with index >= `from` was marked dead.
+  virtual void OnKillShardTail(uint32_t shard, uint64_t from) = 0;
+  /// An invocation was registered; `info` names are already interned.
+  virtual void OnBeginInvocation(uint32_t invocation,
+                                 const InvocationInfo& info) = 0;
+  /// `node` joined the invocation's input (0) / output (1) / state (2)
+  /// node list.
+  virtual void OnInvocationNode(uint32_t invocation, int kind,
+                                NodeId node) = 0;
+  virtual void OnAbortInvocation(uint32_t invocation) = 0;
+  /// The invocation list was truncated to `count` records (rollback).
+  virtual void OnTruncateInvocations(uint64_t count) = 0;
+};
+
 /// Appends nodes to one shard of a ProvenanceGraph. Each concurrent task
 /// owns one ShardWriter; no locking is required because a writer only
 /// appends to its own shard and only references already-created nodes
@@ -226,6 +265,15 @@ class ShardWriter {
 
   /// Appends a node with every field explicit (deserialization path).
   NodeId Restore(const NodeRecord& record);
+
+  /// WAL-replay append: every column explicit, `payload` already interned
+  /// in this graph's pool. Values are restored separately via
+  /// ProvenanceGraph::SetNodeValue, mirroring WAL record order.
+  NodeId AppendRaw(NodeLabel label, NodeRole role, uint8_t flags,
+                   uint32_t invocation, StrId payload,
+                   std::span<const NodeId> parents) {
+    return Append(label, role, flags, invocation, payload, parents);
+  }
 
   /// Registers a module invocation and creates its "m" node.
   uint32_t BeginInvocation(std::string module_name, std::string instance_name,
@@ -400,6 +448,11 @@ class ProvenanceGraph {
   void SetInvocationTag(NodeId id, uint32_t invocation);
   void SetValueNodeFlag(NodeId id, bool is_value_node);
 
+  /// Sets (or replaces) the value carried by a v-node. WAL-replay path:
+  /// tracking writes values through the ShardWriter helpers, but the WAL
+  /// logs them as separate records after the append.
+  void SetNodeValue(NodeId id, Value value);
+
   /// Total nodes ever created (including dead ones).
   size_t num_nodes() const;
   /// Number of currently-alive nodes.
@@ -466,6 +519,16 @@ class ProvenanceGraph {
   /// Clears an invocation record whose nodes were discarded: drops its
   /// node lists and m-node reference (the record reports aborted()).
   void AbortInvocation(uint32_t invocation);
+  /// Truncates the invocation list to `count` records (WAL-replay
+  /// counterpart of the truncation RollbackTo performs).
+  void TruncateInvocations(size_t count);
+
+  /// Attaches (or detaches, with nullptr) the durability sink notified of
+  /// every mutation; also wires the string pool's intern observer. At most
+  /// one sink is supported. The sink must outlive the graph or be
+  /// detached first, and the graph must not be moved while attached.
+  void AttachWalSink(GraphWalSink* sink);
+  GraphWalSink* wal_sink() const { return wal_sink_; }
 
   /// Per-label alive-node counts, for diagnostics and tests.
   std::vector<std::pair<std::string, size_t>> LabelHistogram() const;
@@ -502,6 +565,7 @@ class ProvenanceGraph {
   // Held behind unique_ptr so the graph stays movable.
   std::unique_ptr<std::mutex> invocations_mu_ =
       std::make_unique<std::mutex>();
+  GraphWalSink* wal_sink_ = nullptr;
   bool sealed_ = false;
 };
 

@@ -1,6 +1,8 @@
 #include "provenance/provio.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -11,6 +13,13 @@
 namespace lipstick {
 
 namespace {
+
+/// Hard ceilings on self-described counts, so truncated or garbage input
+/// cannot drive huge up-front allocations. NodeIds carry a 16-bit shard
+/// field, so more than 65535 shards cannot round-trip anyway; the string
+/// reserve is a hint only (the loop reads exactly what the file holds).
+constexpr size_t kMaxShards = 65535;
+constexpr size_t kMaxStringReserve = 1u << 20;
 
 // Percent-encodes whitespace, '%', and non-printable bytes so every record
 // stays on one whitespace-delimited line.
@@ -95,9 +104,61 @@ Result<std::vector<NodeId>> DecodeIdList(const std::string& s) {
   if (s == "-") return out;
   for (const std::string& part : Split(s, ',')) {
     if (part.empty()) return Status::ParseError("empty id in list");
-    out.push_back(std::strtoull(part.c_str(), nullptr, 10));
+    char* end = nullptr;
+    errno = 0;
+    NodeId id = std::strtoull(part.c_str(), &end, 10);
+    if (end != part.c_str() + part.size() || errno == ERANGE) {
+      return Status::ParseError(StrCat("bad id in list: '", part, "'"));
+    }
+    out.push_back(id);
   }
   return out;
+}
+
+/// Referential-integrity post-pass shared by both loaders: every parent
+/// edge and invocation structural reference must name a node the file
+/// actually defined, and alive nodes may only cite surviving invocation
+/// records (dead nodes legitimately outlive their rolled-back records).
+/// Catches truncated or hand-edited files whose records parse fine
+/// individually but dangle collectively.
+Status CheckLoadedRefs(const ProvenanceGraph& graph) {
+  Status bad;
+  graph.ForEachNode([&](NodeId id) {
+    if (!bad.ok()) return;
+    for (NodeId parent : graph.ParentsOf(id)) {
+      if (!graph.InGraph(parent)) {
+        bad = Status::ParseError(
+            StrCat("node ", id, " references undefined parent ", parent));
+        return;
+      }
+    }
+    NodeView n = graph.node(id);
+    if (n.alive() && n.invocation() != kNoInvocation &&
+        n.invocation() >= graph.invocations().size()) {
+      bad = Status::ParseError(
+          StrCat("alive node ", id, " references undefined invocation ",
+                 n.invocation()));
+    }
+  });
+  LIPSTICK_RETURN_IF_ERROR(bad);
+  for (size_t i = 0; i < graph.invocations().size(); ++i) {
+    const InvocationInfo& inv = graph.invocations()[i];
+    if (inv.m_node != kInvalidNode && !graph.InGraph(inv.m_node)) {
+      return Status::ParseError(
+          StrCat("invocation ", i, " references undefined m-node ",
+                 inv.m_node));
+    }
+    for (const std::vector<NodeId>* nodes :
+         {&inv.input_nodes, &inv.output_nodes, &inv.state_nodes}) {
+      for (NodeId id : *nodes) {
+        if (!graph.InGraph(id)) {
+          return Status::ParseError(
+              StrCat("invocation ", i, " references undefined node ", id));
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 // Maps string indices of the file's strings table to the loading graph's
@@ -168,7 +229,8 @@ namespace {
 Result<ProvenanceGraph> LoadGraphV2(std::istream& is) {
   std::string tag;
   size_t num_shards = 0;
-  if (!(is >> tag >> num_shards) || tag != "shards" || num_shards == 0) {
+  if (!(is >> tag >> num_shards) || tag != "shards" || num_shards == 0 ||
+      num_shards > kMaxShards) {
     return Status::ParseError("bad shard count");
   }
   size_t num_strings = 0;
@@ -178,7 +240,7 @@ Result<ProvenanceGraph> LoadGraphV2(std::istream& is) {
 
   ProvenanceGraph graph;
   StringTable strings;
-  strings.ids.reserve(num_strings + 1);
+  strings.ids.reserve(std::min(num_strings, kMaxStringReserve) + 1);
   for (size_t i = 0; i < num_strings; ++i) {
     std::string raw;
     if (!(is >> tag >> raw) || tag != "s") {
@@ -202,6 +264,11 @@ Result<ProvenanceGraph> LoadGraphV2(std::istream& is) {
       if (!(is >> id >> label >> role >> vflag >> alive >> invocation >>
             parents_s >> payload_idx >> value_s)) {
         return Status::ParseError("bad node record");
+      }
+      if (label < 0 || label > static_cast<int>(NodeLabel::kZoomedModule) ||
+          role < 0 || role > static_cast<int>(NodeRole::kZoom)) {
+        return Status::ParseError(
+            StrCat("node ", id, " has out-of-range label/role"));
       }
       NodeRecord rec;
       rec.label = static_cast<NodeLabel>(label);
@@ -246,6 +313,10 @@ Result<ProvenanceGraph> LoadGraphV2(std::istream& is) {
       return Status::ParseError(StrCat("unknown record tag: ", tag));
     }
   }
+  if (tag != "end") {
+    return Status::ParseError("truncated graph file: missing end marker");
+  }
+  LIPSTICK_RETURN_IF_ERROR(CheckLoadedRefs(graph));
   return graph;
 }
 
@@ -254,7 +325,8 @@ Result<ProvenanceGraph> LoadGraphV2(std::istream& is) {
 Result<ProvenanceGraph> LoadGraphV1(std::istream& is) {
   std::string tag;
   size_t num_shards = 0;
-  if (!(is >> tag >> num_shards) || tag != "shards" || num_shards == 0) {
+  if (!(is >> tag >> num_shards) || tag != "shards" || num_shards == 0 ||
+      num_shards > kMaxShards) {
     return Status::ParseError("bad shard count");
   }
 
@@ -273,6 +345,11 @@ Result<ProvenanceGraph> LoadGraphV1(std::istream& is) {
       if (!(is >> id >> label >> role >> vflag >> alive >> invocation >>
             parents_s >> payload_s >> value_s)) {
         return Status::ParseError("bad node record");
+      }
+      if (label < 0 || label > static_cast<int>(NodeLabel::kZoomedModule) ||
+          role < 0 || role > static_cast<int>(NodeRole::kZoom)) {
+        return Status::ParseError(
+            StrCat("node ", id, " has out-of-range label/role"));
       }
       NodeRecord rec;
       rec.label = static_cast<NodeLabel>(label);
@@ -315,6 +392,10 @@ Result<ProvenanceGraph> LoadGraphV1(std::istream& is) {
       return Status::ParseError(StrCat("unknown record tag: ", tag));
     }
   }
+  if (tag != "end") {
+    return Status::ParseError("truncated graph file: missing end marker");
+  }
+  LIPSTICK_RETURN_IF_ERROR(CheckLoadedRefs(graph));
   return graph;
 }
 
@@ -331,6 +412,11 @@ Result<ProvenanceGraph> LoadGraph(std::istream& is) {
 }
 
 Result<ProvenanceGraph> LoadGraphFromFile(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return Status::IOError(
+        StrCat(path, " is a directory, not a provenance graph file"));
+  }
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IOError(StrCat("cannot open ", path));

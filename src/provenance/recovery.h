@@ -1,0 +1,69 @@
+#ifndef LIPSTICK_PROVENANCE_RECOVERY_H_
+#define LIPSTICK_PROVENANCE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/graph.h"
+
+namespace lipstick {
+
+/// Crash recovery for WAL directories written by provenance/wal.h: load the
+/// newest readable checkpoint, replay the log tail, stop at the last
+/// durable savepoint (a committed execution boundary), and report what was
+/// kept, what was discarded, and why.
+
+struct RecoveryOptions {
+  /// Default (false): restore exactly the committed prefix — records past
+  /// the last savepoint are discarded, yielding a graph byte-identical to
+  /// the one a clean run of the recovered executions would produce.
+  /// True: also replay the uncommitted tail, then use the rollback
+  /// machinery to mark it dead (KillShardTail + AbortInvocation), keeping
+  /// the partial work visible for forensics without poisoning queries.
+  bool keep_uncommitted = false;
+  /// Truncate torn bytes off segment files on disk after a successful
+  /// recovery, so subsequent scans see only valid frames.
+  bool repair = false;
+};
+
+/// What recovery found and did. ToString() renders the human-readable
+/// report printed by `lipstick recover`.
+struct RecoveryReport {
+  std::string dir;
+  /// Checkpoint the graph was seeded from; 0 = recovered from logs alone.
+  uint64_t checkpoint_seq = 0;
+  std::string checkpoint_file;  // empty if none
+  uint64_t segments_scanned = 0;
+  uint64_t torn_segments = 0;   // segments ending in an invalid frame
+  uint64_t records_applied = 0;
+  /// Valid records past the recovery boundary (committed-prefix mode) or
+  /// unreachable behind a torn/missing segment.
+  uint64_t records_discarded = 0;
+  /// Executions restored (the savepoint's execution counter) — resume the
+  /// workflow sequence from here.
+  uint64_t executions_recovered = 0;
+  uint64_t invocations_recovered = 0;  // live invocations in the result
+  uint64_t invocations_aborted = 0;    // uncommitted tail (keep_uncommitted)
+  uint64_t bytes_truncated = 0;        // torn bytes removed (repair)
+  /// Diagnostics worth a human's attention: torn tails, skipped
+  /// checkpoints, sequence gaps.
+  std::vector<std::string> notes;
+
+  std::string ToString() const;
+};
+
+/// Rebuilds the provenance graph from the WAL directory `dir`. The result
+/// is unsealed; call Seal() before querying. Fails (non-OK) only when the
+/// directory is unusable or the log is inconsistent beyond what a crash
+/// can explain (bad magic, replay mismatch); mere torn tails are handled
+/// and reported. `report` (optional) receives the recovery report even on
+/// some failures.
+Result<ProvenanceGraph> RecoverGraph(const std::string& dir,
+                                     RecoveryReport* report = nullptr,
+                                     const RecoveryOptions& options = {});
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_RECOVERY_H_

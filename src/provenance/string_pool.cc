@@ -16,6 +16,9 @@ StrId StringPool::Intern(std::string_view s) {
   StrId id = static_cast<StrId>(spans_.size());
   spans_.push_back({stored, static_cast<uint32_t>(s.size())});
   index_.emplace(std::string_view(stored, s.size()), id);
+  if (observer_ != nullptr) {
+    observer_(observer_ctx_, id, std::string_view(stored, s.size()));
+  }
   return id;
 }
 

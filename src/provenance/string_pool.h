@@ -57,6 +57,17 @@ class StringPool {
   /// Bytes held by the pool: arena chunks, span table, and hash index.
   size_t MemoryBytes() const;
 
+  /// Observer of first-time interns, used by the write-ahead log to record
+  /// string-pool growth. Called under the pool's intern lock, so events
+  /// arrive in id order and strictly before any node referencing the new
+  /// id can be appended. Plain function pointer + context (not
+  /// std::function) so the unobserved path stays one null check.
+  using InternObserver = void (*)(void* ctx, StrId id, std::string_view s);
+  void SetInternObserver(InternObserver fn, void* ctx) {
+    observer_ = fn;
+    observer_ctx_ = ctx;
+  }
+
  private:
   struct Span {
     const char* data;
@@ -74,6 +85,8 @@ class StringPool {
   std::vector<Span> spans_;         // indexed by StrId
   std::unordered_map<std::string_view, StrId> index_;
   std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  InternObserver observer_ = nullptr;
+  void* observer_ctx_ = nullptr;
 };
 
 }  // namespace lipstick

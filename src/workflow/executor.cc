@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pig/interpreter.h"
+#include "provenance/wal.h"
 
 namespace lipstick {
 
@@ -340,6 +341,10 @@ struct WorkflowExecutor::ExecState {
   const WorkflowInputs* inputs = nullptr;
   ProvenanceGraph* graph = nullptr;
   const ExecutionOptions* options = nullptr;
+  // Write-ahead log to mark invocation commits on, or null. Only set when
+  // options->durability is attached to `graph` — logging commit records
+  // against a log tracking a different graph would corrupt its history.
+  Wal* wal = nullptr;
   uint32_t execution = 0;
   // Span id of the surrounding Execute() span, so worker-thread node spans
   // parent under it even though they run on different threads (0 when the
@@ -442,6 +447,12 @@ Status WorkflowExecutor::RunNodeWithRetries(const std::string& node_id,
       if (writer != nullptr) {
         prov_appended = exec->graph->ShardSize(writer->shard()) - shard_mark;
       }
+      // Commit boundary: every record of this invocation is in the log
+      // (hooks fire synchronously from the appending thread), so the
+      // commit record makes it replayable as a unit.
+      if (exec->wal != nullptr && run.last_invocation != kNoInvocation) {
+        (void)exec->wal->CommitInvocation(run.last_invocation);
+      }
       std::lock_guard<std::mutex> lock(exec->mu);
       exec->outputs.emplace(node_id, std::move(node_outputs));
       last_node_times_[node_id] = timer.ElapsedSeconds();
@@ -500,7 +511,7 @@ Status WorkflowExecutor::RunNodeWithRetries(const std::string& node_id,
 Result<WorkflowOutputs> WorkflowExecutor::Execute(const WorkflowInputs& inputs,
                                                   ProvenanceGraph* graph,
                                                   int num_workers) {
-  return Execute(inputs, graph, ExecutionOptions(), nullptr, num_workers);
+  return Execute(inputs, graph, default_options_, nullptr, num_workers);
 }
 
 namespace {
@@ -546,6 +557,10 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
   exec.inputs = &inputs;
   exec.graph = graph;
   exec.options = &options;
+  if (options.durability != nullptr && graph != nullptr &&
+      options.durability->attached_graph() == graph) {
+    exec.wal = options.durability;
+  }
   exec.execution = execution_count_;
   exec.exec_span = execute_span.id();
 
@@ -628,6 +643,12 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
       }
     }
     ++execution_count_;
+    // Durable execution boundary: everything this execution appended is in
+    // the log before the savepoint that makes it recoverable.
+    if (exec.wal != nullptr) {
+      (void)exec.wal->MarkSavepoint(execution_count_);
+      (void)exec.wal->MaybeCheckpoint();
+    }
     report->total_seconds = total_timer.ElapsedSeconds();
     if (obs::MetricsRegistry::Enabled() && graph != nullptr) {
       obs::MetricsRegistry::Global().Observe(
@@ -749,6 +770,10 @@ Result<WorkflowOutputs> WorkflowExecutor::Execute(
     return first_error;
   }
   ++execution_count_;
+  if (exec.wal != nullptr) {
+    (void)exec.wal->MarkSavepoint(execution_count_);
+    (void)exec.wal->MaybeCheckpoint();
+  }
   report->total_seconds = total_timer.ElapsedSeconds();
   // Per-shard provenance append counts: how evenly the workers' shards
   // grew this execution (a skewed histogram means poor load balance).

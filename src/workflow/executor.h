@@ -12,6 +12,8 @@
 
 namespace lipstick {
 
+class Wal;
+
 /// External input for one execution: node id -> input relation name -> bag.
 /// Only nodes in In (no incoming edges) may receive external input.
 using WorkflowInputs = std::map<std::string, std::map<std::string, Bag>>;
@@ -61,6 +63,13 @@ struct ExecutionOptions {
   /// statements, so a single long-running statement is not preempted.
   double node_timeout_seconds = 0;
   FailurePolicy failure_policy = FailurePolicy::kFailFast;
+  /// Crash durability (provenance/wal.h). When set — and attached to the
+  /// graph passed to Execute — the executor marks invocation commits after
+  /// each successful node, a savepoint after each committed execution, and
+  /// lets the log checkpoint itself per its WalOptions. Null: no logging.
+  /// The Wal must outlive the Execute call; WAL errors degrade durability
+  /// but never fail the execution (see Wal::status()).
+  Wal* durability = nullptr;
 };
 
 /// Outcome of one node within one Execute() call.
@@ -137,9 +146,9 @@ class WorkflowExecutor {
   Status SetInitialState(const std::string& instance,
                          const std::string& relation, Bag bag);
 
-  /// Runs one execution of the sequence with default options. `graph` may
-  /// be null (tracking off); `num_workers` > 1 enables the parallel
-  /// executor.
+  /// Runs one execution of the sequence with the executor's default
+  /// options (see set_default_options). `graph` may be null (tracking
+  /// off); `num_workers` > 1 enables the parallel executor.
   Result<WorkflowOutputs> Execute(const WorkflowInputs& inputs,
                                   ProvenanceGraph* graph,
                                   int num_workers = 1);
@@ -170,6 +179,15 @@ class WorkflowExecutor {
     return last_node_times_;
   }
 
+  /// Options used by the short Execute overload. Lets owners of an
+  /// executor (e.g. the workflowgen drivers, whose Run loops call the
+  /// short overload internally) opt whole execution sequences into
+  /// durability or fault-tolerance settings without changing call sites.
+  void set_default_options(const ExecutionOptions& options) {
+    default_options_ = options;
+  }
+  const ExecutionOptions& default_options() const { return default_options_; }
+
   /// Ablation switch: when true, every state tuple of every invocation
   /// receives an "s" node up front (the literal construction of Section
   /// 3.2). Default false: "s" nodes are created lazily, only for state
@@ -193,6 +211,7 @@ class WorkflowExecutor {
   // Module identity -> state relation name -> current instance.
   std::map<std::string, std::map<std::string, Relation>> state_;
   std::map<std::string, double> last_node_times_;
+  ExecutionOptions default_options_;
   uint32_t execution_count_ = 0;
   bool initialized_ = false;
   bool eager_state_nodes_ = false;

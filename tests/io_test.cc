@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "provenance/provio.h"
 #include "relational/csv.h"
 #include "test_util.h"
 #include "workflow/executor.h"
@@ -205,6 +206,136 @@ TEST(WfDslTest, ErrorsCarryLineNumbers) {
 TEST(WfDslTest, FileNotFound) {
   EXPECT_EQ(ParseWorkflowFile("/no/such/file.wf").status().code(),
             StatusCode::kIOError);
+}
+
+/// ------------------- provio loader robustness ---------------------------
+/// The loaders must reject truncated, corrupted, or adversarial input with
+/// a Status — never crash, hang, or return a graph with dangling
+/// references (the recovery path feeds them checkpoint files that may have
+/// been cut short by a crash).
+
+/// Builds a tracked provenance dump of a few KiB by running the DSL
+/// workflow several times with provenance on.
+std::string TrackedGraphDump() {
+  Result<Workflow> wf = ParseWorkflow(kDslSource);
+  EXPECT_TRUE(wf.ok()) << wf.status().ToString();
+  WorkflowExecutor exec(&*wf, nullptr);
+  EXPECT_TRUE(exec.Initialize().ok());
+  ProvenanceGraph graph;
+  for (int e = 0; e < 8; ++e) {
+    WorkflowInputs inputs;
+    Bag ext;
+    for (int i = 0; i < 6; ++i) ext.Add(T({I(e * 10 + i)}));
+    inputs["in"]["Ext"] = std::move(ext);
+    auto outputs = exec.Execute(inputs, &graph);
+    EXPECT_TRUE(outputs.ok()) << outputs.status().ToString();
+  }
+  graph.Seal();
+  std::ostringstream out;
+  EXPECT_TRUE(SaveGraph(graph, out).ok());
+  return out.str();
+}
+
+TEST(ProvioRobustnessTest, TruncationSweepAlwaysReturnsStatus) {
+  std::string full = TrackedGraphDump();
+  ASSERT_GT(full.size(), 4096u) << "dump too small for a meaningful sweep";
+
+  // The intact dump loads.
+  {
+    std::istringstream in(full);
+    LIPSTICK_EXPECT_OK(LoadGraph(in).status());
+  }
+  // Every proper prefix at a 1 KiB boundary must be rejected: either the
+  // cut lands mid-record (parse error) or after a complete record but
+  // before the end marker (truncation error). Never a crash, never a
+  // silently short graph.
+  for (size_t cut = 0; cut + 1 < full.size(); cut += 1024) {
+    std::istringstream in(full.substr(0, cut));
+    Result<ProvenanceGraph> r = LoadGraph(in);
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes loaded";
+  }
+}
+
+TEST(ProvioRobustnessTest, GarbageHeadersRejected) {
+  for (const char* garbage :
+       {"", "LIPSTICKGRAPH v9\nshards 1\nend\n", "\x7f\x45\x4c\x46\x02\x01",
+        "totally not a graph\n", "LIPSTICKGRAPH v2"}) {
+    std::istringstream in(garbage);
+    EXPECT_FALSE(LoadGraph(in).ok()) << "accepted: " << garbage;
+  }
+}
+
+TEST(ProvioRobustnessTest, OversizedCountsRejectedWithoutAllocating) {
+  // Absurd shard count: rejected up front (a real graph never has more
+  // shards than worker threads).
+  std::istringstream shards("LIPSTICKGRAPH v2\nshards 4294967295\nend\n");
+  EXPECT_FALSE(LoadGraph(shards).ok());
+  // Huge declared string count with no actual strings: the reserve is
+  // clamped, and the missing records surface as a truncation error rather
+  // than an allocation of 4 billion entries.
+  std::istringstream strings(
+      "LIPSTICKGRAPH v2\nshards 1\nstrings 4000000000\n");
+  EXPECT_FALSE(LoadGraph(strings).ok());
+}
+
+TEST(ProvioRobustnessTest, MissingEndMarkerRejected) {
+  std::string full = TrackedGraphDump();
+  size_t end_at = full.rfind("end\n");
+  ASSERT_NE(end_at, std::string::npos);
+  std::istringstream in(full.substr(0, end_at));
+  Status st = LoadGraph(in).status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("end marker"), std::string::npos);
+}
+
+TEST(ProvioRobustnessTest, DanglingReferencesRejected) {
+  // Node whose parent list names a node that is never defined.
+  std::istringstream dangling_parent(
+      "LIPSTICKGRAPH v2\n"
+      "shards 1\n"
+      "strings 1\n"
+      "s tok\n"
+      "n 281474976710656 0 0 0 1 4294967295 281474976710657 1 N\n"
+      "end\n");
+  Status st = LoadGraph(dangling_parent).status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("undefined parent"), std::string::npos);
+
+  // Alive node tagged with an invocation that was never recorded.
+  std::istringstream dangling_invocation(
+      "LIPSTICKGRAPH v2\n"
+      "shards 1\n"
+      "strings 1\n"
+      "s tok\n"
+      "n 281474976710656 0 0 0 1 7 - 1 N\n"
+      "end\n");
+  st = LoadGraph(dangling_invocation).status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("undefined invocation"), std::string::npos);
+}
+
+TEST(ProvioRobustnessTest, MalformedRecordsRejected) {
+  // Non-numeric id inside a parents list.
+  std::istringstream bad_ids(
+      "LIPSTICKGRAPH v2\nshards 1\nstrings 1\ns tok\n"
+      "n 281474976710656 0 0 0 1 4294967295 12,abc 1 N\nend\n");
+  EXPECT_FALSE(LoadGraph(bad_ids).ok());
+  // Out-of-range label.
+  std::istringstream bad_label(
+      "LIPSTICKGRAPH v2\nshards 1\nstrings 1\ns tok\n"
+      "n 281474976710656 99 0 0 1 4294967295 - 1 N\nend\n");
+  EXPECT_FALSE(LoadGraph(bad_label).ok());
+  // Unknown record tag.
+  std::istringstream bad_tag(
+      "LIPSTICKGRAPH v2\nshards 1\nstrings 0\nq what\nend\n");
+  EXPECT_FALSE(LoadGraph(bad_tag).ok());
+}
+
+TEST(ProvioRobustnessTest, DirectoryPathRejectedWithOneLineError) {
+  Result<ProvenanceGraph> r = LoadGraphFromFile("/tmp");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("directory"), std::string::npos);
 }
 
 }  // namespace

@@ -7,6 +7,10 @@
 #   tidy   clang-tidy over src/ and tools/ (skipped when not installed),
 #   lint   `lipstick lint` over every example workflow — any diagnostic
 #          of severity warning or above fails the gate,
+#   crash  crash-consistency gate: the durability and crash-matrix tests
+#          (injected torn writes, corrupted frames, and failed fsyncs at
+#          50+ distinct positions) plus a CLI-level torn-log recovery
+#          smoke on a real workflow file,
 #   perf   Release-mode perf smoke: the PERF_BENCHES harnesses at small
 #          scale must run to completion; their results_json lines are
 #          collected into BENCH_results.json and compared against the
@@ -18,7 +22,7 @@
 #            tools/check.sh perf && python3 tools/bench_compare.py \
 #              compare BENCH_baseline.json build-release/BENCH_results.json --update
 #   all    every stage, in the order above (the default).
-# Usage: tools/check.sh [build|asan|tidy|lint|perf|all] [extra ctest args...]
+# Usage: tools/check.sh [build|asan|tidy|lint|crash|perf|all] [extra ctest args...]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,7 +30,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 # The one perf-smoke bench list, shared by the perf stage here and the
 # bench job in .github/workflows/ci.yml (which calls this stage).
-PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_obs_overhead bench_fault_overhead)
+PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_obs_overhead bench_fault_overhead bench_wal_overhead)
 
 # Use ccache when available (CI caches it across runs).
 CMAKE_LAUNCHER_ARGS=()
@@ -77,6 +81,31 @@ run_lint() {
   done
 }
 
+run_crash() {
+  echo "=== crash consistency (durability + crash matrix + CLI recovery) ==="
+  cmake -B "${repo}/build" -S "${repo}" \
+        ${CMAKE_LAUNCHER_ARGS[@]+"${CMAKE_LAUNCHER_ARGS[@]}"} >/dev/null
+  cmake --build "${repo}/build" -j "${jobs}" \
+        --target durability_test crash_matrix_test lipstick_cli
+  ctest --test-dir "${repo}/build" --output-on-failure -j "${jobs}" \
+        -R '^(durability_test|crash_matrix_test)$'
+
+  echo "--- CLI torn-log recovery smoke"
+  local cli="${repo}/build/tools/lipstick"
+  local work; work="$(mktemp -d)"
+  trap 'rm -rf "${work}"' RETURN
+  "${cli}" run "${repo}/examples/workflows/running_total.wf" \
+           --execs 3 --wal "${work}/wal" --graph "${work}/clean.pg"
+  # Tear the tail of the last segment: the final execution's commit is
+  # gone, but everything before the last durable savepoint must survive.
+  local seg; seg="$(ls "${work}"/wal/wal-*.log | sort | tail -1)"
+  local size; size="$(stat -c %s "${seg}")"
+  truncate -s "$((size - 5))" "${seg}"
+  "${cli}" recover "${work}/wal" --out "${work}/recovered.pg"
+  "${cli}" validate "${work}/recovered.pg"
+  echo "crash stage OK"
+}
+
 run_perf() {
   echo "=== perf smoke (Release, LIPSTICK_BENCH_SCALE=${LIPSTICK_BENCH_SCALE:-0.02}) ==="
   local scale="${LIPSTICK_BENCH_SCALE:-0.02}"
@@ -119,7 +148,7 @@ run_perf() {
 
 stage="${1:-all}"
 case "${stage}" in
-  build|asan|tidy|lint|perf)
+  build|asan|tidy|lint|crash|perf)
     shift
     CTEST_ARGS=("$@")
     "run_${stage}"
@@ -127,7 +156,7 @@ case "${stage}" in
     ;;
   all) if [[ $# -gt 0 ]]; then shift; fi ;;
   -*|'') ;;  # no stage named: run everything, args go to ctest
-  *) echo "unknown stage '${stage}' (build|asan|tidy|lint|perf|all)"; exit 2 ;;
+  *) echo "unknown stage '${stage}' (build|asan|tidy|lint|crash|perf|all)"; exit 2 ;;
 esac
 
 CTEST_ARGS=("$@")
@@ -135,5 +164,6 @@ run_build
 run_asan
 run_tidy
 run_lint
+run_crash
 run_perf
 echo "All checks passed."

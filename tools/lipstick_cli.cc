@@ -8,6 +8,8 @@
 //   lipstick run <workflow.wf> [--execs N] [--input node.Rel=file.csv]...
 //                [--state instance.Rel=file.csv]... [--graph out.pg]
 //                [--workers N] [--print-outputs]
+//                [--wal <dir>] [--wal-fsync never|commit|savepoint]
+//   lipstick recover <wal-dir> [--out g.pg] [--keep-uncommitted] [--repair]
 //   lipstick query <graph.pg> stats
 //   lipstick query <graph.pg> find [--label L] [--role R] [--payload S]
 //   lipstick query <graph.pg> expr <node-id>
@@ -23,7 +25,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -40,6 +44,8 @@
 #include "provenance/opm.h"
 #include "provenance/provio.h"
 #include "provenance/query.h"
+#include "provenance/recovery.h"
+#include "provenance/wal.h"
 #include "provenance/semiring.h"
 #include "provenance/subgraph.h"
 #include "provenance/zoom.h"
@@ -62,7 +68,10 @@ int FailUsage() {
                "       lipstick validate <workflow.wf | graph.pg>\n"
                "       lipstick run <workflow.wf> [--execs N] "
                "[--input node.Rel=f.csv]... [--state inst.Rel=f.csv]... "
-               "[--graph out.pg] [--workers N] [--print-outputs]\n"
+               "[--graph out.pg] [--workers N] [--print-outputs] "
+               "[--wal <dir>] [--wal-fsync never|commit|savepoint]\n"
+               "       lipstick recover <wal-dir> [--out g.pg] "
+               "[--keep-uncommitted] [--repair]\n"
                "       lipstick query <graph.pg> stats|find|expr|depends|"
                "subgraph|delete|zoomout|dot|opm|validate ...\n");
   return 2;
@@ -146,6 +155,10 @@ int CmdValidateGraph(const std::string& path) {
 }
 
 int CmdValidate(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return Fail(StrCat(path, " is a directory, not a workflow or graph file"));
+  }
   if (EndsWith(path, ".pg")) return CmdValidateGraph(path);
   Result<Workflow> wf = ParseWorkflowFile(path);
   if (!wf.ok()) return Fail(wf.status().ToString());
@@ -170,6 +183,8 @@ int CmdRun(const std::vector<std::string>& args) {
   std::string graph_path;
   std::string trace_path;    // --trace: Chrome trace_event JSON
   std::string metrics_path;  // --metrics: metrics registry JSON
+  std::string wal_dir;       // --wal: crash-safe provenance log directory
+  FsyncPolicy wal_fsync = FsyncPolicy::kOnSavepoint;
   std::vector<Binding> inputs, states;
   for (size_t i = 1; i < args.size(); ++i) {
     auto need_value = [&](const char* flag) -> Result<std::string> {
@@ -198,6 +213,23 @@ int CmdRun(const std::vector<std::string>& args) {
       auto v = need_value("--metrics");
       if (!v.ok()) return Fail(v.status().ToString());
       metrics_path = *v;
+    } else if (args[i] == "--wal") {
+      auto v = need_value("--wal");
+      if (!v.ok()) return Fail(v.status().ToString());
+      wal_dir = *v;
+    } else if (args[i] == "--wal-fsync") {
+      auto v = need_value("--wal-fsync");
+      if (!v.ok()) return Fail(v.status().ToString());
+      if (*v == "never") {
+        wal_fsync = FsyncPolicy::kNever;
+      } else if (*v == "commit") {
+        wal_fsync = FsyncPolicy::kOnCommit;
+      } else if (*v == "savepoint") {
+        wal_fsync = FsyncPolicy::kOnSavepoint;
+      } else {
+        return Fail(StrCat("--wal-fsync: unknown policy '", *v,
+                           "' (expected never|commit|savepoint)"));
+      }
     } else if (args[i] == "--input" || args[i] == "--state") {
       bool is_input = args[i] == "--input";
       auto v = need_value(is_input ? "--input" : "--state");
@@ -212,6 +244,10 @@ int CmdRun(const std::vector<std::string>& args) {
     }
   }
 
+  std::error_code ec;
+  if (std::filesystem::is_directory(wf_path, ec)) {
+    return Fail(StrCat(wf_path, " is a directory, not a workflow file"));
+  }
   Result<Workflow> wf = ParseWorkflowFile(wf_path);
   if (!wf.ok()) return Fail(wf.status().ToString());
   pig::UdfRegistry udfs;
@@ -266,13 +302,38 @@ int CmdRun(const std::vector<std::string>& args) {
   if (!metrics_path.empty()) obs::MetricsRegistry::Global().Enable();
 
   ProvenanceGraph graph;
-  ProvenanceGraph* graph_ptr = graph_path.empty() ? nullptr : &graph;
+  // --wal implies provenance tracking: the log records graph mutations.
+  ProvenanceGraph* graph_ptr =
+      (graph_path.empty() && wal_dir.empty()) ? nullptr : &graph;
+  std::unique_ptr<Wal> wal;
+  if (!wal_dir.empty()) {
+    WalOptions wal_options;
+    wal_options.fsync = wal_fsync;
+    Result<std::unique_ptr<Wal>> opened = Wal::Open(wal_dir, wal_options);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    wal = std::move(*opened);
+    st = wal->Attach(&graph, executor.executions_run());
+    if (!st.ok()) return Fail(st.ToString());
+    ExecutionOptions options = executor.default_options();
+    options.durability = wal.get();
+    executor.set_default_options(options);
+  }
   WorkflowOutputs last_outputs;
   for (int e = 0; e < execs; ++e) {
     Result<WorkflowOutputs> outputs =
         executor.Execute(workflow_inputs, graph_ptr, workers);
     if (!outputs.ok()) return Fail(outputs.status().ToString());
     last_outputs = std::move(*outputs);
+  }
+  if (wal != nullptr) {
+    Status wal_status = wal->status();
+    st = wal->Close();
+    if (!st.ok()) return Fail(st.ToString());
+    if (!wal_status.ok()) return Fail(wal_status.ToString());
+    std::printf("wal: %llu record(s), %llu byte(s) -> %s\n",
+                static_cast<unsigned long long>(wal->records_appended()),
+                static_cast<unsigned long long>(wal->bytes_appended()),
+                wal_dir.c_str());
   }
   std::printf("ran %d execution(s) of %zu node(s)\n", execs,
               wf->nodes().size());
@@ -317,6 +378,45 @@ int CmdRun(const std::vector<std::string>& args) {
     }
     std::fclose(f);
     std::printf("metrics: %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+int CmdRecover(const std::vector<std::string>& args) {
+  if (args.empty()) return FailUsage();
+  const std::string& wal_dir = args[0];
+  std::string out_path;
+  RecoveryOptions options;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) return Fail("--out needs a value");
+      out_path = args[++i];
+    } else if (args[i] == "--keep-uncommitted") {
+      options.keep_uncommitted = true;
+    } else if (args[i] == "--repair") {
+      options.repair = true;
+    } else {
+      return Fail(StrCat("unknown recover flag '", args[i], "'"));
+    }
+  }
+  RecoveryReport report;
+  Result<ProvenanceGraph> graph = RecoverGraph(wal_dir, &report, options);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  std::fputs(report.ToString().c_str(), stdout);
+  graph->Seal();
+  analysis::DiagnosticSink sink;
+  analysis::ValidateGraph(*graph, &sink);
+  if (sink.CountAtLeast(analysis::Severity::kWarning) > 0) {
+    sink.Sort();
+    std::fputs(sink.RenderText(wal_dir).c_str(), stdout);
+    return Fail("recovered graph failed validation");
+  }
+  std::printf("recovered graph OK: %zu alive node(s), %zu invocation(s)\n",
+              graph->num_alive(), graph->num_live_invocations());
+  if (!out_path.empty()) {
+    Status st = SaveGraphToFile(*graph, out_path);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", out_path.c_str());
   }
   return 0;
 }
@@ -498,6 +598,7 @@ int main(int argc, char** argv) {
   if (cmd == "lint") return CmdLint(rest);
   if (cmd == "validate" && rest.size() == 1) return CmdValidate(rest[0]);
   if (cmd == "run") return CmdRun(rest);
+  if (cmd == "recover") return CmdRecover(rest);
   if (cmd == "query") return CmdQuery(rest);
   return FailUsage();
 }
