@@ -30,6 +30,7 @@ struct Diagnostic {
   SourceLoc loc;        // invalid ({0,0}) for artifacts without source text
   std::string message;
   std::string note;     // optional secondary line (context, fix hint)
+  std::string file;     // source file; empty -> the renderer's `file` param
 };
 
 /// Collects diagnostics from one or more analyzer passes over the same
@@ -40,7 +41,7 @@ class DiagnosticSink {
   void Report(std::string code, Severity severity, SourceLoc loc,
               std::string message, std::string note = "") {
     diags_.push_back(Diagnostic{std::move(code), severity, loc,
-                                std::move(message), std::move(note)});
+                                std::move(message), std::move(note), {}});
   }
 
   const std::vector<Diagnostic>& diagnostics() const { return diags_; }
@@ -54,18 +55,22 @@ class DiagnosticSink {
   const Diagnostic* Find(std::string_view code) const;
   bool Has(std::string_view code) const { return Find(code) != nullptr; }
 
-  /// Orders diagnostics by location, then code (stable for ties). Analyzer
-  /// passes append in discovery order; sort before rendering.
+  /// Orders diagnostics by (file, line, column, code), stable for ties.
+  /// Analyzer passes append in discovery order. Rendering sorts internally,
+  /// so calling this is optional — it only affects diagnostics() order.
   void Sort();
 
   /// Human-readable rendering, one finding per line:
   ///   file:line:col: severity: message [code]
   ///       note: ...
-  /// `file` prefixes each line when non-empty.
+  /// `file` prefixes each line when non-empty (a diagnostic's own `file`
+  /// wins over the parameter). Output is byte-stable: findings render in
+  /// (file, line, column, code) order regardless of emission order.
   std::string RenderText(const std::string& file = "") const;
 
   /// Machine-readable rendering: a JSON array of objects with keys
-  /// code/severity/line/column/message/note (note omitted when empty).
+  /// code/severity/file/line/column/message/note (note omitted when empty).
+  /// Sorted like RenderText, so output is byte-stable across runs.
   std::string RenderJson(const std::string& file = "") const;
 
  private:

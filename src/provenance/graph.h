@@ -1,6 +1,7 @@
 #ifndef LIPSTICK_PROVENANCE_GRAPH_H_
 #define LIPSTICK_PROVENANCE_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -114,6 +115,34 @@ struct NodeColumns {
     if (p.count <= kInlineParents) return {p.ab, p.count};
     return {edge_arena.data() + p.ab[0], p.count};
   }
+};
+
+/// Movable atomic boolean. The graph's sealed flag is cleared by every
+/// ShardWriter::Append, and concurrent workflow tasks append to their own
+/// shards without coordination, so the flag itself must be an atomic; a
+/// bare std::atomic would delete the graph's move operations (it is
+/// returned by value from the loaders), hence this wrapper. Moves/copies
+/// only happen single-threaded, so a relaxed load-then-store is fine.
+class AtomicFlag {
+ public:
+  AtomicFlag() = default;
+  AtomicFlag(const AtomicFlag& o) noexcept
+      : v_(o.v_.load(std::memory_order_relaxed)) {}
+  AtomicFlag& operator=(const AtomicFlag& o) noexcept {
+    v_.store(o.v_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+    return *this;
+  }
+  AtomicFlag& operator=(bool b) noexcept {
+    v_.store(b, std::memory_order_relaxed);
+    return *this;
+  }
+  operator bool() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> v_{false};
 };
 
 }  // namespace internal
@@ -566,7 +595,7 @@ class ProvenanceGraph {
   std::unique_ptr<std::mutex> invocations_mu_ =
       std::make_unique<std::mutex>();
   GraphWalSink* wal_sink_ = nullptr;
-  bool sealed_ = false;
+  internal::AtomicFlag sealed_;
 };
 
 /// Guard used by the query layer: every operation that needs the children

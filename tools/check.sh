@@ -5,8 +5,14 @@
 #   asan   build + ctest under ASan+UBSan in Debug (assertions on, so
 #          every executor run re-validates its provenance graph),
 #   tidy   clang-tidy over src/ and tools/ (skipped when not installed),
-#   lint   `lipstick lint` over every example workflow — any diagnostic
-#          of severity warning or above fails the gate,
+#   tsan   build + concurrency-focused ctest subset under ThreadSanitizer
+#          in Debug: the multi-worker executor, the lock-free StringPool
+#          and MetricsRegistry, and the workflow generators that drive
+#          them with several worker threads,
+#   lint   `lipstick lint` over every example workflow, then
+#          `lipstick analyze --json` over the same set — any diagnostic
+#          of severity warning or above fails the gate, as does a
+#          malformed analysis report,
 #   crash  crash-consistency gate: the durability and crash-matrix tests
 #          (injected torn writes, corrupted frames, and failed fsyncs at
 #          50+ distinct positions) plus a CLI-level torn-log recovery
@@ -22,7 +28,7 @@
 #            tools/check.sh perf && python3 tools/bench_compare.py \
 #              compare BENCH_baseline.json build-release/BENCH_results.json --update
 #   all    every stage, in the order above (the default).
-# Usage: tools/check.sh [build|asan|tidy|lint|crash|perf|all] [extra ctest args...]
+# Usage: tools/check.sh [build|asan|tsan|tidy|lint|crash|perf|all] [extra ctest args...]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,7 +36,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 # The one perf-smoke bench list, shared by the perf stage here and the
 # bench job in .github/workflows/ci.yml (which calls this stage).
-PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_obs_overhead bench_fault_overhead bench_wal_overhead)
+PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_obs_overhead bench_fault_overhead bench_wal_overhead bench_analyze)
 
 # Use ccache when available (CI caches it across runs).
 CMAKE_LAUNCHER_ARGS=()
@@ -52,6 +58,19 @@ run_build() { run_config build; }
 
 run_asan() {
   run_config build-asan -DLIPSTICK_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+}
+
+# The tests that actually spin up threads: the multi-worker executor
+# (workflow_test, workflowgen_test, property_test, dataflow_test drive it
+# with num_workers > 1), the lock-free StringPool (provenance_test), and
+# the MetricsRegistry + TraceBuffer concurrency tests (obs_test).
+TSAN_TESTS='^(workflow_test|workflowgen_test|property_test|dataflow_test|provenance_test|obs_test)$'
+
+run_tsan() {
+  local saved=(${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})
+  CTEST_ARGS=(-R "${TSAN_TESTS}" ${saved[@]+"${saved[@]}"})
+  run_config build-tsan -DLIPSTICK_SANITIZE=THREAD -DCMAKE_BUILD_TYPE=Debug
+  CTEST_ARGS=(${saved[@]+"${saved[@]}"})
 }
 
 run_tidy() {
@@ -78,6 +97,9 @@ run_lint() {
   for wf in "${repo}"/examples/workflows/*.wf; do
     echo "--- ${wf#"${repo}"/}"
     "${cli}" lint "${wf}"
+    # Static dataflow analysis must also come back clean (exit 0 = no
+    # warnings) and produce a well-formed JSON report.
+    "${cli}" analyze "${wf}" --json | python3 -m json.tool >/dev/null
   done
 }
 
@@ -148,7 +170,7 @@ run_perf() {
 
 stage="${1:-all}"
 case "${stage}" in
-  build|asan|tidy|lint|crash|perf)
+  build|asan|tsan|tidy|lint|crash|perf)
     shift
     CTEST_ARGS=("$@")
     "run_${stage}"
@@ -156,12 +178,13 @@ case "${stage}" in
     ;;
   all) if [[ $# -gt 0 ]]; then shift; fi ;;
   -*|'') ;;  # no stage named: run everything, args go to ctest
-  *) echo "unknown stage '${stage}' (build|asan|tidy|lint|crash|perf|all)"; exit 2 ;;
+  *) echo "unknown stage '${stage}' (build|asan|tsan|tidy|lint|crash|perf|all)"; exit 2 ;;
 esac
 
 CTEST_ARGS=("$@")
 run_build
 run_asan
+run_tsan
 run_tidy
 run_lint
 run_crash

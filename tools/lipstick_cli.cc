@@ -4,6 +4,8 @@
 //
 // Usage:
 //   lipstick lint <workflow.wf> [--json]
+//   lipstick analyze <workflow.wf> [--execs N] [--input node.Rel=file.csv]...
+//                [--state instance.Rel=file.csv]... [--json]
 //   lipstick validate <workflow.wf | graph.pg>
 //   lipstick run <workflow.wf> [--execs N] [--input node.Rel=file.csv]...
 //                [--state instance.Rel=file.csv]... [--graph out.pg]
@@ -32,9 +34,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cost_model.h"
+#include "analysis/dataflow.h"
 #include "analysis/diagnostics.h"
 #include "analysis/graph_validator.h"
 #include "analysis/workflow_linter.h"
+#include "obs/json.h"
 #include "common/fault.h"
 #include "common/str_util.h"
 #include "obs/metrics.h"
@@ -65,6 +70,9 @@ int Fail(const std::string& message) {
 int FailUsage() {
   std::fprintf(stderr,
                "usage: lipstick lint <workflow.wf> [--json]\n"
+               "       lipstick analyze <workflow.wf> [--execs N] "
+               "[--input node.Rel=f.csv]... [--state inst.Rel=f.csv]... "
+               "[--interval] [--json]\n"
                "       lipstick validate <workflow.wf | graph.pg>\n"
                "       lipstick run <workflow.wf> [--execs N] "
                "[--input node.Rel=f.csv]... [--state inst.Rel=f.csv]... "
@@ -137,6 +145,240 @@ int CmdLint(const std::vector<std::string>& args) {
   analysis::DiagnosticSink sink;
   analysis::LintWorkflow(*wf, &udfs, &sink);
   return ReportDiagnostics(&sink, path, json);
+}
+
+/// Renders a cardinality interval as JSON: {"lo": N, "hi": M} with a null
+/// hi when the interval is unbounded, plus "exact" for quick consumers.
+std::string CardJson(const analysis::CardInterval& c) {
+  std::string out = StrCat("{\"lo\":", c.lo, ",\"hi\":");
+  if (c.hi == analysis::kCardInf) {
+    out += "null";
+  } else {
+    out += StrCat(c.hi);
+  }
+  out += StrCat(",\"exact\":", c.exact() ? "true" : "false", "}");
+  return out;
+}
+
+int CmdAnalyze(const std::vector<std::string>& args) {
+  if (args.empty()) return FailUsage();
+  const std::string& wf_path = args[0];
+  int execs = 1;
+  bool json = false;
+  bool force_interval = false;
+  std::vector<Binding> inputs, states;
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto need_value = [&](const char* flag) -> Result<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument(StrCat(flag, " needs a value"));
+      }
+      return args[++i];
+    };
+    if (args[i] == "--execs") {
+      auto v = need_value("--execs");
+      if (!v.ok()) return Fail(v.status().ToString());
+      execs = std::atoi(v->c_str());
+    } else if (args[i] == "--json") {
+      json = true;
+    } else if (args[i] == "--interval") {
+      force_interval = true;
+    } else if (args[i] == "--input" || args[i] == "--state") {
+      bool is_input = args[i] == "--input";
+      auto v = need_value(is_input ? "--input" : "--state");
+      if (!v.ok()) return Fail(v.status().ToString());
+      Result<Binding> binding = ParseBinding(*v);
+      if (!binding.ok()) return Fail(binding.status().ToString());
+      (is_input ? inputs : states).push_back(std::move(*binding));
+    } else {
+      return Fail(StrCat("unknown analyze flag '", args[i], "'"));
+    }
+  }
+
+  std::error_code ec;
+  if (std::filesystem::is_directory(wf_path, ec)) {
+    return Fail(StrCat(wf_path, " is a directory, not a workflow file"));
+  }
+  Result<Workflow> wf = ParseWorkflowFile(wf_path);
+  if (!wf.ok()) return Fail(wf.status().ToString());
+  pig::UdfRegistry udfs;
+
+  analysis::AnalyzeOptions opt;
+  opt.executions = execs;
+  opt.force_interval = force_interval;
+  opt.udfs = &udfs;
+  for (const Binding& b : states) {
+    const ModuleSpec* spec = nullptr;
+    for (const WorkflowNode& node : wf->nodes()) {
+      if (node.instance == b.owner) {
+        auto found = wf->FindModule(node.module);
+        if (found.ok()) spec = *found;
+      }
+    }
+    if (spec == nullptr) {
+      return Fail(StrCat("--state: unknown instance '", b.owner, "'"));
+    }
+    auto schema_it = spec->state_schemas.find(b.relation);
+    if (schema_it == spec->state_schemas.end()) {
+      return Fail(StrCat("--state: module ", spec->name,
+                         " has no state relation '", b.relation, "'"));
+    }
+    Result<Bag> bag = ReadCsvFile(b.path, *schema_it->second);
+    if (!bag.ok()) return Fail(bag.status().ToString());
+    opt.initial_state[b.owner][b.relation] = std::move(*bag);
+  }
+  for (const Binding& b : inputs) {
+    Result<const WorkflowNode*> node = wf->FindNode(b.owner);
+    if (!node.ok()) return Fail(node.status().ToString());
+    Result<const ModuleSpec*> spec = wf->FindModule((*node)->module);
+    if (!spec.ok()) return Fail(spec.status().ToString());
+    auto schema_it = (*spec)->input_schemas.find(b.relation);
+    if (schema_it == (*spec)->input_schemas.end()) {
+      return Fail(StrCat("--input: module ", (*spec)->name,
+                         " has no input relation '", b.relation, "'"));
+    }
+    Result<Bag> bag = ReadCsvFile(b.path, *schema_it->second);
+    if (!bag.ok()) return Fail(bag.status().ToString());
+    opt.inputs[b.owner][b.relation] = std::move(*bag);
+  }
+
+  analysis::DiagnosticSink sink;
+  analysis::LintWorkflow(*wf, &udfs, &sink);
+  Result<analysis::WorkflowFacts> facts =
+      analysis::AnalyzeDataflow(*wf, opt, &sink);
+  if (!facts.ok()) return Fail(facts.status().ToString());
+  analysis::CostReport cost = analysis::PredictCost(*facts);
+  sink.Sort();
+  const char* mode = facts->concrete ? "concrete" : "interval";
+
+  if (json) {
+    std::string out = "{";
+    out += StrCat("\"file\":\"", obs::JsonEscape(wf_path), "\",");
+    out += StrCat("\"mode\":\"", mode, "\",");
+    out += StrCat("\"executions\":", facts->executions, ",");
+    out += StrCat("\"diagnostics\":", sink.RenderJson(wf_path), ",");
+    out += StrCat("\"cost\":{\"nodes\":", CardJson(cost.nodes),
+                  ",\"edges\":", CardJson(cost.edges),
+                  ",\"est_nodes\":", static_cast<uint64_t>(cost.est_nodes),
+                  ",\"est_edges\":", static_cast<uint64_t>(cost.est_edges),
+                  ",\"bytes\":{\"columns\":", CardJson(cost.column_bytes),
+                  ",\"edge_arena\":", CardJson(cost.edge_arena_bytes),
+                  ",\"csr\":", CardJson(cost.csr_bytes),
+                  ",\"values\":", CardJson(cost.value_bytes),
+                  ",\"interner\":", CardJson(cost.interner_bytes),
+                  ",\"invocations\":", CardJson(cost.invocation_bytes),
+                  ",\"total\":", CardJson(cost.total_bytes),
+                  ",\"est\":", cost.est_bytes, "},\"per_node\":[");
+    for (size_t i = 0; i < cost.per_node.size(); ++i) {
+      const analysis::ModuleCost& mc = cost.per_node[i];
+      if (i > 0) out += ",";
+      out += StrCat("{\"node\":\"", obs::JsonEscape(mc.node_id),
+                    "\",\"module\":\"", obs::JsonEscape(mc.module),
+                    "\",\"instance\":\"", obs::JsonEscape(mc.instance),
+                    "\",\"invocations\":", mc.invocations,
+                    ",\"nodes\":", CardJson(mc.nodes),
+                    ",\"edges\":", CardJson(mc.edges), "}");
+    }
+    out += "]},\"relations\":{";
+    bool first_node = true;
+    for (const auto& [node_id, rels] : facts->relations) {
+      if (!first_node) out += ",";
+      first_node = false;
+      out += StrCat("\"", obs::JsonEscape(node_id), "\":{");
+      bool first_rel = true;
+      for (const auto& [rel_name, rf] : rels) {
+        if (!first_rel) out += ",";
+        first_rel = false;
+        out += StrCat("\"", obs::JsonEscape(rel_name),
+                      "\":{\"card\":", CardJson(rf.card.total),
+                      ",\"est\":", static_cast<uint64_t>(rf.est),
+                      ",\"schema\":\"",
+                      obs::JsonEscape(rf.schema ? rf.schema->ToString() : ""),
+                      "\"}");
+      }
+      out += "}";
+    }
+    out += "},\"deletion\":[";
+    for (size_t i = 0; i < facts->deletion.size(); ++i) {
+      const analysis::DeletionFact& d = facts->deletion[i];
+      if (i > 0) out += ",";
+      out += StrCat("{\"node\":\"", obs::JsonEscape(d.node_id),
+                    "\",\"relation\":\"", obs::JsonEscape(d.relation),
+                    "\",\"classification\":\"",
+                    d.amplifying ? "amplifying" : "safe",
+                    "\",\"reaches_state\":",
+                    d.reaches_state ? "true" : "false", ",\"reason\":\"",
+                    obs::JsonEscape(d.reason), "\"}");
+    }
+    out += "],\"notes\":[";
+    for (size_t i = 0; i < facts->notes.size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrCat("\"", obs::JsonEscape(facts->notes[i]), "\"");
+    }
+    out += "]}\n";
+    std::fputs(out.c_str(), stdout);
+    return sink.CountAtLeast(analysis::Severity::kWarning) > 0 ? 1 : 0;
+  }
+
+  std::printf("analysis of %s: %s mode, %d execution(s)\n", wf_path.c_str(),
+              mode, facts->executions);
+  std::fputs(sink.RenderText(wf_path).c_str(), stdout);
+
+  std::printf("\nrelation facts:\n");
+  for (const auto& [node_id, rels] : facts->relations) {
+    std::printf("  %s:\n", node_id.c_str());
+    for (const auto& [rel_name, rf] : rels) {
+      std::printf("    %-16s card %-12s est %-8.0f %s\n", rel_name.c_str(),
+                  rf.card.total.ToString().c_str(), rf.est,
+                  rf.schema ? rf.schema->ToString().c_str() : "(no schema)");
+    }
+  }
+
+  std::printf("\npredicted provenance (per workflow node):\n");
+  std::printf("  %-16s %-12s %-14s %-14s\n", "node", "invocations", "nodes",
+              "edges");
+  for (const analysis::ModuleCost& mc : cost.per_node) {
+    std::printf("  %-16s %-12d %-14s %-14s\n", mc.node_id.c_str(),
+                mc.invocations, mc.nodes.ToString().c_str(),
+                mc.edges.ToString().c_str());
+  }
+  std::printf("  %-16s %-12s %-14s %-14s\n", "total", "",
+              cost.nodes.ToString().c_str(), cost.edges.ToString().c_str());
+  if (!facts->concrete) {
+    std::printf("  point estimate: %.0f nodes, %.0f edges\n", cost.est_nodes,
+                cost.est_edges);
+  }
+
+  std::printf("\npredicted bytes (columnar layout):\n");
+  auto row = [](const char* label, const analysis::CardInterval& c) {
+    std::printf("  %-16s %s\n", label, c.ToString().c_str());
+  };
+  row("columns", cost.column_bytes);
+  row("edge arena", cost.edge_arena_bytes);
+  row("csr index", cost.csr_bytes);
+  row("values", cost.value_bytes);
+  row("interner", cost.interner_bytes);
+  row("invocations", cost.invocation_bytes);
+  row("total", cost.total_bytes);
+  std::printf("  %-16s %llu\n", "point estimate",
+              static_cast<unsigned long long>(cost.est_bytes));
+
+  std::printf("\ndeletion propagation:\n");
+  if (facts->deletion.empty()) {
+    std::printf("  (no workflow inputs)\n");
+  }
+  for (const analysis::DeletionFact& d : facts->deletion) {
+    if (d.amplifying) {
+      std::printf("  %s.%s: amplifying — %s\n", d.node_id.c_str(),
+                  d.relation.c_str(), d.reason.c_str());
+    } else {
+      std::printf("  %s.%s: safe%s\n", d.node_id.c_str(), d.relation.c_str(),
+                  d.reaches_state ? " (accumulates in state)" : "");
+    }
+  }
+  for (const std::string& note : facts->notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  return sink.CountAtLeast(analysis::Severity::kWarning) > 0 ? 1 : 0;
 }
 
 int CmdValidateGraph(const std::string& path) {
@@ -596,6 +838,7 @@ int main(int argc, char** argv) {
   const std::string& cmd = args[0];
   std::vector<std::string> rest(args.begin() + 1, args.end());
   if (cmd == "lint") return CmdLint(rest);
+  if (cmd == "analyze") return CmdAnalyze(rest);
   if (cmd == "validate" && rest.size() == 1) return CmdValidate(rest[0]);
   if (cmd == "run") return CmdRun(rest);
   if (cmd == "recover") return CmdRecover(rest);
