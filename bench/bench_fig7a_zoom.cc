@@ -3,7 +3,12 @@
 // has ~5x more invocations per execution). ZoomIn timings are reported as
 // well (paper text: ZoomIn is ~3x faster than ZoomOut).
 
+#include <thread>
+
 #include "bench_util.h"
+#include "provenance/snapshot.h"
+#include "provenance/traverse.h"
+#include "provenance/view.h"
 #include "provenance/zoom.h"
 #include "workflowgen/dealership.h"
 
@@ -21,6 +26,7 @@ int main() {
               "zoomin_agg", "(ms)");
   double last_ms[4] = {0, 0, 0, 0};
   size_t last_nodes = 0;
+  double view_1t_ms = 0, view_4t_ms = 0;
   for (int num_exec : {10, 25, 50, 100, 150}) {
     DealershipConfig cfg;
     cfg.num_cars = num_cars;
@@ -51,6 +57,33 @@ int main() {
                 nodes, ms[0], ms[1], ms[2], ms[3]);
     for (int i = 0; i < 4; ++i) last_ms[i] = ms[i];
     last_nodes = nodes;
+    if (num_exec == 150) {
+      // Multi-thread variant on the largest graph (restored by the ZoomIn
+      // round trips above): lazy zoom views served from one shared
+      // snapshot, batch of kViews constructions, 1 vs 4 worker threads.
+      graph.Seal();
+      Result<GraphSnapshot> snap = GraphSnapshot::Capture(graph);
+      Check(snap.status());
+      constexpr size_t kViews = 8;
+      auto serve = [&](int threads) {
+        WallTimer t;
+        ParallelFor(kViews, threads, [&](size_t b, size_t e, int) {
+          for (size_t i = b; i < e; ++i) {
+            Result<GraphView> view = ZoomOutView(*snap, {"dealer"}, 1);
+            Check(view.status());
+          }
+        });
+        return t.ElapsedMillis();
+      };
+      serve(4);  // warm the visited-bitmap pool
+      view_1t_ms = serve(1);
+      view_4t_ms = serve(4);
+      std::printf("\nzoom views (batch of %zu over one snapshot): "
+                  "1 thread %.2f ms, 4 threads %.2f ms "
+                  "(%.2fx, %u hw threads)\n",
+                  kViews, view_1t_ms, view_4t_ms, view_1t_ms / view_4t_ms,
+                  std::thread::hardware_concurrency());
+    }
   }
   std::printf(
       "\nexpected shape (paper): both operations linear in graph size;\n"
@@ -63,6 +96,9 @@ int main() {
   results.Add("zoomin_dealer_ms", last_ms[1]);
   results.Add("zoomout_aggregate_ms", last_ms[2]);
   results.Add("zoomin_aggregate_ms", last_ms[3]);
+  results.Add("zoomout_view_1t_ms", view_1t_ms);
+  results.Add("zoomout_view_4t_ms", view_4t_ms);
+  results.Add("zoom_view_speedup_4t", view_1t_ms / view_4t_ms);
   results.Emit();
   return 0;
 }

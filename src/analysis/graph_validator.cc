@@ -9,7 +9,7 @@ namespace lipstick::analysis {
 
 namespace {
 
-std::string NodeDesc(const ProvenanceGraph& graph, NodeId id) {
+std::string NodeDesc(const GraphSnapshot& graph, NodeId id) {
   return StrCat(NodeLabelToString(graph.node(id).label()), " node ",
                 NodeShard(id), "#", NodeIndex(id));
 }
@@ -19,7 +19,7 @@ bool IsJointNode(const NodeView& n) {
 }
 
 struct Validator {
-  const ProvenanceGraph& graph;
+  const GraphSnapshot& graph;
   DiagnosticSink* sink;
 
   void Error(const char* code, std::string message, std::string note = "") {
@@ -305,8 +305,16 @@ struct Validator {
 
 }  // namespace
 
+void ValidateGraph(const GraphSnapshot& snap, DiagnosticSink* sink) {
+  Validator{snap, sink}.Run();
+}
+
 void ValidateGraph(const ProvenanceGraph& graph, DiagnosticSink* sink) {
-  Validator{graph, sink}.Run();
+  // Validation reads parent edges unconditionally and touches the children
+  // adjacency only when the graph reports sealed, so the parents-only
+  // capture covers both cases.
+  GraphSnapshot snap = GraphSnapshot::CaptureForParents(graph);
+  ValidateGraph(snap, sink);
 }
 
 Status CheckGraphInvariants(const ProvenanceGraph& graph) {

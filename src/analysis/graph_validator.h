@@ -4,6 +4,7 @@
 #include "analysis/diagnostics.h"
 #include "common/result.h"
 #include "provenance/graph.h"
+#include "provenance/snapshot.h"
 
 namespace lipstick::analysis {
 
@@ -31,6 +32,9 @@ namespace lipstick::analysis {
 /// All findings are errors except G0310's "not sealed" form, which is a
 /// warning (an unsealed graph is legal mid-construction).
 void ValidateGraph(const ProvenanceGraph& graph, DiagnosticSink* sink);
+/// Snapshot form — the unified-read-path core the graph form delegates to;
+/// safe to run concurrently with other readers of the same snapshot.
+void ValidateGraph(const GraphSnapshot& snap, DiagnosticSink* sink);
 
 /// Convenience wrapper: runs ValidateGraph and folds any errors into a
 /// kInternal Status carrying the rendered findings. Used by the executor's

@@ -1,6 +1,5 @@
 #include "provenance/deletion.h"
 
-#include <deque>
 #include <unordered_map>
 
 #include "obs/metrics.h"
@@ -9,37 +8,50 @@
 namespace lipstick {
 
 Result<std::unordered_set<NodeId>> ComputeDeletionSet(
-    const ProvenanceGraph& graph, const std::vector<NodeId>& seeds) {
-  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "deletion propagation"));
-  std::unordered_set<NodeId> deleted;
+    const GraphSnapshot& snap, const std::vector<NodeId>& seeds) {
+  LIPSTICK_RETURN_IF_ERROR(
+      RequireSealed(snap.graph(), "deletion propagation"));
+  // Not a plain reachability: a node may be inspected several times before
+  // its lost-edge count crosses the deletion threshold, so the propagation
+  // keeps its own worklist on top of the snapshot's pooled bitmap (which
+  // replaces the unordered_set membership checks of the old path).
+  VisitedLease deleted = snap.AcquireVisited();
+  std::vector<NodeId> order;  // deleted nodes, also the BFS worklist
   std::unordered_map<NodeId, size_t> lost_edges;
-  std::deque<NodeId> queue;
 
   for (NodeId s : seeds) {
-    if (graph.Contains(s) && deleted.insert(s).second) queue.push_back(s);
+    if (snap.Contains(s) && !deleted->TestAndSet(s)) order.push_back(s);
   }
 
-  auto alive_parent_count = [&graph](NodeId id) {
+  auto alive_parent_count = [&snap](NodeId id) {
     size_t n = 0;
-    for (NodeId p : graph.ParentsOf(id)) n += graph.Contains(p) ? 1 : 0;
+    for (NodeId p : snap.ParentsOf(id)) n += snap.Contains(p) ? 1 : 0;
     return n;
   };
 
-  while (!queue.empty()) {
-    NodeId dead = queue.front();
-    queue.pop_front();
-    for (NodeId child : graph.ChildrenOf(dead)) {
-      if (deleted.count(child)) continue;
+  size_t head = 0;
+  while (head < order.size()) {
+    NodeId dead = order[head++];
+    for (NodeId child : snap.ChildrenOf(dead)) {
+      if (deleted->Test(child)) continue;
       size_t lost = ++lost_edges[child];
-      NodeLabel cl = graph.node(child).label();
+      NodeLabel cl = snap.node(child).label();
       bool joint = cl == NodeLabel::kTimes || cl == NodeLabel::kTensor;
       if (joint || lost >= alive_parent_count(child)) {
-        deleted.insert(child);
-        queue.push_back(child);
+        deleted->Set(child);
+        order.push_back(child);
       }
     }
   }
-  return deleted;
+  return std::unordered_set<NodeId>(order.begin(), order.end());
+}
+
+Result<std::unordered_set<NodeId>> ComputeDeletionSet(
+    const ProvenanceGraph& graph, const std::vector<NodeId>& seeds) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "deletion propagation"));
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(graph);
+  if (!snap.ok()) return snap.status();
+  return ComputeDeletionSet(*snap, seeds);
 }
 
 Result<size_t> PropagateDeletion(ProvenanceGraph* graph, NodeId seed) {
@@ -56,13 +68,23 @@ Result<size_t> PropagateDeletion(ProvenanceGraph* graph, NodeId seed) {
   return dead.size();
 }
 
+Result<bool> DependsOn(const GraphSnapshot& snap, NodeId target,
+                       NodeId source) {
+  if (!snap.Contains(target) || !snap.Contains(source)) return false;
+  if (target == source) return true;
+  LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> deleted,
+                            ComputeDeletionSet(snap, {source}));
+  return deleted.count(target) > 0;
+}
+
 Result<bool> DependsOn(const ProvenanceGraph& graph, NodeId target,
                        NodeId source) {
   if (!graph.Contains(target) || !graph.Contains(source)) return false;
   if (target == source) return true;
-  LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> deleted,
-                            ComputeDeletionSet(graph, {source}));
-  return deleted.count(target) > 0;
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "deletion propagation"));
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(graph);
+  if (!snap.ok()) return snap.status();
+  return DependsOn(*snap, target, source);
 }
 
 }  // namespace lipstick

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "provenance/graph.h"
+#include "provenance/snapshot.h"
 
 namespace lipstick {
 
@@ -21,6 +22,8 @@ namespace lipstick {
 /// kInvalidArgument if the graph is not sealed.
 Result<std::unordered_set<NodeId>> ComputeDeletionSet(
     const ProvenanceGraph& graph, const std::vector<NodeId>& seeds);
+Result<std::unordered_set<NodeId>> ComputeDeletionSet(
+    const GraphSnapshot& snap, const std::vector<NodeId>& seeds);
 
 /// Applies ComputeDeletionSet and materializes it: deleted nodes are marked
 /// dead and the graph is re-sealed. Returns the number of deleted nodes.
@@ -32,6 +35,8 @@ Result<size_t> PropagateDeletion(ProvenanceGraph* graph, NodeId seed);
 /// deleted when the deletion of `source` is propagated. Non-mutating.
 /// Fails with kInvalidArgument if the graph is not sealed.
 Result<bool> DependsOn(const ProvenanceGraph& graph, NodeId target,
+                       NodeId source);
+Result<bool> DependsOn(const GraphSnapshot& snap, NodeId target,
                        NodeId source);
 
 }  // namespace lipstick

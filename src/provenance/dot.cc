@@ -3,6 +3,7 @@
 #include <fstream>
 #include <map>
 #include <ostream>
+#include <vector>
 
 #include "common/str_util.h"
 
@@ -10,51 +11,53 @@ namespace lipstick {
 
 namespace {
 
-std::string EscapeLabel(std::string_view s) {
-  std::string out;
+/// Escapes straight into the stream: only '"' and '\\' need a backslash in
+/// DOT labels; multibyte UTF-8 label glyphs (· δ ⊗) pass through untouched.
+void EscapeTo(std::ostream& os, std::string_view s) {
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
   }
-  return out;
 }
 
-std::string NodeLabelText(const NodeView& n, bool show_id, NodeId id) {
-  std::string label;
-  switch (n.label()) {
-    case NodeLabel::kToken:
-      label = n.payload().empty() ? std::string("x") : std::string(n.payload());
-      break;
-    case NodeLabel::kPlus:
-      label = "+";
-      break;
-    case NodeLabel::kTimes:
-      label = "\xC2\xB7";  // ·
-      break;
-    case NodeLabel::kDelta:
-      label = "\xCE\xB4";  // δ
-      break;
-    case NodeLabel::kTensor:
-      label = "\xE2\x8A\x97";  // ⊗
-      break;
-    case NodeLabel::kAggregate:
-      label = StrCat(n.payload(), "=", n.value().ToString());
-      break;
-    case NodeLabel::kConstValue:
-      label = n.value().ToString();
-      break;
-    case NodeLabel::kBlackBox:
-      label = std::string(n.payload());
-      break;
-    case NodeLabel::kModuleInvocation:
-      label = StrCat("m<", n.payload(), ">");
-      break;
-    case NodeLabel::kZoomedModule:
-      label = StrCat("M<", n.payload(), ">");
-      break;
-  }
+/// What the renderer needs to know about a node, whether it is an
+/// underlying column record or a view's synthetic zoom node. Payloads are
+/// resolved with bounds checking, so ids from a corrupt file degrade to
+/// empty labels.
+struct NodeFacts {
+  NodeLabel label = NodeLabel::kToken;
+  NodeRole role = NodeRole::kIntermediate;
+  bool is_value_node = false;
+  uint32_t invocation = kNoInvocation;
+  std::string_view payload;
+  const Value* value = &NullValue();
+};
+
+NodeFacts FactsOf(const GraphSnapshot& snap, NodeId id) {
+  NodeView n = snap.node(id);
+  NodeFacts f;
+  f.label = n.label();
+  f.role = n.role();
+  f.is_value_node = n.is_value_node();
+  f.invocation = n.invocation();
+  f.payload = snap.strings().GetChecked(n.payload_id());
+  f.value = &n.value();
+  return f;
+}
+
+NodeFacts FactsOf(const GraphView::SyntheticNode& z) {
+  NodeFacts f;
+  f.label = NodeLabel::kZoomedModule;
+  f.role = NodeRole::kZoom;
+  f.invocation = z.invocation;
+  f.payload = z.module;
+  return f;
+}
+
+void EmitLabelText(std::ostream& os, const NodeFacts& f, bool show_id,
+                   NodeId id) {
   const char* role = nullptr;
-  switch (n.role()) {
+  switch (f.role) {
     case NodeRole::kModuleInput:
       role = "i";
       break;
@@ -70,20 +73,61 @@ std::string NodeLabelText(const NodeView& n, bool show_id, NodeId id) {
     default:
       break;
   }
-  if (role != nullptr) label = StrCat(role, ": ", label);
-  if (show_id) label = StrCat(label, " #", id);
-  return EscapeLabel(label);
+  if (role != nullptr) os << role << ": ";
+  switch (f.label) {
+    case NodeLabel::kToken:
+      if (f.payload.empty()) {
+        os << 'x';
+      } else {
+        EscapeTo(os, f.payload);
+      }
+      break;
+    case NodeLabel::kPlus:
+      os << '+';
+      break;
+    case NodeLabel::kTimes:
+      os << "\xC2\xB7";  // ·
+      break;
+    case NodeLabel::kDelta:
+      os << "\xCE\xB4";  // δ
+      break;
+    case NodeLabel::kTensor:
+      os << "\xE2\x8A\x97";  // ⊗
+      break;
+    case NodeLabel::kAggregate:
+      EscapeTo(os, f.payload);
+      os << '=';
+      EscapeTo(os, f.value->ToString());
+      break;
+    case NodeLabel::kConstValue:
+      EscapeTo(os, f.value->ToString());
+      break;
+    case NodeLabel::kBlackBox:
+      EscapeTo(os, f.payload);
+      break;
+    case NodeLabel::kModuleInvocation:
+      os << "m<";
+      EscapeTo(os, f.payload);
+      os << '>';
+      break;
+    case NodeLabel::kZoomedModule:
+      os << "M<";
+      EscapeTo(os, f.payload);
+      os << '>';
+      break;
+  }
+  if (show_id) os << " #" << id;
 }
 
-const char* NodeStyle(const NodeView& n) {
-  if (n.label() == NodeLabel::kModuleInvocation) {
+const char* NodeStyle(const NodeFacts& f) {
+  if (f.label == NodeLabel::kModuleInvocation) {
     return "shape=house,style=filled,fillcolor=lightsteelblue";
   }
-  if (n.label() == NodeLabel::kZoomedModule) {
+  if (f.label == NodeLabel::kZoomedModule) {
     return "shape=component,style=filled,fillcolor=lightgoldenrod";
   }
-  if (n.is_value_node()) return "shape=box,style=filled,fillcolor=white";
-  switch (n.role()) {
+  if (f.is_value_node) return "shape=box,style=filled,fillcolor=white";
+  switch (f.role) {
     case NodeRole::kWorkflowInput:
       return "shape=circle,style=filled,fillcolor=palegreen";
     case NodeRole::kModuleInput:
@@ -97,12 +141,16 @@ const char* NodeStyle(const NodeView& n) {
   }
 }
 
-}  // namespace
-
-Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
-                const DotOptions& options) {
+/// The render core, shared by the snapshot and view paths. `Source` binds
+/// the iteration order, facts, parent lists, and inclusion predicate of
+/// one of the two; rendering a view through its source is byte-identical
+/// to materializing it first, because a view's iteration order *is* the
+/// materialized graph's ForEachNode order.
+template <typename Source>
+Status WriteDotCore(const Source& src, std::ostream& os,
+                    const DotOptions& options) {
   auto included = [&](NodeId id) {
-    if (!graph.Contains(id)) return false;
+    if (!src.Alive(id)) return false;
     return options.subset.empty() || options.subset.count(id) > 0;
   };
 
@@ -111,11 +159,12 @@ Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
   // Cluster nodes per invocation (the shaded boxes of Figure 2(c)).
   std::map<uint32_t, std::vector<NodeId>> by_invocation;
   std::vector<NodeId> unclustered;
-  graph.ForEachNode([&](NodeId id) {
+  const std::vector<InvocationInfo>& invocations = src.invocations();
+  src.ForEachRenderNode([&](NodeId id) {
     if (!included(id)) return;
-    uint32_t inv = graph.node(id).invocation();
+    uint32_t inv = src.Facts(id).invocation;
     if (options.cluster_by_invocation && inv != kNoInvocation &&
-        inv < graph.invocations().size()) {
+        inv < invocations.size()) {
       by_invocation[inv].push_back(id);
     } else {
       unclustered.push_back(id);
@@ -123,17 +172,17 @@ Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
   });
 
   auto emit_node = [&](NodeId id) {
-    NodeView n = graph.node(id);
-    os << "    n" << id << " [label=\""
-       << NodeLabelText(n, options.show_ids, id) << "\"," << NodeStyle(n)
-       << "];\n";
+    NodeFacts f = src.Facts(id);
+    os << "    n" << id << " [label=\"";
+    EmitLabelText(os, f, options.show_ids, id);
+    os << "\"," << NodeStyle(f) << "];\n";
   };
 
   for (const auto& [inv, ids] : by_invocation) {
-    const InvocationInfo& info = graph.invocations()[inv];
-    os << "  subgraph cluster_inv" << inv << " {\n"
-       << "    label=\"" << EscapeLabel(graph.str(info.instance_name))
-       << " (exec " << info.execution << ")\";\n    style=dashed;\n";
+    const InvocationInfo& info = invocations[inv];
+    os << "  subgraph cluster_inv" << inv << " {\n    label=\"";
+    EscapeTo(os, src.str(info.instance_name));
+    os << " (exec " << info.execution << ")\";\n    style=dashed;\n";
     for (NodeId id : ids) emit_node(id);
     os << "  }\n";
   }
@@ -141,9 +190,9 @@ Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
   for (NodeId id : unclustered) emit_node(id);
   os << "  }\n";
 
-  graph.ForEachNode([&](NodeId id) {
+  src.ForEachRenderNode([&](NodeId id) {
     if (!included(id)) return;
-    for (NodeId p : graph.ParentsOf(id)) {
+    for (NodeId p : src.Parents(id)) {
       if (!included(p)) continue;
       os << "  n" << p << " -> n" << id << ";\n";
     }
@@ -153,6 +202,73 @@ Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
   return Status::OK();
 }
 
+struct SnapshotSource {
+  const GraphSnapshot& snap;
+
+  bool Alive(NodeId id) const { return snap.Contains(id); }
+  NodeFacts Facts(NodeId id) const { return FactsOf(snap, id); }
+  std::span<const NodeId> Parents(NodeId id) const {
+    return snap.ParentsOf(id);
+  }
+  const std::vector<InvocationInfo>& invocations() const {
+    return snap.invocations();
+  }
+  std::string_view str(StrId id) const {
+    return snap.strings().GetChecked(id);
+  }
+  template <typename Fn>
+  void ForEachRenderNode(Fn&& fn) const {
+    snap.ForEachNode(std::forward<Fn>(fn));
+  }
+};
+
+struct ViewSource {
+  const GraphView& view;
+
+  bool Alive(NodeId id) const {
+    return view.Visible(id) || view.IsSynthetic(id);
+  }
+  NodeFacts Facts(NodeId id) const {
+    if (view.IsSynthetic(id)) {
+      return FactsOf(view.synthetic_nodes()[view.SyntheticIndex(id)]);
+    }
+    return FactsOf(view.snapshot(), id);
+  }
+  std::span<const NodeId> Parents(NodeId id) const {
+    return view.ParentsOf(id);
+  }
+  const std::vector<InvocationInfo>& invocations() const {
+    return view.snapshot().invocations();
+  }
+  std::string_view str(StrId id) const {
+    return view.snapshot().strings().GetChecked(id);
+  }
+  template <typename Fn>
+  void ForEachRenderNode(Fn&& fn) const {
+    view.ForEachVisibleNode(
+        [&fn](NodeId id, const GraphView::SyntheticNode*) { fn(id); });
+  }
+};
+
+}  // namespace
+
+Status WriteDot(const GraphSnapshot& snap, std::ostream& os,
+                const DotOptions& options) {
+  return WriteDotCore(SnapshotSource{snap}, os, options);
+}
+
+Status WriteDot(const ProvenanceGraph& graph, std::ostream& os,
+                const DotOptions& options) {
+  // Rendering reads parent edges only, so unsealed graphs stay writable.
+  GraphSnapshot snap = GraphSnapshot::CaptureForParents(graph);
+  return WriteDot(snap, os, options);
+}
+
+Status WriteDot(const GraphView& view, std::ostream& os,
+                const DotOptions& options) {
+  return WriteDotCore(ViewSource{view}, os, options);
+}
+
 Status WriteDotToFile(const ProvenanceGraph& graph, const std::string& path,
                       const DotOptions& options) {
   std::ofstream out(path);
@@ -160,6 +276,15 @@ Status WriteDotToFile(const ProvenanceGraph& graph, const std::string& path,
     return Status::IOError(StrCat("cannot open ", path, " for writing"));
   }
   return WriteDot(graph, out, options);
+}
+
+Status WriteDotToFile(const GraphView& view, const std::string& path,
+                      const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError(StrCat("cannot open ", path, " for writing"));
+  }
+  return WriteDot(view, out, options);
 }
 
 }  // namespace lipstick

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "provenance/graph.h"
+#include "provenance/snapshot.h"
 
 namespace lipstick {
 
@@ -24,6 +25,7 @@ namespace lipstick {
 /// have no OPM counterpart and are omitted — which is precisely the
 /// information loss the paper's model repairs; exporting makes the
 /// difference inspectable.
+Status WriteOpmXml(const GraphSnapshot& snap, std::ostream& os);
 Status WriteOpmXml(const ProvenanceGraph& graph, std::ostream& os);
 Status WriteOpmXmlToFile(const ProvenanceGraph& graph,
                          const std::string& path);

@@ -1,10 +1,11 @@
 #include "provenance/query.h"
 
 #include <algorithm>
-#include <deque>
+#include <array>
 #include <unordered_map>
 
 #include "provenance/deletion.h"
+#include "provenance/traverse.h"
 
 namespace lipstick {
 
@@ -36,6 +37,10 @@ NodePredicate ByModule(const ProvenanceGraph& graph, std::string module) {
   };
 }
 
+NodePredicate ByModule(const GraphSnapshot& snap, std::string module) {
+  return ByModule(snap.graph(), std::move(module));
+}
+
 NodePredicate And(NodePredicate a, NodePredicate b) {
   return [a = std::move(a), b = std::move(b)](NodeId id, const NodeView& n) {
     return a(id, n) && b(id, n);
@@ -54,13 +59,87 @@ NodePredicate Not(NodePredicate p) {
   };
 }
 
+std::vector<NodeId> FindNodes(const GraphSnapshot& snap,
+                              const NodePredicate& pred, int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  if (num_threads == 1) {
+    std::vector<NodeId> out;
+    snap.ForEachAliveNode([&](NodeId id) {
+      if (pred(id, snap.node(id))) out.push_back(id);
+    });
+    return out;
+  }
+  std::vector<std::vector<NodeId>> found(num_threads);
+  ParallelForNodes(snap, num_threads,
+                   [&](uint32_t s, uint64_t b, uint64_t e, int w) {
+                     for (uint64_t i = b; i < e; ++i) {
+                       NodeId id = MakeNodeId(s, i);
+                       if (!snap.Contains(id)) continue;
+                       if (pred(id, snap.node(id))) found[w].push_back(id);
+                     }
+                   });
+  std::vector<NodeId> out;
+  for (const std::vector<NodeId>& v : found) {
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  // NodeId encodes (shard, index) in scan order: sorting restores the
+  // sequential ForEachAliveNode order exactly.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<NodeId> FindNodes(const ProvenanceGraph& graph,
                               const NodePredicate& pred) {
-  std::vector<NodeId> out;
-  graph.ForEachAliveNode([&](NodeId id) {
-    if (pred(id, graph.node(id))) out.push_back(id);
-  });
-  return out;
+  GraphSnapshot snap = GraphSnapshot::CaptureForParents(graph);
+  return FindNodes(snap, pred, 1);
+}
+
+Result<std::vector<NodeId>> ShortestDerivationPath(const GraphSnapshot& snap,
+                                                   NodeId from, NodeId to) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(snap.graph(), "path queries"));
+  if (!snap.Contains(from) || !snap.Contains(to)) {
+    return std::vector<NodeId>{};
+  }
+  if (from == to) return std::vector<NodeId>{from};
+  std::unordered_map<NodeId, NodeId> parent_of;  // BFS predecessor
+  parent_of[from] = from;
+  VisitedLease visited = snap.AcquireVisited();
+  visited->Set(from);
+  std::array<NodeId, 1> seeds{from};
+  bool found = false;
+  // Traverse() is level-synchronous, so the first visit of `to` closes a
+  // shortest derivation path.
+  Traverse(snap, seeds, TraverseDirection::kForward, *visited,
+           [&](NodeId child, NodeId via) {
+             parent_of[child] = via;
+             if (child == to) {
+               found = true;
+               return Visit::kStop;
+             }
+             return Visit::kExpand;
+           });
+  if (!found) return std::vector<NodeId>{};
+  std::vector<NodeId> path{to};
+  for (NodeId at = to; at != from;) {
+    at = parent_of[at];
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Result<std::vector<NodeId>> ShortestDerivationPath(
+    const ProvenanceGraph& graph, NodeId from, NodeId to) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "path queries"));
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(graph);
+  if (!snap.ok()) return snap.status();
+  return ShortestDerivationPath(*snap, from, to);
+}
+
+Result<bool> PathExists(const GraphSnapshot& snap, NodeId from, NodeId to) {
+  LIPSTICK_ASSIGN_OR_RETURN(std::vector<NodeId> path,
+                            ShortestDerivationPath(snap, from, to));
+  return !path.empty();
 }
 
 Result<bool> PathExists(const ProvenanceGraph& graph, NodeId from,
@@ -70,79 +149,72 @@ Result<bool> PathExists(const ProvenanceGraph& graph, NodeId from,
   return !path.empty();
 }
 
-Result<std::vector<NodeId>> ShortestDerivationPath(
-    const ProvenanceGraph& graph, NodeId from, NodeId to) {
-  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "path queries"));
-  if (!graph.Contains(from) || !graph.Contains(to)) {
-    return std::vector<NodeId>{};
-  }
-  if (from == to) return std::vector<NodeId>{from};
-  std::unordered_map<NodeId, NodeId> parent_of;  // BFS predecessor
-  std::deque<NodeId> queue{from};
-  parent_of[from] = from;
-  while (!queue.empty()) {
-    NodeId id = queue.front();
-    queue.pop_front();
-    for (NodeId child : graph.ChildrenOf(id)) {
-      if (!graph.Contains(child) || parent_of.count(child)) continue;
-      parent_of[child] = id;
-      if (child == to) {
-        std::vector<NodeId> path{to};
-        for (NodeId at = to; at != from;) {
-          at = parent_of[at];
-          path.push_back(at);
-        }
-        std::reverse(path.begin(), path.end());
-        return path;
-      }
-      queue.push_back(child);
-    }
-  }
-  return std::vector<NodeId>{};
+Result<bool> DependsOnSet(const GraphSnapshot& snap, NodeId target,
+                          const std::vector<NodeId>& sources) {
+  if (!snap.Contains(target)) return false;
+  LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> deleted,
+                            ComputeDeletionSet(snap, sources));
+  return deleted.count(target) > 0;
 }
 
 Result<bool> DependsOnSet(const ProvenanceGraph& graph, NodeId target,
                           const std::vector<NodeId>& sources) {
   if (!graph.Contains(target)) return false;
-  LIPSTICK_ASSIGN_OR_RETURN(std::unordered_set<NodeId> deleted,
-                            ComputeDeletionSet(graph, sources));
-  return deleted.count(target) > 0;
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "deletion propagation"));
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(graph);
+  if (!snap.ok()) return snap.status();
+  return DependsOnSet(*snap, target, sources);
 }
 
-Result<GraphStats> ComputeGraphStats(const ProvenanceGraph& graph) {
-  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "ComputeGraphStats"));
+Result<GraphStats> ComputeGraphStats(const GraphSnapshot& snap) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(snap.graph(), "ComputeGraphStats"));
   GraphStats stats;
-  stats.invocations = graph.num_live_invocations();
+  stats.invocations = snap.graph().num_live_invocations();
   // Longest path via DP over a topological order; the construction order
   // within each shard is already topological (parents precede children),
   // but cross-shard edges may go either way, so iterate to a fixpoint.
-  std::unordered_map<NodeId, size_t> depth;
+  // Depths live in dense per-shard columns instead of a hash map: the
+  // fixpoint reads every parent's depth once per round.
+  std::vector<std::vector<size_t>> depth(snap.num_shards());
+  for (uint32_t s = 0; s < snap.num_shards(); ++s) {
+    depth[s].assign(snap.ShardSize(s), 0);
+  }
+  auto depth_at = [&depth](NodeId id) -> size_t& {
+    return depth[NodeShard(id)][NodeIndex(id)];
+  };
   bool changed = true;
   while (changed) {
     changed = false;
-    graph.ForEachAliveNode([&](NodeId id) {
+    snap.ForEachAliveNode([&](NodeId id) {
       size_t best = 0;
-      for (NodeId p : graph.ParentsOf(id)) {
-        if (graph.Contains(p)) best = std::max(best, depth[p] + 1);
+      for (NodeId p : snap.ParentsOf(id)) {
+        if (snap.Contains(p)) best = std::max(best, depth_at(p) + 1);
       }
-      if (best > depth[id]) {
-        depth[id] = best;
+      if (best > depth_at(id)) {
+        depth_at(id) = best;
         changed = true;
       }
     });
   }
-  graph.ForEachAliveNode([&](NodeId id) {
+  snap.ForEachAliveNode([&](NodeId id) {
     ++stats.nodes;
     size_t fan_in = 0;
-    for (NodeId p : graph.ParentsOf(id)) fan_in += graph.Contains(p) ? 1 : 0;
+    for (NodeId p : snap.ParentsOf(id)) fan_in += snap.Contains(p) ? 1 : 0;
     stats.edges += fan_in;
     stats.max_fan_in = std::max(stats.max_fan_in, fan_in);
-    stats.max_fan_out = std::max(stats.max_fan_out,
-                                 graph.ChildrenOf(id).size());
-    stats.tokens += graph.node(id).label() == NodeLabel::kToken ? 1 : 0;
-    stats.depth = std::max(stats.depth, depth[id]);
+    stats.max_fan_out =
+        std::max(stats.max_fan_out, snap.ChildrenOf(id).size());
+    stats.tokens += snap.node(id).label() == NodeLabel::kToken ? 1 : 0;
+    stats.depth = std::max(stats.depth, depth_at(id));
   });
   return stats;
+}
+
+Result<GraphStats> ComputeGraphStats(const ProvenanceGraph& graph) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "ComputeGraphStats"));
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(graph);
+  if (!snap.ok()) return snap.status();
+  return ComputeGraphStats(*snap);
 }
 
 }  // namespace lipstick

@@ -85,7 +85,7 @@ std::string Polynomial::ToString() const {
 
 namespace {
 
-std::string ExprString(const ProvenanceGraph& g, NodeId id, int depth) {
+std::string ExprString(const GraphSnapshot& g, NodeId id, int depth) {
   if (depth <= 0) return "...";
   NodeView n = g.node(id);
   auto join_parents = [&](const char* sep) {
@@ -122,10 +122,17 @@ std::string ExprString(const ProvenanceGraph& g, NodeId id, int depth) {
 
 }  // namespace
 
+std::string ProvExpressionString(const GraphSnapshot& snap, NodeId node,
+                                 int max_depth) {
+  if (!snap.Contains(node)) return "0";
+  return ExprString(snap, node, max_depth);
+}
+
 std::string ProvExpressionString(const ProvenanceGraph& graph, NodeId node,
                                  int max_depth) {
-  if (!graph.Contains(node)) return "0";
-  return ExprString(graph, node, max_depth);
+  // Expression rendering follows parent edges only.
+  GraphSnapshot snap = GraphSnapshot::CaptureForParents(graph);
+  return ProvExpressionString(snap, node, max_depth);
 }
 
 }  // namespace lipstick

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "provenance/graph.h"
+#include "provenance/snapshot.h"
 
 namespace lipstick {
 
@@ -166,15 +167,20 @@ class GraphEvaluator {
  public:
   using V = typename S::ValueType;
 
+  /// Evaluation reads parent edges only, so the snapshot works unsealed.
   explicit GraphEvaluator(const ProvenanceGraph& graph,
                           std::unordered_map<NodeId, V> token_assignment = {})
-      : graph_(graph), assignment_(std::move(token_assignment)) {}
+      : snap_(GraphSnapshot::CaptureForParents(graph)),
+        assignment_(std::move(token_assignment)) {}
+  explicit GraphEvaluator(const GraphSnapshot& snap,
+                          std::unordered_map<NodeId, V> token_assignment = {})
+      : snap_(snap), assignment_(std::move(token_assignment)) {}
 
   V Eval(NodeId id) {
     auto it = memo_.find(id);
     if (it != memo_.end()) return it->second;
-    NodeView n = graph_.node(id);
-    std::span<const NodeId> parents = graph_.ParentsOf(id);
+    NodeView n = snap_.node(id);
+    std::span<const NodeId> parents = snap_.ParentsOf(id);
     V result = S::Zero();
     switch (n.label()) {
       case NodeLabel::kToken: {
@@ -190,7 +196,7 @@ class GraphEvaluator {
       case NodeLabel::kTensor: {
         result = S::One();
         for (NodeId p : parents) {
-          if (graph_.Contains(p)) result = S::Times(result, Eval(p));
+          if (snap_.Contains(p)) result = S::Times(result, Eval(p));
         }
         break;
       }
@@ -199,13 +205,13 @@ class GraphEvaluator {
       case NodeLabel::kBlackBox:
       case NodeLabel::kZoomedModule: {
         for (NodeId p : parents) {
-          if (graph_.Contains(p)) result = S::Plus(result, Eval(p));
+          if (snap_.Contains(p)) result = S::Plus(result, Eval(p));
         }
         break;
       }
       case NodeLabel::kDelta: {
         for (NodeId p : parents) {
-          if (graph_.Contains(p)) result = S::Plus(result, Eval(p));
+          if (snap_.Contains(p)) result = S::Plus(result, Eval(p));
         }
         result = S::Delta(result);
         break;
@@ -216,7 +222,7 @@ class GraphEvaluator {
   }
 
  private:
-  const ProvenanceGraph& graph_;
+  GraphSnapshot snap_;
   std::unordered_map<NodeId, V> assignment_;
   std::unordered_map<NodeId, V> memo_;
 };
@@ -225,6 +231,8 @@ class GraphEvaluator {
 /// "delta(x1 + x2) * m0". For human consumption and golden tests;
 /// `max_depth` truncates deep derivations with "...".
 std::string ProvExpressionString(const ProvenanceGraph& graph, NodeId node,
+                                 int max_depth = 32);
+std::string ProvExpressionString(const GraphSnapshot& snap, NodeId node,
                                  int max_depth = 32);
 
 }  // namespace lipstick

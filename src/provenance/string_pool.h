@@ -51,6 +51,15 @@ class StringPool {
     return {sp.data, sp.size};
   }
 
+  /// Bounds-checked Get for ids of untrusted provenance (e.g. read back
+  /// from a .pg file): out-of-range ids resolve to the empty string
+  /// instead of indexing past the span table. Renderers use this so a
+  /// corrupt payload id cannot crash an export.
+  std::string_view GetChecked(StrId id) const {
+    if (id >= spans_.size()) return {};
+    return Get(id);
+  }
+
   /// Number of distinct strings, including the implicit empty string.
   size_t size() const { return spans_.size(); }
 

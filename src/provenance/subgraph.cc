@@ -1,60 +1,23 @@
 #include "provenance/subgraph.h"
 
+#include <array>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "provenance/traverse.h"
 
 namespace lipstick {
 
 namespace {
 
-enum class Direction { kUp, kDown };
-
-/// Per-shard visited bitmap. Traversals over the sealed columnar graph
-/// are bound by set overhead, not edge chasing: a bit per node replaces
-/// one heap allocation per unordered_set insert on the BFS hot path.
-class VisitedMap {
- public:
-  explicit VisitedMap(const ProvenanceGraph& graph) {
-    bits_.resize(graph.num_shards());
-    for (uint32_t s = 0; s < bits_.size(); ++s) {
-      bits_[s].assign((graph.ShardSize(s) + 63) / 64, 0);
-    }
-  }
-
-  /// Marks `id`; returns true if it was already marked.
-  bool TestAndSet(NodeId id) {
-    uint64_t& word = bits_[NodeShard(id)][NodeIndex(id) >> 6];
-    uint64_t mask = 1ull << (NodeIndex(id) & 63);
-    if (word & mask) return true;
-    word |= mask;
-    return false;
-  }
-
- private:
-  std::vector<std::vector<uint64_t>> bits_;
-};
-
-/// Appends to `out` every alive node reachable from `start` (exclusive,
-/// unless re-reached through a cycle), marking them in `visited`.
-void Reach(const ProvenanceGraph& graph, NodeId start, Direction dir,
-           VisitedMap& visited, std::vector<NodeId>& out) {
-  std::vector<NodeId> queue{start};
-  while (!queue.empty()) {
-    NodeId id = queue.back();
-    queue.pop_back();
-    std::span<const NodeId> next = dir == Direction::kUp
-                                       ? graph.ParentsOf(id)
-                                       : graph.ChildrenOf(id);
-    for (NodeId n : next) {
-      if (!graph.Contains(n)) continue;
-      if (!visited.TestAndSet(n)) {
-        out.push_back(n);
-        queue.push_back(n);
-      }
-    }
-  }
+/// Every alive node reachable from `start` (exclusive unless re-reached),
+/// marked in `visited` and collected in unspecified order.
+std::vector<NodeId> ReachFrom(const GraphSnapshot& snap, NodeId start,
+                              TraverseDirection dir, int num_threads,
+                              VisitedSet& visited) {
+  std::array<NodeId, 1> seeds{start};
+  return ParallelReach(snap, seeds, dir, num_threads, visited);
 }
 
 std::unordered_set<NodeId> ToSet(const std::vector<NodeId>& ids) {
@@ -66,51 +29,105 @@ std::unordered_set<NodeId> ToSet(const std::vector<NodeId>& ids) {
 
 }  // namespace
 
+std::unordered_set<NodeId> Ancestors(const GraphSnapshot& snap, NodeId node) {
+  VisitedLease visited = snap.AcquireVisited();
+  return ToSet(
+      ReachFrom(snap, node, TraverseDirection::kBackward, 1, *visited));
+}
+
 std::unordered_set<NodeId> Ancestors(const ProvenanceGraph& graph,
                                      NodeId node) {
-  VisitedMap visited(graph);
-  std::vector<NodeId> up;
-  Reach(graph, node, Direction::kUp, visited, up);
-  return ToSet(up);
+  // Parent edges are always available, sealed or not.
+  GraphSnapshot snap = GraphSnapshot::CaptureForParents(graph);
+  return Ancestors(snap, node);
+}
+
+Result<std::unordered_set<NodeId>> Descendants(const GraphSnapshot& snap,
+                                               NodeId node) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(snap.graph(), "descendant queries"));
+  VisitedLease visited = snap.AcquireVisited();
+  return ToSet(
+      ReachFrom(snap, node, TraverseDirection::kForward, 1, *visited));
 }
 
 Result<std::unordered_set<NodeId>> Descendants(const ProvenanceGraph& graph,
                                                NodeId node) {
   LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "descendant queries"));
-  VisitedMap visited(graph);
-  std::vector<NodeId> down;
-  Reach(graph, node, Direction::kDown, visited, down);
-  return ToSet(down);
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(graph);
+  if (!snap.ok()) return snap.status();
+  return Descendants(*snap, node);
+}
+
+Result<std::vector<NodeId>> SubgraphNodes(const GraphSnapshot& snap,
+                                          NodeId node, int num_threads) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(snap.graph(), "subgraph queries"));
+  obs::ObsSpan span("query", "subgraph");
+  static const obs::MetricId kSubgraphUs =
+      obs::MetricsRegistry::Global().RegisterHistogram("query.subgraph_us");
+  obs::ScopedHistTimer obs_timer(kSubgraphUs);
+  if (num_threads < 1) num_threads = 1;
+
+  if (!snap.Contains(node)) return std::vector<NodeId>{};
+  // One result bitmap accumulates ancestors, descendants, and siblings of
+  // descendants.
+  VisitedLease in_result = snap.AcquireVisited();
+  std::vector<NodeId> result =
+      ReachFrom(snap, node, TraverseDirection::kBackward, num_threads,
+                *in_result);
+  VisitedLease down_only = snap.AcquireVisited();
+  std::vector<NodeId> down = ReachFrom(
+      snap, node, TraverseDirection::kForward, num_threads, *down_only);
+  if (num_threads <= 1) {
+    for (NodeId d : down) {
+      if (!in_result->TestAndSet(d)) result.push_back(d);
+      // Siblings of descendants: every co-parent a descendant is derived
+      // from.
+      for (NodeId p : snap.ParentsOf(d)) {
+        if (snap.Contains(p) && !in_result->TestAndSet(p)) {
+          result.push_back(p);
+        }
+      }
+    }
+  } else {
+    std::vector<std::vector<NodeId>> found(num_threads);
+    ParallelFor(down.size(), num_threads,
+                [&](size_t b, size_t e, int w) {
+                  for (size_t i = b; i < e; ++i) {
+                    NodeId d = down[i];
+                    if (!in_result->TestAndSetAtomic(d)) {
+                      found[w].push_back(d);
+                    }
+                    for (NodeId p : snap.ParentsOf(d)) {
+                      if (snap.Contains(p) &&
+                          !in_result->TestAndSetAtomic(p)) {
+                        found[w].push_back(p);
+                      }
+                    }
+                  }
+                });
+    for (const std::vector<NodeId>& v : found) {
+      result.insert(result.end(), v.begin(), v.end());
+    }
+  }
+  if (!in_result->TestAndSet(node)) result.push_back(node);
+  span.Arg("result_nodes", static_cast<uint64_t>(result.size()));
+  return result;
+}
+
+Result<std::unordered_set<NodeId>> SubgraphQuery(const GraphSnapshot& snap,
+                                                 NodeId node,
+                                                 int num_threads) {
+  Result<std::vector<NodeId>> nodes = SubgraphNodes(snap, node, num_threads);
+  if (!nodes.ok()) return nodes.status();
+  return ToSet(*nodes);
 }
 
 Result<std::unordered_set<NodeId>> SubgraphQuery(const ProvenanceGraph& graph,
                                                  NodeId node) {
   LIPSTICK_RETURN_IF_ERROR(RequireSealed(graph, "subgraph queries"));
-  obs::ObsSpan span("query", "subgraph");
-  static const obs::MetricId kSubgraphUs =
-      obs::MetricsRegistry::Global().RegisterHistogram("query.subgraph_us");
-  obs::ScopedHistTimer obs_timer(kSubgraphUs);
-
-  if (!graph.Contains(node)) return std::unordered_set<NodeId>{};
-  // One result bitmap accumulates ancestors, descendants, and siblings of
-  // descendants; the unordered_set is materialized once, pre-sized.
-  VisitedMap in_result(graph);
-  std::vector<NodeId> result;
-  Reach(graph, node, Direction::kUp, in_result, result);
-  VisitedMap down_only(graph);
-  std::vector<NodeId> down;
-  Reach(graph, node, Direction::kDown, down_only, down);
-  for (NodeId d : down) {
-    if (!in_result.TestAndSet(d)) result.push_back(d);
-    // Siblings of descendants: every co-parent a descendant is derived
-    // from.
-    for (NodeId p : graph.ParentsOf(d)) {
-      if (graph.Contains(p) && !in_result.TestAndSet(p)) result.push_back(p);
-    }
-  }
-  if (!in_result.TestAndSet(node)) result.push_back(node);
-  span.Arg("result_nodes", static_cast<uint64_t>(result.size()));
-  return ToSet(result);
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(graph);
+  if (!snap.ok()) return snap.status();
+  return SubgraphQuery(*snap, node, 1);
 }
 
 }  // namespace lipstick

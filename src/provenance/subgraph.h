@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "provenance/graph.h"
+#include "provenance/snapshot.h"
 
 namespace lipstick {
 
@@ -13,11 +14,21 @@ namespace lipstick {
 /// Works on sealed and unsealed graphs (parent edges are always available).
 std::unordered_set<NodeId> Ancestors(const ProvenanceGraph& graph,
                                      NodeId node);
+std::unordered_set<NodeId> Ancestors(const GraphSnapshot& snap, NodeId node);
 
 /// All transitive descendants of `node` (derived data), excluding itself.
 /// Fails with kInvalidArgument if the graph is not sealed.
 Result<std::unordered_set<NodeId>> Descendants(const ProvenanceGraph& graph,
                                                NodeId node);
+Result<std::unordered_set<NodeId>> Descendants(const GraphSnapshot& snap,
+                                               NodeId node);
+
+/// Core of the subgraph query: the member nodes (including `node` itself)
+/// as a vector in unspecified order. The up/down reachability phases run on
+/// the parallel traversal engine when `num_threads` > 1; the member *set*
+/// is identical at any thread count. Empty if `node` is not alive.
+Result<std::vector<NodeId>> SubgraphNodes(const GraphSnapshot& snap,
+                                          NodeId node, int num_threads = 1);
 
 /// The subgraph query of Section 5.1: given a node, returns the node itself,
 /// all its ancestors and descendants, and all siblings of its descendants
@@ -25,6 +36,9 @@ Result<std::unordered_set<NodeId>> Descendants(const ProvenanceGraph& graph,
 /// kInvalidArgument if the graph is not sealed.
 Result<std::unordered_set<NodeId>> SubgraphQuery(const ProvenanceGraph& graph,
                                                  NodeId node);
+Result<std::unordered_set<NodeId>> SubgraphQuery(const GraphSnapshot& snap,
+                                                 NodeId node,
+                                                 int num_threads = 1);
 
 }  // namespace lipstick
 

@@ -1,0 +1,244 @@
+#include "provenance/traverse.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lipstick {
+
+namespace internal {
+
+void RecordTraversal(TraverseDirection dir, size_t visited, int threads) {
+  if (!obs::MetricsRegistry::Enabled()) return;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  static const obs::MetricId kTraversals =
+      metrics.RegisterCounter("query.traversals");
+  static const obs::MetricId kVisited =
+      metrics.RegisterCounter("query.traverse_visited");
+  static const obs::MetricId kParallel =
+      metrics.RegisterCounter("query.traversals_parallel");
+  (void)dir;
+  metrics.CounterAdd(kTraversals);
+  metrics.CounterAdd(kVisited, visited);
+  if (threads > 1) metrics.CounterAdd(kParallel);
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Packs a half-open chunk range [begin, end) into one atomic word so both
+/// bounds move together under CAS.
+constexpr uint64_t PackRange(uint32_t begin, uint32_t end) {
+  return (static_cast<uint64_t>(begin) << 32) | end;
+}
+constexpr uint32_t RangeBegin(uint64_t r) {
+  return static_cast<uint32_t>(r >> 32);
+}
+constexpr uint32_t RangeEnd(uint64_t r) {
+  return static_cast<uint32_t>(r);
+}
+
+/// Work-stealing distribution of a static chunk space: every worker owns a
+/// contiguous slice; owners pop chunks from the front of their slice,
+/// thieves CAS away the back half of a victim's remainder. All transfers
+/// go through the packed atomic, so a chunk is processed exactly once.
+class RangeStealer {
+ public:
+  RangeStealer(uint32_t num_chunks, int workers) : slots_(workers) {
+    uint32_t per = num_chunks / workers;
+    uint32_t rem = num_chunks % workers;
+    uint32_t begin = 0;
+    for (int w = 0; w < workers; ++w) {
+      uint32_t take = per + (w < static_cast<int>(rem) ? 1 : 0);
+      slots_[w].range.store(PackRange(begin, begin + take),
+                            std::memory_order_relaxed);
+      begin += take;
+    }
+  }
+
+  /// Next chunk for `worker`: own slice first, then steal. Returns false
+  /// when no work is visible anywhere (the caller's loop ends).
+  bool Next(int worker, uint32_t* chunk) {
+    if (PopFront(&slots_[worker], chunk)) return true;
+    int workers = static_cast<int>(slots_.size());
+    for (int i = 1; i < workers; ++i) {
+      Slot& victim = slots_[(worker + i) % workers];
+      uint32_t begin, end;
+      if (!StealBackHalf(&victim, &begin, &end)) continue;
+      *chunk = begin;
+      if (begin + 1 < end) {
+        // Own slot is empty, and CAS transitions never fire on an empty
+        // slot, so installing the remainder with a plain store is safe.
+        slots_[worker].range.store(PackRange(begin + 1, end),
+                                   std::memory_order_release);
+      }
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> range{0};
+  };
+
+  static bool PopFront(Slot* slot, uint32_t* chunk) {
+    uint64_t cur = slot->range.load(std::memory_order_relaxed);
+    while (true) {
+      uint32_t begin = RangeBegin(cur), end = RangeEnd(cur);
+      if (begin >= end) return false;
+      if (slot->range.compare_exchange_weak(cur, PackRange(begin + 1, end),
+                                            std::memory_order_acq_rel)) {
+        *chunk = begin;
+        return true;
+      }
+    }
+  }
+
+  static bool StealBackHalf(Slot* victim, uint32_t* begin_out,
+                            uint32_t* end_out) {
+    uint64_t cur = victim->range.load(std::memory_order_relaxed);
+    while (true) {
+      uint32_t begin = RangeBegin(cur), end = RangeEnd(cur);
+      // A single remaining chunk stays with its owner: stealing it would
+      // yield an empty back half whose `end` chunk belongs to someone else.
+      if (end <= begin + 1) return false;
+      uint32_t mid = begin + (end - begin + 1) / 2;  // victim keeps front
+      if (victim->range.compare_exchange_weak(cur, PackRange(begin, mid),
+                                              std::memory_order_acq_rel)) {
+        *begin_out = mid;
+        *end_out = end;
+        return true;
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+};
+
+/// Runs `body(worker)` on `workers` threads (worker 0 on the caller) and
+/// joins them all before returning.
+template <typename Body>
+void RunWorkers(int workers, const Body& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (int w = 1; w < workers; ++w) {
+    threads.emplace_back([&body, w] { body(w); });
+  }
+  body(0);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t, int)>& fn) {
+  if (n == 0) return;
+  int workers = std::min<int>(num_threads, static_cast<int>(n));
+  if (workers <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  // ~8 chunks per worker keeps the steal traffic negligible while leaving
+  // enough granularity for imbalanced chunks to migrate.
+  size_t chunk_size =
+      std::max<size_t>(1, n / (static_cast<size_t>(workers) * 8));
+  uint32_t num_chunks = static_cast<uint32_t>((n + chunk_size - 1) /
+                                              chunk_size);
+  RangeStealer stealer(num_chunks, workers);
+  RunWorkers(workers, [&](int w) {
+    uint32_t chunk;
+    while (stealer.Next(w, &chunk)) {
+      size_t begin = static_cast<size_t>(chunk) * chunk_size;
+      size_t end = std::min(n, begin + chunk_size);
+      fn(begin, end, w);
+    }
+  });
+}
+
+void ParallelForNodes(const GraphSnapshot& snap, int num_threads,
+                      const std::function<void(uint32_t, uint64_t, uint64_t,
+                                               int)>& fn) {
+  // Shards are flattened into one global index space so small shards share
+  // chunks and large shards split across workers.
+  std::vector<uint64_t> offsets(snap.num_shards() + 1, 0);
+  for (uint32_t s = 0; s < snap.num_shards(); ++s) {
+    offsets[s + 1] = offsets[s] + snap.ShardSize(s);
+  }
+  ParallelFor(offsets.back(), num_threads,
+              [&](size_t begin, size_t end, int worker) {
+                for (uint32_t s = 0; s < snap.num_shards(); ++s) {
+                  uint64_t lo = std::max<uint64_t>(begin, offsets[s]);
+                  uint64_t hi = std::min<uint64_t>(end, offsets[s + 1]);
+                  if (lo < hi) {
+                    fn(s, lo - offsets[s], hi - offsets[s], worker);
+                  }
+                }
+              });
+}
+
+std::vector<NodeId> ParallelReach(const GraphSnapshot& snap,
+                                  std::span<const NodeId> seeds,
+                                  TraverseDirection dir, int num_threads,
+                                  VisitedSet& visited) {
+  std::vector<NodeId> result;
+  if (num_threads <= 1) {
+    Traverse(snap, seeds, dir, visited, [&result](NodeId n, NodeId) {
+      result.push_back(n);
+      return Visit::kExpand;
+    });
+    return result;
+  }
+
+  obs::ObsSpan span("query", "parallel_reach");
+  const int workers = num_threads;
+  std::vector<NodeId> frontier(seeds.begin(), seeds.end());
+  std::vector<std::vector<NodeId>> next(workers);
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> done{false};
+  constexpr size_t kGrab = 128;  // frontier entries claimed per fetch_add
+
+  // Level-synchronous BFS: workers expand disjoint slices of the current
+  // frontier into private next-frontiers; the barrier's completion step
+  // (run by exactly one thread) concatenates them into the next level.
+  std::barrier sync(workers, [&]() noexcept {
+    frontier.clear();
+    for (std::vector<NodeId>& local : next) {
+      frontier.insert(frontier.end(), local.begin(), local.end());
+      local.clear();
+    }
+    result.insert(result.end(), frontier.begin(), frontier.end());
+    cursor.store(0, std::memory_order_relaxed);
+    if (frontier.empty()) done.store(true, std::memory_order_relaxed);
+  });
+
+  RunWorkers(workers, [&](int w) {
+    while (true) {
+      size_t start;
+      while ((start = cursor.fetch_add(kGrab, std::memory_order_relaxed)) <
+             frontier.size()) {
+        size_t end = std::min(frontier.size(), start + kGrab);
+        for (size_t i = start; i < end; ++i) {
+          for (NodeId n : Neighbors(snap, frontier[i], dir)) {
+            if (!snap.Contains(n) || visited.TestAndSetAtomic(n)) continue;
+            next[w].push_back(n);
+          }
+        }
+      }
+      sync.arrive_and_wait();
+      if (done.load(std::memory_order_relaxed)) break;
+    }
+  });
+
+  span.Arg("visited", static_cast<uint64_t>(result.size()));
+  span.Arg("threads", static_cast<uint64_t>(workers));
+  internal::RecordTraversal(dir, result.size(), workers);
+  return result;
+}
+
+}  // namespace lipstick

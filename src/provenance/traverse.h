@@ -1,0 +1,96 @@
+#ifndef LIPSTICK_PROVENANCE_TRAVERSE_H_
+#define LIPSTICK_PROVENANCE_TRAVERSE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "provenance/snapshot.h"
+
+namespace lipstick {
+
+/// The shared frontier-based traversal engine of the read path. Every
+/// operator that used to hand-roll a BFS (subgraph, zoom, deletion, path
+/// queries, stats) now sits on these primitives; see DESIGN.md §5g.
+
+enum class TraverseDirection : uint8_t {
+  kForward,   // derivation order: follow children (requires sealed CSR)
+  kBackward,  // follow parents (always available)
+};
+
+/// Adjacency of `id` in the requested direction.
+inline std::span<const NodeId> Neighbors(const GraphSnapshot& snap, NodeId id,
+                                         TraverseDirection dir) {
+  return dir == TraverseDirection::kForward ? snap.ChildrenOf(id)
+                                            : snap.ParentsOf(id);
+}
+
+/// Visitor verdict for Traverse(): expand through the node, record it but
+/// stop expanding there, or terminate the whole traversal (early exit).
+enum class Visit : uint8_t { kExpand, kSkip, kStop };
+
+namespace internal {
+/// Observability hook (metrics + trace span args) shared by all traversal
+/// entry points; defined in traverse.cc so the template stays lean.
+void RecordTraversal(TraverseDirection dir, size_t visited, int threads);
+}  // namespace internal
+
+/// Frontier BFS from `seeds` over alive nodes. `visit(node, via)` is called
+/// exactly once for every alive node first reached through an alive edge
+/// (`via` is the node it was reached from); its verdict controls expansion
+/// and early exit. Seeds themselves are not visited unless re-reached
+/// (pre-mark them in `visited` to suppress reporting entirely). Frontier
+/// order is level-synchronous, so the first visit of a node is along a
+/// shortest edge path from the seed set. Returns the number of visited
+/// nodes.
+template <typename Fn>
+size_t Traverse(const GraphSnapshot& snap, std::span<const NodeId> seeds,
+                TraverseDirection dir, VisitedSet& visited, Fn&& visit) {
+  std::vector<NodeId> queue(seeds.begin(), seeds.end());
+  size_t head = 0;
+  size_t reported = 0;
+  while (head < queue.size()) {
+    NodeId id = queue[head++];
+    for (NodeId n : Neighbors(snap, id, dir)) {
+      if (!snap.Contains(n) || visited.TestAndSet(n)) continue;
+      ++reported;
+      Visit v = visit(n, id);
+      if (v == Visit::kStop) {
+        internal::RecordTraversal(dir, reported, 1);
+        return reported;
+      }
+      if (v == Visit::kExpand) queue.push_back(n);
+    }
+  }
+  internal::RecordTraversal(dir, reported, 1);
+  return reported;
+}
+
+/// Every alive node reachable from `seeds` (seeds excluded unless
+/// re-reached), collected with the work-stealing parallel BFS when
+/// `num_threads` > 1. Result order is unspecified in parallel mode; the
+/// result *set* equals the single-threaded traversal. `visited` must use
+/// a bitmap leased from `snap`; on return it marks exactly the result.
+std::vector<NodeId> ParallelReach(const GraphSnapshot& snap,
+                                  std::span<const NodeId> seeds,
+                                  TraverseDirection dir, int num_threads,
+                                  VisitedSet& visited);
+
+/// Runs `fn(begin, end, worker)` over disjoint chunks covering [0, n) on
+/// `num_threads` workers with work stealing (workers that drain their
+/// slice steal half of a victim's remainder). `fn` must be thread-safe
+/// across distinct chunks. Blocks until all chunks are processed. The
+/// backbone of batch query serving and parallel column scans.
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t, int)>& fn);
+
+/// Work-stealing parallel scan over every (shard, index range) of the
+/// snapshot: `fn(shard, begin, end, worker)`.
+void ParallelForNodes(const GraphSnapshot& snap, int num_threads,
+                      const std::function<void(uint32_t, uint64_t, uint64_t,
+                                               int)>& fn);
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_TRAVERSE_H_

@@ -1,0 +1,134 @@
+#include "provenance/view.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "provenance/subgraph.h"
+#include "provenance/zoom.h"
+
+namespace lipstick {
+
+std::unordered_set<NodeId> GraphView::VisibleSet() const {
+  std::unordered_set<NodeId> set;
+  set.reserve(num_visible_underlying_);
+  for (uint32_t s = 0; s < snap_->num_shards(); ++s) {
+    for (uint64_t i = 0; i < snap_->ShardSize(s); ++i) {
+      NodeId id = MakeNodeId(s, i);
+      if (Visible(id)) set.insert(id);
+    }
+  }
+  return set;
+}
+
+Result<ProvenanceGraph> GraphView::Materialize() const {
+  obs::ObsSpan span("query", "view_materialize");
+  const GraphSnapshot& snap = *snap_;
+  ProvenanceGraph out;
+  // Reproduce the source pool id-for-id, so every payload and invocation
+  // name in the copied records resolves to the same StrId.
+  const StringPool& pool = snap.strings();
+  for (StrId i = 1; i < pool.size(); ++i) {
+    out.InternString(pool.Get(i));
+  }
+  std::vector<ShardWriter> writers;
+  writers.push_back(out.writer());
+  for (uint32_t s = 1; s < snap.num_shards(); ++s) {
+    writers.push_back(out.AddShard());
+  }
+  // Every underlying node is restored at its original (shard, index) with
+  // the view's liveness and parents; hidden and originally-dead nodes stay
+  // in place as dead records, exactly as the eager mutating operators
+  // leave them.
+  NodeRecord rec;
+  for (uint32_t s = 0; s < snap.num_shards(); ++s) {
+    for (uint64_t i = 0; i < snap.ShardSize(s); ++i) {
+      NodeId id = MakeNodeId(s, i);
+      NodeView n = snap.node(id);
+      rec.label = n.label();
+      rec.role = n.role();
+      rec.is_value_node = n.is_value_node();
+      rec.alive = Visible(id);
+      rec.invocation = n.invocation();
+      auto ov = overrides_.find(id);
+      if (ov != overrides_.end()) {
+        rec.parents.assign(ov->second.begin(), ov->second.end());
+      } else {
+        std::span<const NodeId> ps = snap.ParentsOf(id);
+        rec.parents.assign(ps.begin(), ps.end());
+      }
+      rec.payload = std::string(n.payload());
+      rec.value = n.value();
+      writers[s].Restore(rec);
+    }
+  }
+  // Synthetic zoom nodes continue shard 0's index space, exactly where the
+  // eager writer would have appended them.
+  for (const SyntheticNode& z : synthetic_) {
+    NodeRecord zrec;
+    zrec.label = NodeLabel::kZoomedModule;
+    zrec.role = NodeRole::kZoom;
+    zrec.alive = true;
+    zrec.invocation = z.invocation;
+    zrec.parents = z.parents;
+    zrec.payload = z.module;
+    writers[0].Restore(zrec);
+  }
+  for (const InvocationInfo& inv : snap.invocations()) {
+    out.RestoreInvocation(inv);
+  }
+  out.Seal();
+  span.Arg("nodes", static_cast<uint64_t>(out.num_nodes()));
+  return out;
+}
+
+Result<GraphView> ZoomOutView(const GraphSnapshot& snap,
+                              const std::set<std::string>& module_names,
+                              int num_threads) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(snap.graph(), "ZoomOutView"));
+  obs::ObsSpan span("query", "zoomout_view");
+  static const obs::MetricId kZoomViewUs =
+      obs::MetricsRegistry::Global().RegisterHistogram(
+          "query.zoomout_view_us");
+  obs::ScopedHistTimer obs_timer(kZoomViewUs);
+  span.Arg("modules", static_cast<uint64_t>(module_names.size()));
+  span.Arg("threads", static_cast<uint64_t>(num_threads < 1 ? 1
+                                                            : num_threads));
+
+  GraphView view(snap, GraphView::Mode::kHide);
+  // One shared mark set across modules makes earlier modules' removals
+  // invisible to later planning passes, mirroring the eager path's
+  // seal-between-modules behavior.
+  size_t removed_total = 0;
+  for (const std::string& module : module_names) {
+    Result<internal::ZoomPlan> plan =
+        internal::PlanZoomOut(snap, module, *view.mask_, num_threads);
+    if (!plan.ok()) return plan.status();
+    removed_total += plan->removed.size();
+    for (internal::ZoomInvocationPlan& ip : plan->invocations) {
+      NodeId zoom_id = view.SyntheticId(view.synthetic_.size());
+      for (NodeId out : ip.outputs) {
+        view.overrides_[out] = {zoom_id, ip.m_node};
+      }
+      view.synthetic_.push_back(GraphView::SyntheticNode{
+          module, ip.invocation, ip.m_node, std::move(ip.zoom_parents)});
+    }
+  }
+  view.num_visible_underlying_ = snap.graph().num_alive() - removed_total;
+  return view;
+}
+
+Result<GraphView> SubgraphView(const GraphSnapshot& snap, NodeId node,
+                               int num_threads) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(snap.graph(), "subgraph queries"));
+  GraphView view(snap, GraphView::Mode::kKeep);
+  Result<std::vector<NodeId>> members =
+      SubgraphNodes(snap, node, num_threads);
+  if (!members.ok()) return members.status();
+  for (NodeId id : *members) view.mask_->Set(id);
+  view.num_visible_underlying_ = members->size();
+  return view;
+}
+
+}  // namespace lipstick

@@ -1,0 +1,158 @@
+#ifndef LIPSTICK_PROVENANCE_VIEW_H_
+#define LIPSTICK_PROVENANCE_VIEW_H_
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/snapshot.h"
+
+namespace lipstick {
+
+/// A lazy result of a graph-transforming query (ZoomOut, subgraph): a node
+/// mask over an immutable GraphSnapshot plus, for zoom, synthetic collapsed
+/// module nodes and parent rewirings. Nothing is copied or mutated when a
+/// view is built — the view materializes into a standalone ProvenanceGraph
+/// only on export, and materialization is byte-identical (provio v2) to
+/// what the eager, mutating operator produces.
+///
+/// Thread-safety: a GraphView is immutable after construction; any number
+/// of threads may read or Materialize() one view concurrently, under the
+/// same contract as the snapshot it was built from.
+class GraphView {
+ public:
+  /// A collapsed module p-node that exists only in the view. Its id
+  /// (SyntheticId) continues shard 0's index space, exactly where the
+  /// eager path's writer would have appended it.
+  struct SyntheticNode {
+    std::string module;            // payload of the zoom node
+    uint32_t invocation = 0;       // owning invocation id
+    NodeId m_node = kInvalidNode;  // the invocation's "m" node
+    std::vector<NodeId> parents;   // the invocation's live input nodes
+  };
+
+  GraphView(GraphView&&) = default;
+  GraphView& operator=(GraphView&&) = default;
+
+  const GraphSnapshot& snapshot() const { return *snap_; }
+
+  /// True iff underlying node `id` is alive under this view. Synthetic ids
+  /// are out of the snapshot's range and always report false here; they are
+  /// enumerated separately via synthetic_nodes().
+  bool Visible(NodeId id) const {
+    return snap_->Contains(id) && mask_->Test(id) == keep_mode_;
+  }
+
+  /// Visible underlying nodes plus synthetic nodes.
+  size_t num_visible() const {
+    return num_visible_underlying_ + synthetic_.size();
+  }
+  size_t num_synthetic() const { return synthetic_.size(); }
+  const std::vector<SyntheticNode>& synthetic_nodes() const {
+    return synthetic_;
+  }
+  NodeId SyntheticId(size_t k) const { return MakeNodeId(0, base0_ + k); }
+  /// True iff `id` names one of this view's synthetic nodes.
+  bool IsSynthetic(NodeId id) const {
+    return NodeShard(id) == 0 && NodeIndex(id) >= base0_ &&
+           NodeIndex(id) < base0_ + synthetic_.size();
+  }
+  size_t SyntheticIndex(NodeId id) const { return NodeIndex(id) - base0_; }
+
+  /// Parent list of a node under the view: synthetic nodes resolve to
+  /// their input nodes, rewired module outputs to {zoom node, m node},
+  /// everything else to the snapshot's parents. Callers filter for
+  /// visibility themselves, as with ProvenanceGraph::ParentsOf.
+  std::span<const NodeId> ParentsOf(NodeId id) const {
+    if (IsSynthetic(id)) {
+      return synthetic_[SyntheticIndex(id)].parents;
+    }
+    auto it = overrides_.find(id);
+    if (it != overrides_.end()) {
+      return std::span<const NodeId>(it->second.data(), it->second.size());
+    }
+    return snap_->ParentsOf(id);
+  }
+
+  /// Visible underlying nodes as a set (synthetics excluded) — the shape
+  /// the eager set-returning queries expose.
+  std::unordered_set<NodeId> VisibleSet() const;
+
+  /// Every visible node in materialization order: shard 0's originals,
+  /// then the synthetic zoom nodes, then the remaining shards. `fn` is
+  /// called as fn(NodeId, const SyntheticNode*) with null for underlying
+  /// nodes. This is exactly ForEachAliveNode order on the materialized
+  /// graph, which keeps lazy exports byte-identical to eager ones.
+  template <typename Fn>
+  void ForEachVisibleNode(Fn&& fn) const {
+    const SyntheticNode* none = nullptr;
+    for (uint64_t i = 0; i < base0_; ++i) {
+      NodeId id = MakeNodeId(0, i);
+      if (Visible(id)) fn(id, none);
+    }
+    for (size_t k = 0; k < synthetic_.size(); ++k) {
+      fn(SyntheticId(k), &synthetic_[k]);
+    }
+    for (uint32_t s = 1; s < snap_->num_shards(); ++s) {
+      for (uint64_t i = 0; i < snap_->ShardSize(s); ++i) {
+        NodeId id = MakeNodeId(s, i);
+        if (Visible(id)) fn(id, none);
+      }
+    }
+  }
+
+  /// Builds a standalone graph equal to what the eager operator would have
+  /// produced by mutation: same string pool, same node ids, same liveness,
+  /// same (rewired) parents, sealed. Byte-identical under provio v2.
+  Result<ProvenanceGraph> Materialize() const;
+
+ private:
+  friend Result<GraphView> ZoomOutView(const GraphSnapshot&,
+                                       const std::set<std::string>&, int);
+  friend Result<GraphView> SubgraphView(const GraphSnapshot&, NodeId, int);
+
+  enum class Mode { kKeep, kHide };
+
+  GraphView(const GraphSnapshot& snap, Mode mode)
+      : snap_(&snap),
+        keep_mode_(mode == Mode::kKeep),
+        mask_(snap.AcquireVisited()),
+        base0_(snap.ShardSize(0)) {}
+
+  const GraphSnapshot* snap_;
+  // The mask is a leased bitmap: marked = kept (subgraph) or marked =
+  // hidden (zoom), so neither operator pays a full-graph scan to build it.
+  bool keep_mode_;
+  VisitedLease mask_;
+  size_t num_visible_underlying_ = 0;
+  uint64_t base0_;  // shard 0 size; synthetic ids start here
+  std::vector<SyntheticNode> synthetic_;
+  std::unordered_map<NodeId, std::array<NodeId, 2>> overrides_;
+};
+
+/// Lazy ZoomOut (Section 4.1) over a snapshot: plans the collapse of every
+/// named module (via the same planner as the eager Zoomer) and returns a
+/// view hiding the removed nodes, with one synthetic p-node per invocation
+/// and module outputs rewired through it. The snapshot is not modified;
+/// dropping the view is the (trivial) ZoomIn. Planning scans fan out over
+/// `num_threads` workers. Fails with kNotFound if a module has no live
+/// invocations.
+Result<GraphView> ZoomOutView(const GraphSnapshot& snap,
+                              const std::set<std::string>& module_names,
+                              int num_threads = 1);
+
+/// Lazy subgraph query (Section 5.1) over a snapshot: the view keeps the
+/// node, its ancestors, descendants, and co-parents of descendants.
+/// Materializing kills every other node, like restricting the eager graph
+/// to the query result. Traversals parallelize over `num_threads`.
+Result<GraphView> SubgraphView(const GraphSnapshot& snap, NodeId node,
+                               int num_threads = 1);
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_VIEW_H_

@@ -1,68 +1,61 @@
 #include "provenance/zoom.h"
 
+#include <algorithm>
 #include <array>
-#include <deque>
+#include <utility>
 
 #include "common/str_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "provenance/traverse.h"
 
 namespace lipstick {
 
 Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
-    const ProvenanceGraph& graph, const std::string& module_name) {
+    const GraphSnapshot& snap, const std::string& module_name) {
   LIPSTICK_RETURN_IF_ERROR(
-      RequireSealed(graph, "IntermediateNodesByDefinition"));
+      RequireSealed(snap.graph(), "IntermediateNodesByDefinition"));
   // Seed the reachability with the input and state nodes of every invocation
   // of the module; expand through children, stopping at (and excluding)
   // module output nodes, per Definition 4.1.
-  StrId want = graph.strings().Find(module_name);
-  std::deque<NodeId> queue;
-  std::unordered_set<NodeId> seeds;
-  for (const InvocationInfo& inv : graph.invocations()) {
+  StrId want = snap.strings().Find(module_name);
+  std::vector<NodeId> seeds;
+  for (const InvocationInfo& inv : snap.invocations()) {
     if (want == kStrNotFound || inv.module_name != want) continue;
     for (NodeId n : inv.input_nodes) {
-      if (graph.Contains(n)) {
-        queue.push_back(n);
-        seeds.insert(n);
-      }
+      if (snap.Contains(n)) seeds.push_back(n);
     }
     for (NodeId n : inv.state_nodes) {
-      if (graph.Contains(n)) {
-        queue.push_back(n);
-        seeds.insert(n);
-      }
+      if (snap.Contains(n)) seeds.push_back(n);
     }
   }
   std::unordered_set<NodeId> result;
-  std::unordered_set<NodeId> visited(queue.begin(), queue.end());
-  while (!queue.empty()) {
-    NodeId id = queue.front();
-    queue.pop_front();
-    for (NodeId child : graph.ChildrenOf(id)) {
-      if (!graph.Contains(child)) continue;
-      if (graph.node(child).role() == NodeRole::kModuleOutput) continue;
-      if (!visited.insert(child).second) continue;
-      result.insert(child);
-      queue.push_back(child);
-    }
-  }
-  // Input/state seeds themselves are not intermediate nodes.
-  for (NodeId s : seeds) result.erase(s);
+  VisitedLease visited = snap.AcquireVisited();
+  // Input/state seeds themselves are not intermediate nodes: pre-mark them
+  // so the traversal never reports them.
+  for (NodeId s : seeds) visited->Set(s);
+  Traverse(snap, seeds, TraverseDirection::kForward, *visited,
+           [&](NodeId n, NodeId) {
+             if (snap.node(n).role() == NodeRole::kModuleOutput) {
+               return Visit::kSkip;
+             }
+             result.insert(n);
+             return Visit::kExpand;
+           });
   // Closure for condition (iii): parentless value nodes (the constants
   // created for aggregation) belong to an intermediate computation when
   // everything they feed does.
   bool changed = true;
   while (changed) {
     changed = false;
-    graph.ForEachAliveNode([&](NodeId id) {
+    snap.ForEachAliveNode([&](NodeId id) {
       if (result.count(id)) return;
-      if (graph.node(id).label() != NodeLabel::kConstValue) return;
-      std::span<const NodeId> children = graph.ChildrenOf(id);
+      if (snap.node(id).label() != NodeLabel::kConstValue) return;
+      std::span<const NodeId> children = snap.ChildrenOf(id);
       if (children.empty()) return;
       bool all_intermediate = true;
       for (NodeId c : children) {
-        if (graph.Contains(c) && !result.count(c)) {
+        if (snap.Contains(c) && !result.count(c)) {
           all_intermediate = false;
           break;
         }
@@ -75,6 +68,145 @@ Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
   }
   return result;
 }
+
+Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
+    const ProvenanceGraph& graph, const std::string& module_name) {
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(graph);
+  if (!snap.ok()) {
+    return Status::InvalidArgument(
+        "IntermediateNodesByDefinition requires a sealed graph");
+  }
+  return IntermediateNodesByDefinition(*snap, module_name);
+}
+
+namespace internal {
+
+Result<ZoomPlan> PlanZoomOut(const GraphSnapshot& snap,
+                             const std::string& module,
+                             VisitedSet& removed_so_far, int num_threads) {
+  // A node is live for this plan iff it is alive in the snapshot and not
+  // removed by a previously planned module of the same zoom. The eager path
+  // re-seals between modules, so "dead in the graph" and "marked in
+  // removed_so_far" are the same predicate there.
+  auto live = [&](NodeId id) {
+    return snap.Contains(id) && !removed_so_far.Test(id);
+  };
+  if (num_threads < 1) num_threads = 1;
+
+  // Pass 1: gather all live invocation ids of this module. Aborted
+  // invocations (failed attempts whose provenance was rolled back) carry
+  // no structure to collapse.
+  StrId want = snap.strings().Find(module);
+  std::vector<uint32_t> inv_ids;
+  for (uint32_t i = 0; i < snap.invocations().size(); ++i) {
+    const InvocationInfo& inv = snap.invocations()[i];
+    if (want != kStrNotFound && inv.module_name == want && !inv.aborted()) {
+      inv_ids.push_back(i);
+    }
+  }
+  if (inv_ids.empty()) {
+    return Status::NotFound(
+        StrCat("no invocations of module '", module, "' in graph"));
+  }
+  std::unordered_set<uint32_t> inv_set(inv_ids.begin(), inv_ids.end());
+
+  ZoomPlan plan;
+
+  // Pass 2: intermediate nodes are tagged with their invocation id during
+  // tracking; collect the ones belonging to zoomed invocations. Pure column
+  // scan, fanned out over the work-stealing engine. removed_so_far is only
+  // read here; marks land after the scan.
+  {
+    std::vector<std::vector<NodeId>> found(num_threads);
+    ParallelForNodes(snap, num_threads,
+                     [&](uint32_t s, uint64_t b, uint64_t e, int w) {
+                       for (uint64_t i = b; i < e; ++i) {
+                         NodeId id = MakeNodeId(s, i);
+                         if (!live(id)) continue;
+                         NodeView n = snap.node(id);
+                         if (n.role() == NodeRole::kIntermediate &&
+                             n.invocation() != kNoInvocation &&
+                             inv_set.count(n.invocation())) {
+                           found[w].push_back(id);
+                         }
+                       }
+                     });
+    for (const std::vector<NodeId>& v : found) {
+      plan.removed.insert(plan.removed.end(), v.begin(), v.end());
+    }
+    for (NodeId id : plan.removed) removed_so_far.Set(id);
+  }
+
+  // Pass 3: state nodes, and state-base tokens used only by removed state
+  // nodes ("the basic tuple nodes ... adjacent to those state nodes",
+  // ZoomOut step 4). Marking as we go deduplicates state shared across
+  // invocations of the module.
+  for (uint32_t inv : inv_ids) {
+    for (NodeId s : snap.invocations()[inv].state_nodes) {
+      if (!live(s)) continue;
+      removed_so_far.Set(s);
+      plan.removed.push_back(s);
+    }
+  }
+  // State-base tokens of zoomed invocations go too, unless something
+  // outside the removal set still derives from them. Bases that were never
+  // used (lazy "s" wrapping means they have no children) are part of the
+  // hidden module state and disappear with it. Bases are parentless tokens
+  // and never children of other bases, so the scan is order-free and safe
+  // to parallelize.
+  {
+    std::vector<std::vector<NodeId>> found(num_threads);
+    ParallelForNodes(snap, num_threads,
+                     [&](uint32_t s, uint64_t b, uint64_t e, int w) {
+                       for (uint64_t i = b; i < e; ++i) {
+                         NodeId id = MakeNodeId(s, i);
+                         if (!live(id)) continue;
+                         NodeView n = snap.node(id);
+                         if (n.role() != NodeRole::kStateBase) continue;
+                         if (n.invocation() == kNoInvocation ||
+                             !inv_set.count(n.invocation())) {
+                           continue;
+                         }
+                         bool only_removed_uses = true;
+                         for (NodeId child : snap.ChildrenOf(id)) {
+                           if (live(child)) {
+                             only_removed_uses = false;
+                             break;
+                           }
+                         }
+                         if (only_removed_uses) found[w].push_back(id);
+                       }
+                     });
+    for (const std::vector<NodeId>& v : found) {
+      for (NodeId id : v) {
+        removed_so_far.Set(id);
+        plan.removed.push_back(id);
+      }
+    }
+  }
+  // Deterministic plan regardless of worker interleaving.
+  std::sort(plan.removed.begin(), plan.removed.end());
+
+  // Pass 4: per invocation, the collapsed module p-node's inputs and the
+  // outputs to rewire through it. Input/output/m nodes are never in any
+  // removal set, so live() here matches the eager path's Contains().
+  for (uint32_t inv_id : inv_ids) {
+    const InvocationInfo& inv = snap.invocations()[inv_id];
+    ZoomInvocationPlan ip;
+    ip.invocation = inv_id;
+    ip.m_node = inv.m_node;
+    for (NodeId in : inv.input_nodes) {
+      if (live(in)) ip.zoom_parents.push_back(in);
+    }
+    for (NodeId out : inv.output_nodes) {
+      if (live(out)) ip.outputs.push_back(out);
+    }
+    plan.invocations.push_back(std::move(ip));
+  }
+  return plan;
+}
+
+}  // namespace internal
 
 Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
   obs::ObsSpan span("query", "zoomout");
@@ -91,96 +223,36 @@ Status Zoomer::ZoomOut(const std::set<std::string>& module_names) {
     // Collapsing the previous module appended zoom nodes, which dirties
     // the children adjacency this module's passes read.
     if (!graph_->sealed()) graph_->Seal();
+    Result<GraphSnapshot> snap = GraphSnapshot::Capture(*graph_);
+    if (!snap.ok()) return snap.status();
+    VisitedLease removed = snap->AcquireVisited();
+    Result<internal::ZoomPlan> plan =
+        internal::PlanZoomOut(*snap, module, *removed, num_threads_);
+    if (!plan.ok()) return plan.status();
+
+    // Apply: append the collapsed p-nodes, rewire outputs, kill removals.
     std::vector<InvocationDetail> details;
-
-    // Pass 1: gather all live invocation ids of this module. Aborted
-    // invocations (failed attempts whose provenance was rolled back) carry
-    // no structure to collapse.
-    StrId want = graph_->strings().Find(module);
-    std::vector<uint32_t> inv_ids;
-    for (uint32_t i = 0; i < graph_->invocations().size(); ++i) {
-      const InvocationInfo& inv = graph_->invocations()[i];
-      if (want != kStrNotFound && inv.module_name == want && !inv.aborted()) {
-        inv_ids.push_back(i);
-      }
-    }
-    if (inv_ids.empty()) {
-      return Status::NotFound(
-          StrCat("no invocations of module '", module, "' in graph"));
-    }
-    std::unordered_set<uint32_t> inv_set(inv_ids.begin(), inv_ids.end());
-
-    // Pass 2: intermediate nodes are tagged with their invocation id during
-    // tracking; collect the ones belonging to zoomed invocations.
-    std::unordered_set<NodeId> removed;
-    graph_->ForEachAliveNode([&](NodeId id) {
-      NodeView n = graph_->node(id);
-      if (n.role() == NodeRole::kIntermediate &&
-          n.invocation() != kNoInvocation && inv_set.count(n.invocation())) {
-        removed.insert(id);
-      }
-    });
-
-    // Pass 3: state nodes, and state-base tokens used only by removed
-    // state nodes ("the basic tuple nodes ... adjacent to those state
-    // nodes", ZoomOut step 4).
-    std::unordered_set<NodeId> removed_state;
-    for (uint32_t inv : inv_ids) {
-      for (NodeId s : graph_->invocations()[inv].state_nodes) {
-        if (graph_->Contains(s)) removed_state.insert(s);
-      }
-    }
-    removed.insert(removed_state.begin(), removed_state.end());
-    // State-base tokens of zoomed invocations go too, unless something
-    // outside the removal set still derives from them. Bases that were
-    // never used (lazy "s" wrapping means they have no children) are part
-    // of the hidden module state and disappear with it.
-    graph_->ForEachAliveNode([&](NodeId id) {
-      NodeView n = graph_->node(id);
-      if (n.role() != NodeRole::kStateBase) return;
-      if (n.invocation() == kNoInvocation || !inv_set.count(n.invocation())) {
-        return;
-      }
-      bool only_removed_uses = true;
-      for (NodeId child : graph_->ChildrenOf(id)) {
-        if (graph_->Contains(child) && !removed.count(child)) {
-          only_removed_uses = false;
-          break;
-        }
-      }
-      if (only_removed_uses) removed.insert(id);
-    });
-
-    // Pass 4: per invocation, create the collapsed module p-node and rewire
-    // outputs through it.
-    for (uint32_t inv_id : inv_ids) {
-      const InvocationInfo& inv = graph_->invocations()[inv_id];
+    for (internal::ZoomInvocationPlan& ip : plan->invocations) {
       InvocationDetail detail;
-      detail.invocation = inv_id;
-
-      std::vector<NodeId> zoom_parents;
-      for (NodeId in : inv.input_nodes) {
-        if (graph_->Contains(in)) zoom_parents.push_back(in);
-      }
+      detail.invocation = ip.invocation;
       // Appending via the writer keeps id allocation uniform.
       detail.zoom_node =
-          writer.ZoomedModule(module, std::move(zoom_parents), inv_id);
-
-      for (NodeId out : inv.output_nodes) {
-        if (!graph_->Contains(out)) continue;
+          writer.ZoomedModule(module, std::move(ip.zoom_parents),
+                              ip.invocation);
+      for (NodeId out : ip.outputs) {
         std::span<const NodeId> old = graph_->ParentsOf(out);
         detail.output_parents.emplace_back(
             out, std::vector<NodeId>(old.begin(), old.end()));
-        std::array<NodeId, 2> rewired{detail.zoom_node, inv.m_node};
+        std::array<NodeId, 2> rewired{detail.zoom_node, ip.m_node};
         graph_->SetParents(out, rewired);
       }
       details.push_back(std::move(detail));
     }
 
     // Record removals on the module's first detail entry for restoration.
-    for (NodeId id : removed) graph_->SetAlive(id, false);
+    for (NodeId id : plan->removed) graph_->SetAlive(id, false);
     if (!details.empty()) {
-      details.front().removed.assign(removed.begin(), removed.end());
+      details.front().removed = std::move(plan->removed);
     }
     store_[module] = std::move(details);
   }

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "provenance/graph.h"
+#include "provenance/snapshot.h"
 
 namespace lipstick {
 
@@ -22,6 +23,41 @@ namespace lipstick {
 /// if the graph is not sealed.
 Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
     const ProvenanceGraph& graph, const std::string& module_name);
+Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
+    const GraphSnapshot& snap, const std::string& module_name);
+
+namespace internal {
+
+/// One invocation's share of a ZoomOut: the collapsed p-node to create and
+/// the outputs to rewire through it.
+struct ZoomInvocationPlan {
+  uint32_t invocation = 0;
+  NodeId m_node = kInvalidNode;
+  std::vector<NodeId> zoom_parents;  // alive input nodes of the invocation
+  std::vector<NodeId> outputs;       // alive output nodes to rewire
+};
+
+/// The full effect of collapsing one module, computed without mutating
+/// anything. Shared by the eager Zoomer (which applies it to the graph)
+/// and the lazy ZoomOutView (which keeps it as a view); computing both
+/// from one planner keeps the two paths equivalent by construction.
+struct ZoomPlan {
+  std::vector<NodeId> removed;  // intermediates + state (+ base tokens)
+  std::vector<ZoomInvocationPlan> invocations;
+};
+
+/// Plans ZoomOut(module) over the snapshot, per Definition 4.1 / the
+/// ZoomOut steps of Section 4.1. Nodes already marked in `removed_so_far`
+/// (by previously planned modules of the same zoom) are treated as dead;
+/// this module's removals are added to the mark set and returned in
+/// ZoomPlan::removed in ascending id order. Column scans fan out over the
+/// traversal engine's work-stealing scan when `num_threads` > 1. Fails
+/// with kNotFound when the graph holds no live invocation of `module`.
+Result<ZoomPlan> PlanZoomOut(const GraphSnapshot& snap,
+                             const std::string& module,
+                             VisitedSet& removed_so_far, int num_threads);
+
+}  // namespace internal
 
 /// Implements the ZoomOut / ZoomIn graph transformations of Section 4.1.
 ///
@@ -34,6 +70,9 @@ Result<std::unordered_set<NodeId>> IntermediateNodesByDefinition(
 ///
 /// The removed structure is retained in this object (the "detail store") so
 /// that ZoomIn is an exact inverse: ZoomIn(ZoomOut(G, M), M) == G.
+///
+/// This is the eager, mutating form; for concurrent read-only zooming over
+/// one snapshot, see ZoomOutView (provenance/view.h).
 class Zoomer {
  public:
   explicit Zoomer(ProvenanceGraph* graph) : graph_(graph) {}
@@ -53,6 +92,9 @@ class Zoomer {
     return store_.count(module_name) > 0;
   }
 
+  /// Worker count for the planning column scans (1 = sequential).
+  void set_num_threads(int n) { num_threads_ = n < 1 ? 1 : n; }
+
  private:
   struct InvocationDetail {
     uint32_t invocation = 0;
@@ -64,6 +106,7 @@ class Zoomer {
 
   ProvenanceGraph* graph_;
   std::map<std::string, std::vector<InvocationDetail>> store_;
+  int num_threads_ = 1;
 };
 
 }  // namespace lipstick

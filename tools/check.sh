@@ -36,7 +36,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 # The one perf-smoke bench list, shared by the perf stage here and the
 # bench job in .github/workflows/ci.yml (which calls this stage).
-PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_obs_overhead bench_fault_overhead bench_wal_overhead bench_analyze)
+PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_fig7b_subgraph_dealerships bench_fig7c_subgraph_arctic bench_obs_overhead bench_fault_overhead bench_wal_overhead bench_analyze)
 
 # Use ccache when available (CI caches it across runs).
 CMAKE_LAUNCHER_ARGS=()
@@ -62,9 +62,11 @@ run_asan() {
 
 # The tests that actually spin up threads: the multi-worker executor
 # (workflow_test, workflowgen_test, property_test, dataflow_test drive it
-# with num_workers > 1), the lock-free StringPool (provenance_test), and
-# the MetricsRegistry + TraceBuffer concurrency tests (obs_test).
-TSAN_TESTS='^(workflow_test|workflowgen_test|property_test|dataflow_test|provenance_test|obs_test)$'
+# with num_workers > 1), the lock-free StringPool (provenance_test), the
+# MetricsRegistry + TraceBuffer concurrency tests (obs_test), and the
+# snapshot/traversal read-path stress (snapshot_test: concurrent readers,
+# work-stealing ParallelFor/ParallelReach, lazy views).
+TSAN_TESTS='^(workflow_test|workflowgen_test|property_test|dataflow_test|provenance_test|obs_test|snapshot_test)$'
 
 run_tsan() {
   local saved=(${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})

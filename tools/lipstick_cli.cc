@@ -16,18 +16,28 @@
 //   lipstick query <graph.pg> find [--label L] [--role R] [--payload S]
 //   lipstick query <graph.pg> expr <node-id>
 //   lipstick query <graph.pg> depends <target-id> <source-id>
-//   lipstick query <graph.pg> subgraph <node-id>
+//   lipstick query <graph.pg> subgraph <node-id> [--out g.dot]
 //   lipstick query <graph.pg> delete <node-id> [--out g.pg]
 //   lipstick query <graph.pg> zoomout <module> [<module>...] [--out g.pg]
 //   lipstick query <graph.pg> dot [--out graph.dot]
 //   lipstick query <graph.pg> opm --out graph.xml
+//   lipstick query <graph.pg> --batch <queries.txt> [--threads N]
+//
+// Every `query` form accepts `--threads N`: parallel scans and traversals
+// for the one-shot queries, concurrent lines over one shared snapshot for
+// --batch (one read-only query per line: stats, find, expr, depends,
+// subgraph; blank lines and # comments skipped).
 //
 // Workflows that rely on C++ UDFs cannot be run from the CLI (register
 // them via the library API instead); everything else works end to end.
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <map>
 #include <memory>
 #include <set>
@@ -52,7 +62,10 @@
 #include "provenance/recovery.h"
 #include "provenance/wal.h"
 #include "provenance/semiring.h"
+#include "provenance/snapshot.h"
 #include "provenance/subgraph.h"
+#include "provenance/traverse.h"
+#include "provenance/view.h"
 #include "provenance/zoom.h"
 #include "relational/csv.h"
 #include "workflow/executor.h"
@@ -81,7 +94,9 @@ int FailUsage() {
                "       lipstick recover <wal-dir> [--out g.pg] "
                "[--keep-uncommitted] [--repair]\n"
                "       lipstick query <graph.pg> stats|find|expr|depends|"
-               "subgraph|delete|zoomout|dot|opm|validate ...\n");
+               "subgraph|delete|zoomout|dot|opm|validate ... [--threads N]\n"
+               "       lipstick query <graph.pg> --batch <queries.txt> "
+               "[--threads N]\n");
   return 2;
 }
 
@@ -672,110 +687,252 @@ Result<NodeId> ParseNodeId(const std::string& s) {
   return id;
 }
 
-int CmdQuery(const std::vector<std::string>& args) {
-  if (args.size() < 2) return FailUsage();
-  Result<ProvenanceGraph> graph = LoadGraphFromFile(args[0]);
-  if (!graph.ok()) return Fail(graph.status().ToString());
-  graph->Seal();
-  const std::string& op = args[1];
-  std::vector<std::string> rest(args.begin() + 2, args.end());
+/// Query subcommands, recognized before the graph file is touched so an
+/// unknown op fails fast with a one-line diagnostic (mirroring `recover`).
+bool KnownQueryOp(const std::string& op) {
+  static const std::set<std::string> kOps = {
+      "stats",  "find",    "expr", "depends", "subgraph",
+      "delete", "zoomout", "dot",  "opm",     "validate"};
+  return kOps.count(op) > 0;
+}
 
-  std::string out_path;
-  for (size_t i = 0; i + 1 < rest.size(); ++i) {
-    if (rest[i] == "--out") {
-      out_path = rest[i + 1];
-      rest.erase(rest.begin() + i, rest.begin() + i + 2);
-      break;
+/// snprintf into a std::string accumulator (query output is rendered to a
+/// string so the batch driver can emit results in input order).
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+/// Builds the node predicate for `find` from its flag list. Shared by the
+/// one-shot and batch paths.
+Result<NodePredicate> ParseFindPredicate(const std::vector<std::string>& rest) {
+  NodePredicate pred = [](NodeId, const NodeView&) { return true; };
+  for (size_t i = 0; i + 1 < rest.size(); i += 2) {
+    const std::string& flag = rest[i];
+    const std::string& value = rest[i + 1];
+    if (flag == "--payload") {
+      pred = And(std::move(pred), ByPayload(value));
+    } else if (flag == "--label") {
+      bool matched = false;
+      for (int l = 0; l <= static_cast<int>(NodeLabel::kZoomedModule); ++l) {
+        if (value == NodeLabelToString(static_cast<NodeLabel>(l))) {
+          pred = And(std::move(pred), ByLabel(static_cast<NodeLabel>(l)));
+          matched = true;
+        }
+      }
+      if (!matched) {
+        return Status::InvalidArgument(StrCat("unknown label '", value, "'"));
+      }
+    } else if (flag == "--role") {
+      bool matched = false;
+      for (int r = 0; r <= static_cast<int>(NodeRole::kZoom); ++r) {
+        if (value == NodeRoleToString(static_cast<NodeRole>(r))) {
+          pred = And(std::move(pred), ByRole(static_cast<NodeRole>(r)));
+          matched = true;
+        }
+      }
+      if (!matched) {
+        return Status::InvalidArgument(StrCat("unknown role '", value, "'"));
+      }
+    } else {
+      return Status::InvalidArgument(StrCat("unknown find flag '", flag, "'"));
     }
   }
+  return pred;
+}
 
+/// Runs one read-only query over the shared snapshot and renders its output.
+/// `graph` backs the snapshot and supplies snapshot-independent extras
+/// (label histogram). Safe to call concurrently from many threads on the
+/// same snapshot — the backbone of `--batch`.
+Result<std::string> RunReadQuery(const GraphSnapshot& snap,
+                                 const ProvenanceGraph& graph,
+                                 const std::string& op,
+                                 const std::vector<std::string>& rest,
+                                 int threads) {
+  std::string out;
   if (op == "stats") {
-    GraphStats stats = *ComputeGraphStats(*graph);
-    std::printf("nodes:        %zu\n", stats.nodes);
-    std::printf("edges:        %zu\n", stats.edges);
-    std::printf("tokens:       %zu\n", stats.tokens);
-    std::printf("invocations:  %zu\n", stats.invocations);
-    std::printf("max fan-in:   %zu\n", stats.max_fan_in);
-    std::printf("max fan-out:  %zu\n", stats.max_fan_out);
-    std::printf("depth:        %zu\n", stats.depth);
-    for (const auto& [label, count] : graph->LabelHistogram()) {
-      std::printf("  label %-10s %zu\n", label.c_str(), count);
+    Result<GraphStats> stats = ComputeGraphStats(snap);
+    if (!stats.ok()) return stats.status();
+    Appendf(&out, "nodes:        %zu\n", stats->nodes);
+    Appendf(&out, "edges:        %zu\n", stats->edges);
+    Appendf(&out, "tokens:       %zu\n", stats->tokens);
+    Appendf(&out, "invocations:  %zu\n", stats->invocations);
+    Appendf(&out, "max fan-in:   %zu\n", stats->max_fan_in);
+    Appendf(&out, "max fan-out:  %zu\n", stats->max_fan_out);
+    Appendf(&out, "depth:        %zu\n", stats->depth);
+    for (const auto& [label, count] : graph.LabelHistogram()) {
+      Appendf(&out, "  label %-10s %zu\n", label.c_str(), count);
     }
-    return 0;
+    return out;
   }
   if (op == "find") {
-    NodePredicate pred = [](NodeId, const NodeView&) { return true; };
-    for (size_t i = 0; i + 1 < rest.size(); i += 2) {
-      const std::string& flag = rest[i];
-      const std::string& value = rest[i + 1];
-      if (flag == "--payload") {
-        pred = And(std::move(pred), ByPayload(value));
-      } else if (flag == "--label") {
-        bool matched = false;
-        for (int l = 0; l <= static_cast<int>(NodeLabel::kZoomedModule);
-             ++l) {
-          if (value == NodeLabelToString(static_cast<NodeLabel>(l))) {
-            pred = And(std::move(pred), ByLabel(static_cast<NodeLabel>(l)));
-            matched = true;
-          }
-        }
-        if (!matched) return Fail(StrCat("unknown label '", value, "'"));
-      } else if (flag == "--role") {
-        bool matched = false;
-        for (int r = 0; r <= static_cast<int>(NodeRole::kZoom); ++r) {
-          if (value == NodeRoleToString(static_cast<NodeRole>(r))) {
-            pred = And(std::move(pred), ByRole(static_cast<NodeRole>(r)));
-            matched = true;
-          }
-        }
-        if (!matched) return Fail(StrCat("unknown role '", value, "'"));
-      } else {
-        return Fail(StrCat("unknown find flag '", flag, "'"));
-      }
-    }
-    std::vector<NodeId> found = FindNodes(*graph, pred);
+    Result<NodePredicate> pred = ParseFindPredicate(rest);
+    if (!pred.ok()) return pred.status();
+    std::vector<NodeId> found = FindNodes(snap, *pred, threads);
     for (NodeId id : found) {
-      NodeView n = graph->node(id);
+      NodeView n = snap.node(id);
       std::string_view payload = n.payload();
-      std::printf("%llu  %-9s %-13s %.*s\n",
-                  static_cast<unsigned long long>(id),
-                  NodeLabelToString(n.label()), NodeRoleToString(n.role()),
-                  static_cast<int>(payload.size()), payload.data());
+      Appendf(&out, "%llu  %-9s %-13s ", static_cast<unsigned long long>(id),
+              NodeLabelToString(n.label()), NodeRoleToString(n.role()));
+      out.append(payload);
+      out.push_back('\n');
     }
-    std::printf("(%zu nodes)\n", found.size());
-    return 0;
+    Appendf(&out, "(%zu nodes)\n", found.size());
+    return out;
   }
   if (op == "expr") {
-    if (rest.size() != 1) return FailUsage();
+    if (rest.size() != 1) {
+      return Status::InvalidArgument("expr needs one node id");
+    }
     Result<NodeId> id = ParseNodeId(rest[0]);
-    if (!id.ok()) return Fail(id.status().ToString());
-    std::printf("%s\n", ProvExpressionString(*graph, *id, 12).c_str());
-    return 0;
+    if (!id.ok()) return id.status();
+    out = ProvExpressionString(snap, *id, 12);
+    out.push_back('\n');
+    return out;
   }
   if (op == "depends") {
-    if (rest.size() != 2) return FailUsage();
+    if (rest.size() != 2) {
+      return Status::InvalidArgument("depends needs <target-id> <source-id>");
+    }
     Result<NodeId> target = ParseNodeId(rest[0]);
     Result<NodeId> source = ParseNodeId(rest[1]);
-    if (!target.ok() || !source.ok()) return Fail("bad node ids");
-    std::printf("%s\n", *DependsOn(*graph, *target, *source) ? "yes" : "no");
-    return 0;
+    if (!target.ok() || !source.ok()) {
+      return Status::InvalidArgument("bad node ids");
+    }
+    Result<bool> dep = DependsOn(snap, *target, *source);
+    if (!dep.ok()) return dep.status();
+    out = *dep ? "yes\n" : "no\n";
+    return out;
   }
   if (op == "subgraph") {
-    if (rest.size() != 1) return FailUsage();
-    Result<NodeId> id = ParseNodeId(rest[0]);
-    if (!id.ok()) return Fail(id.status().ToString());
-    auto sub = *SubgraphQuery(*graph, *id);
-    std::printf("subgraph of %llu: %zu nodes\n",
-                static_cast<unsigned long long>(*id), sub.size());
-    if (!out_path.empty()) {
-      DotOptions options;
-      options.subset = {sub.begin(), sub.end()};
-      Status st = WriteDotToFile(*graph, out_path, options);
-      if (!st.ok()) return Fail(st.ToString());
-      std::printf("wrote %s\n", out_path.c_str());
+    if (rest.size() != 1) {
+      return Status::InvalidArgument("subgraph needs one node id");
     }
-    return 0;
+    Result<NodeId> id = ParseNodeId(rest[0]);
+    if (!id.ok()) return id.status();
+    Result<std::vector<NodeId>> sub = SubgraphNodes(snap, *id, threads);
+    if (!sub.ok()) return sub.status();
+    Appendf(&out, "subgraph of %llu: %zu nodes\n",
+            static_cast<unsigned long long>(*id), sub->size());
+    return out;
   }
+  return Status::InvalidArgument(
+      StrCat("unknown batch query operation '", op, "'"));
+}
+
+/// The `--batch` driver: one read-only query per line, run concurrently
+/// over a single shared snapshot on `threads` workers. Results print in
+/// input order, each under a "## <query>" header; the exit code is nonzero
+/// if any line fails (all lines still run and report).
+int RunBatch(const GraphSnapshot& snap, const ProvenanceGraph& graph,
+             const std::string& batch_path, int threads) {
+  std::ifstream in(batch_path);
+  if (!in.is_open()) {
+    return Fail(StrCat("cannot read batch file '", batch_path, "'"));
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    lines.push_back(line.substr(first));
+  }
+  std::vector<std::string> outputs(lines.size());
+  std::vector<std::string> errors(lines.size());
+  // Parallelism comes from running whole lines concurrently, so each line
+  // executes its query single-threaded.
+  ParallelFor(lines.size(), threads, [&](size_t begin, size_t end, int) {
+    for (size_t i = begin; i < end; ++i) {
+      std::istringstream ts(lines[i]);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (ts >> tok) tokens.push_back(tok);
+      std::vector<std::string> qargs(tokens.begin() + 1, tokens.end());
+      Result<std::string> text =
+          RunReadQuery(snap, graph, tokens[0], qargs, /*threads=*/1);
+      if (text.ok()) {
+        outputs[i] = std::move(*text);
+      } else {
+        errors[i] = text.status().ToString();
+      }
+    }
+  });
+  size_t failures = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::printf("## %s\n", lines[i].c_str());
+    if (errors[i].empty()) {
+      std::fputs(outputs[i].c_str(), stdout);
+    } else {
+      std::printf("error: %s\n", errors[i].c_str());
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    return Fail(StrCat(failures, " of ", lines.size(),
+                       " batch queries failed"));
+  }
+  std::printf("(%zu batch queries OK)\n", lines.size());
+  return 0;
+}
+
+int CmdQuery(const std::vector<std::string>& args) {
+  if (args.empty()) return FailUsage();
+  const std::string& path = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  // Global flags, accepted anywhere after the graph path.
+  int threads = 1;
+  std::string out_path;
+  std::string batch_path;
+  for (size_t i = 0; i < rest.size();) {
+    if (rest[i] == "--threads") {
+      if (i + 1 >= rest.size()) return Fail("--threads needs a value");
+      char* end = nullptr;
+      long v = std::strtol(rest[i + 1].c_str(), &end, 10);
+      if (end == rest[i + 1].c_str() || *end != '\0' || v < 1 || v > 256) {
+        return Fail(StrCat("--threads: bad thread count '", rest[i + 1], "'"));
+      }
+      threads = static_cast<int>(v);
+      rest.erase(rest.begin() + i, rest.begin() + i + 2);
+    } else if (rest[i] == "--batch") {
+      if (i + 1 >= rest.size()) return Fail("--batch needs a file");
+      batch_path = rest[i + 1];
+      rest.erase(rest.begin() + i, rest.begin() + i + 2);
+    } else if (rest[i] == "--out") {
+      if (i + 1 >= rest.size()) return Fail("--out needs a value");
+      out_path = rest[i + 1];
+      rest.erase(rest.begin() + i, rest.begin() + i + 2);
+    } else {
+      ++i;
+    }
+  }
+
+  // Reject unknown subcommands and unreadable paths before the loader
+  // runs: one-line diagnostics, nonzero exit, no partial output.
+  std::string op;
+  if (batch_path.empty()) {
+    if (rest.empty()) return FailUsage();
+    op = rest[0];
+    rest.erase(rest.begin());
+    if (!KnownQueryOp(op)) {
+      return Fail(StrCat("unknown query operation '", op, "'"));
+    }
+  }
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return Fail(StrCat("cannot read graph file '", path, "'"));
+  }
+
+  Result<ProvenanceGraph> graph = LoadGraphFromFile(path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  graph->Seal();
+
+  // `delete` mutates the graph, so it runs before the snapshot capture.
   if (op == "delete") {
     if (rest.size() != 1) return FailUsage();
     Result<NodeId> id = ParseNodeId(rest[0]);
@@ -790,15 +947,50 @@ int CmdQuery(const std::vector<std::string>& args) {
     }
     return 0;
   }
+
+  // Everything else reads through one immutable snapshot.
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(*graph);
+  if (!snap.ok()) return Fail(snap.status().ToString());
+
+  if (!batch_path.empty()) {
+    return RunBatch(*snap, *graph, batch_path, threads);
+  }
+
+  if (op == "stats" || op == "find" || op == "expr" || op == "depends" ||
+      (op == "subgraph" && out_path.empty())) {
+    Result<std::string> text = RunReadQuery(*snap, *graph, op, rest, threads);
+    if (!text.ok()) return Fail(text.status().ToString());
+    std::fputs(text->c_str(), stdout);
+    return 0;
+  }
+  if (op == "subgraph") {
+    // --out given: build the lazy view once and render it directly —
+    // byte-identical to materializing and rendering the restricted graph.
+    if (rest.size() != 1) return FailUsage();
+    Result<NodeId> id = ParseNodeId(rest[0]);
+    if (!id.ok()) return Fail(id.status().ToString());
+    Result<GraphView> view = SubgraphView(*snap, *id, threads);
+    if (!view.ok()) return Fail(view.status().ToString());
+    std::printf("subgraph of %llu: %zu nodes\n",
+                static_cast<unsigned long long>(*id), view->num_visible());
+    Status st = WriteDotToFile(*view, out_path);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  }
   if (op == "zoomout") {
     if (rest.empty()) return FailUsage();
-    Zoomer zoomer(&*graph);
-    Status st = zoomer.ZoomOut({rest.begin(), rest.end()});
-    if (!st.ok()) return Fail(st.ToString());
+    // Lazy: plan the collapse as a view; the standalone zoomed graph is
+    // materialized only when --out asks for it.
+    Result<GraphView> view =
+        ZoomOutView(*snap, {rest.begin(), rest.end()}, threads);
+    if (!view.ok()) return Fail(view.status().ToString());
     std::printf("zoomed out of %zu module(s); %zu nodes remain\n",
-                rest.size(), graph->num_alive());
+                rest.size(), view->num_visible());
     if (!out_path.empty()) {
-      st = SaveGraphToFile(*graph, out_path);
+      Result<ProvenanceGraph> zoomed = view->Materialize();
+      if (!zoomed.ok()) return Fail(zoomed.status().ToString());
+      Status st = SaveGraphToFile(*zoomed, out_path);
       if (!st.ok()) return Fail(st.ToString());
       std::printf("wrote %s\n", out_path.c_str());
     }
@@ -806,24 +998,30 @@ int CmdQuery(const std::vector<std::string>& args) {
   }
   if (op == "opm") {
     if (out_path.empty()) return Fail("opm requires --out <file>");
-    Status st = WriteOpmXmlToFile(*graph, out_path);
+    std::ofstream xml(out_path);
+    if (!xml.is_open()) {
+      return Fail(StrCat("cannot open ", out_path, " for writing"));
+    }
+    Status st = WriteOpmXml(*snap, xml);
     if (!st.ok()) return Fail(st.ToString());
     std::printf("wrote %s (coarse-grained OPM view)\n", out_path.c_str());
     return 0;
   }
   if (op == "validate") {
     analysis::DiagnosticSink sink;
-    analysis::ValidateGraph(*graph, &sink);
+    analysis::ValidateGraph(*snap, &sink);
     return ReportDiagnostics(&sink, args[0], /*json=*/false);
   }
-  if (op == "dot") {
-    if (out_path.empty()) return Fail("dot requires --out <file>");
-    Status st = WriteDotToFile(*graph, out_path);
-    if (!st.ok()) return Fail(st.ToString());
-    std::printf("wrote %s\n", out_path.c_str());
-    return 0;
+  // op == "dot" (KnownQueryOp already filtered everything else).
+  if (out_path.empty()) return Fail("dot requires --out <file>");
+  std::ofstream dot(out_path);
+  if (!dot.is_open()) {
+    return Fail(StrCat("cannot open ", out_path, " for writing"));
   }
-  return Fail(StrCat("unknown query operation '", op, "'"));
+  Status st = WriteDot(*snap, dot);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
 }
 
 }  // namespace
