@@ -1,0 +1,200 @@
+// Serve-mode query throughput: boots an in-process `lipstick serve`
+// daemon over a dealership provenance graph and drives it from N
+// concurrent TCP clients issuing a mixed read workload (stats / find /
+// expr / depends / subgraph / zoomout). Reports client-observed latency
+// percentiles, aggregate QPS, and the view-cache hit rate — the serve-
+// mode counterpart of the paper's batch query numbers (Figure 7): one
+// daemon amortizes graph load + snapshot across every query, which is
+// exactly the deployment the paper's "Query Processor" assumes.
+//
+// Flags: --clients N (default 4), --seconds S (default 3, scaled by
+// LIPSTICK_BENCH_SCALE), --port P (default ephemeral). The CI soak job
+// runs this under TSan and with LIPSTICK_FAULTS armed on the socket
+// paths; the harness only requires that faulted requests fail cleanly.
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/fault.h"
+#include "common/str_util.h"
+#include "service/client.h"
+#include "service/registry.h"
+#include "service/server.h"
+#include "workflowgen/dealership.h"
+
+using namespace lipstick;
+using namespace lipstick::bench;
+using namespace lipstick::workflowgen;
+
+namespace {
+
+struct ClientStats {
+  std::vector<double> latencies_us;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 4;
+  double seconds = 3.0 * Scale();
+  int port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: bench_serve [--clients N] [--seconds S] "
+                           "[--port P]\n");
+      return 2;
+    }
+  }
+  if (seconds < 0.2) seconds = 0.2;
+
+  Banner("Serve", "multi-client query service throughput",
+         "p50/p99 latency + QPS over TCP; mixed read workload; "
+         "numCars=2000");
+  Check(FaultInjector::Global().ArmFromEnv());
+
+  // Build the graph the daemon serves.
+  DealershipConfig cfg;
+  cfg.num_cars = Scaled(2000, 100);
+  cfg.num_executions = Scaled(10, 3);
+  cfg.seed = 777;
+  auto wf = DealershipWorkflow::Create(cfg);
+  Check(wf.status());
+  ProvenanceGraph graph;
+  Check((*wf)->Run(&graph).status());
+  graph.Seal();
+  std::printf("graph: %zu nodes, %zu edges\n", graph.num_alive(),
+              graph.num_edges());
+
+  // Sample node ids for the pointed queries.
+  std::vector<NodeId> ids;
+  graph.ForEachAliveNode([&ids](NodeId id) {
+    if (ids.size() < 64) ids.push_back(id);
+  });
+
+  service::GraphRegistry registry;
+  Check(registry.AddGraph("dealers", std::move(graph)));
+  service::ServerOptions options;
+  options.port = port;
+  options.workers = std::max(2, clients / 2);
+  options.queue_depth = static_cast<size_t>(clients) * 4;
+  service::Server server(&registry, options);
+  Check(server.Start());
+  std::printf("serving on %s:%d; %d client(s) for %.1fs\n\n",
+              server.host().c_str(), server.port(), clients, seconds);
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientStats> stats(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([c, &server, &stop, &stats, &ids] {
+      auto client = service::ServiceClient::ConnectHostPort(
+          "127.0.0.1", server.port());
+      if (!client.ok()) return;
+      ClientStats& mine = stats[c];
+      // Mixed workload: cheap point lookups, full scans, and the
+      // cacheable traversal-heavy views, spread across clients.
+      uint64_t i = static_cast<uint64_t>(c) * 7919;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::string op;
+        std::vector<std::string> args;
+        const NodeId id = ids[i % ids.size()];
+        switch (i % 6) {
+          case 0: op = "stats"; break;
+          case 1: op = "find"; args = {"--label", "token"}; break;
+          case 2: op = "expr"; args = {StrCat(id)}; break;
+          case 3:
+            op = "depends";
+            args = {StrCat(id), StrCat(ids[(i + 13) % ids.size()])};
+            break;
+          case 4: op = "subgraph"; args = {StrCat(id)}; break;
+          case 5: op = "zoomout"; args = {"dealer"}; break;
+        }
+        WallTimer timer;
+        Result<std::string> text = client->Query(op, args);
+        double us = timer.ElapsedMicros();
+        if (text.ok()) {
+          ++mine.ok;
+          mine.latencies_us.push_back(us);
+        } else {
+          // Under LIPSTICK_FAULTS the connection may be poisoned by an
+          // injected socket error; reconnect and keep going.
+          ++mine.failed;
+          client = service::ServiceClient::ConnectHostPort("127.0.0.1",
+                                                           server.port());
+          if (!client.ok()) break;
+        }
+        ++i;
+      }
+    });
+  }
+
+  WallTimer wall;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  double elapsed = wall.ElapsedSeconds();
+  server.Shutdown();
+
+  std::vector<double> all;
+  uint64_t ok = 0, failed = 0;
+  for (ClientStats& s : stats) {
+    all.insert(all.end(), s.latencies_us.begin(), s.latencies_us.end());
+    ok += s.ok;
+    failed += s.failed;
+  }
+  std::sort(all.begin(), all.end());
+  service::Server::StatsSnapshot server_stats = server.Stats();
+  double qps = elapsed > 0 ? static_cast<double>(ok) / elapsed : 0;
+  double p50 = Percentile(all, 0.50);
+  double p99 = Percentile(all, 0.99);
+  uint64_t cache_total = server_stats.cache_hits + server_stats.cache_misses;
+  double hit_rate = cache_total > 0
+                        ? static_cast<double>(server_stats.cache_hits) /
+                              static_cast<double>(cache_total)
+                        : 0;
+
+  std::printf("%-12s %-12s %-12s %-12s %s\n", "requests", "failed", "p50_us",
+              "p99_us", "qps");
+  std::printf("%-12llu %-12llu %-12.1f %-12.1f %.0f\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(failed), p50, p99, qps);
+  std::printf("cache: %llu hit(s), %llu miss(es), hit rate %.2f\n",
+              static_cast<unsigned long long>(server_stats.cache_hits),
+              static_cast<unsigned long long>(server_stats.cache_misses),
+              hit_rate);
+  if (ok == 0) {
+    std::fprintf(stderr, "bench error: no request succeeded\n");
+    return 1;
+  }
+
+  ResultsJson results("bench_serve");
+  results.Add("p50_us", p50);
+  results.Add("p99_us", p99);
+  results.Add("qps", qps);
+  results.Add("cache_hit_rate", hit_rate);
+  results.Add("requests", static_cast<double>(ok));
+  results.Add("failed", static_cast<double>(failed));
+  results.Emit();
+  return 0;
+}

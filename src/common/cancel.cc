@@ -1,0 +1,29 @@
+#include "common/cancel.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace lipstick {
+
+namespace internal {
+thread_local CancelToken* g_cancel_token = nullptr;
+}  // namespace internal
+
+void CancelToken::Cancel(Status reason) {
+  LIPSTICK_DCHECK(!reason.ok(), "CancelToken::Cancel needs a non-OK reason");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;  // first wins
+    reason_ = std::move(reason);
+  }
+  cancelled_.store(true, std::memory_order_release);
+}
+
+Status CancelToken::status() const {
+  if (!cancelled_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return reason_;
+}
+
+}  // namespace lipstick

@@ -36,6 +36,17 @@ Result<GraphSnapshot> GraphSnapshot::Capture(const ProvenanceGraph& graph) {
   return GraphSnapshot(graph);
 }
 
+Result<GraphSnapshot> GraphSnapshot::Capture(
+    std::shared_ptr<const ProvenanceGraph> graph) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("GraphSnapshot::Capture: null graph");
+  }
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(*graph, "GraphSnapshot::Capture"));
+  GraphSnapshot snap(*graph);
+  snap.owner_ = std::move(graph);
+  return snap;
+}
+
 GraphSnapshot GraphSnapshot::CaptureForParents(const ProvenanceGraph& graph) {
   return GraphSnapshot(graph);
 }

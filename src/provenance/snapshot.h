@@ -111,6 +111,20 @@ class GraphSnapshot {
   /// graph is not sealed (the CSR children index would be stale).
   static Result<GraphSnapshot> Capture(const ProvenanceGraph& graph);
 
+  /// Shared-ownership capture: the snapshot holds a reference on `graph`,
+  /// so copies of the snapshot keep the columns alive on their own — the
+  /// backbone of the serve daemon's hot-swappable GraphRegistry, where a
+  /// `reload` drops the registry's reference while in-flight requests
+  /// still read the old epoch through theirs. Same sealed requirement.
+  static Result<GraphSnapshot> Capture(
+      std::shared_ptr<const ProvenanceGraph> graph);
+
+  /// The shared owner, when captured with the shared-ownership overload
+  /// (nullptr for plain borrowed captures).
+  const std::shared_ptr<const ProvenanceGraph>& owner() const {
+    return owner_;
+  }
+
   /// Captures a parent-edges-only view of a possibly unsealed graph:
   /// everything except ChildrenOf() works (ancestor traversals, rendering,
   /// validation). ChildrenOf() on an unsealed snapshot aborts, mirroring
@@ -160,6 +174,8 @@ class GraphSnapshot {
   explicit GraphSnapshot(const ProvenanceGraph& graph);
 
   const ProvenanceGraph* graph_;
+  // Non-null only for shared-ownership captures; keeps graph_ alive.
+  std::shared_ptr<const ProvenanceGraph> owner_;
   std::vector<size_t> shard_sizes_;  // sizes at capture, for bitmap sizing
   size_t num_nodes_ = 0;
   std::shared_ptr<VisitedLease::Pool> pool_;

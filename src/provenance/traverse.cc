@@ -151,9 +151,14 @@ void ParallelFor(size_t n, int num_threads,
   uint32_t num_chunks = static_cast<uint32_t>((n + chunk_size - 1) /
                                               chunk_size);
   RangeStealer stealer(num_chunks, workers);
+  // The spawner's cancel token is re-installed on every worker so chunk
+  // bodies (and any traversal they run) observe the same deadline. A fired
+  // token stops workers claiming new chunks; completed chunks stay done.
+  CancelToken* token = CurrentCancelToken();
   RunWorkers(workers, [&](int w) {
+    CancelScope scope(token);
     uint32_t chunk;
-    while (stealer.Next(w, &chunk)) {
+    while (!(token != nullptr && token->Poll()) && stealer.Next(w, &chunk)) {
       size_t begin = static_cast<size_t>(chunk) * chunk_size;
       size_t end = std::min(n, begin + chunk_size);
       fn(begin, end, w);
@@ -217,13 +222,24 @@ std::vector<NodeId> ParallelReach(const GraphSnapshot& snap,
     if (frontier.empty()) done.store(true, std::memory_order_relaxed);
   });
 
+  // Workers poll the spawner's cancel token once per expanded frontier
+  // node; after it fires they stop producing next-frontier entries, the
+  // frontier drains, and every worker exits through the normal barrier.
+  CancelToken* token = CurrentCancelToken();
   RunWorkers(workers, [&](int w) {
+    CancelScope scope(token);
+    bool cancelled = false;
     while (true) {
       size_t start;
-      while ((start = cursor.fetch_add(kGrab, std::memory_order_relaxed)) <
-             frontier.size()) {
+      while (!cancelled &&
+             (start = cursor.fetch_add(kGrab, std::memory_order_relaxed)) <
+                 frontier.size()) {
         size_t end = std::min(frontier.size(), start + kGrab);
         for (size_t i = start; i < end; ++i) {
+          if (token != nullptr && token->Poll()) {
+            cancelled = true;
+            break;
+          }
           for (NodeId n : Neighbors(snap, frontier[i], dir)) {
             if (!snap.Contains(n) || visited.TestAndSetAtomic(n)) continue;
             next[w].push_back(n);

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.h"
 #include "provenance/snapshot.h"
 
 namespace lipstick {
@@ -44,6 +45,11 @@ void RecordTraversal(TraverseDirection dir, size_t visited, int threads);
 /// order is level-synchronous, so the first visit of a node is along a
 /// shortest edge path from the seed set. Returns the number of visited
 /// nodes.
+///
+/// Cancellation: the calling thread's CancelToken (see common/cancel.h) is
+/// polled once per expanded frontier node; a fired token stops the
+/// traversal early. The caller that installed the token is responsible
+/// for checking it afterwards and discarding the partial result.
 template <typename Fn>
 size_t Traverse(const GraphSnapshot& snap, std::span<const NodeId> seeds,
                 TraverseDirection dir, VisitedSet& visited, Fn&& visit) {
@@ -51,6 +57,7 @@ size_t Traverse(const GraphSnapshot& snap, std::span<const NodeId> seeds,
   size_t head = 0;
   size_t reported = 0;
   while (head < queue.size()) {
+    if (PollCurrentCancel()) break;
     NodeId id = queue[head++];
     for (NodeId n : Neighbors(snap, id, dir)) {
       if (!snap.Contains(n) || visited.TestAndSet(n)) continue;

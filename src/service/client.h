@@ -1,0 +1,61 @@
+#ifndef LIPSTICK_SERVICE_CLIENT_H_
+#define LIPSTICK_SERVICE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lipstick::service {
+
+/// Blocking client for the serve daemon's wire protocol — the engine
+/// behind `lipstick query --connect host:port`. One TCP connection,
+/// strict request/response alternation (matching the server's
+/// per-session ordering). Not thread-safe; use one client per thread.
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient() { Close(); }
+  ServiceClient(ServiceClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  ServiceClient& operator=(ServiceClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connects to "host:port" (e.g. "127.0.0.1:7411", "localhost:7411").
+  static Result<ServiceClient> Connect(const std::string& endpoint);
+  static Result<ServiceClient> ConnectHostPort(const std::string& host,
+                                               int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one query and returns the server-rendered text (byte-identical
+  /// to local-mode output), or the server's error as a Status carrying
+  /// the wire error code. `graph` "" = server default; `deadline_ms` 0 =
+  /// server default.
+  Result<std::string> Query(const std::string& op,
+                            const std::vector<std::string>& args,
+                            const std::string& graph = "",
+                            double deadline_ms = 0);
+
+  /// Raw round-trip: sends `payload` as one frame, returns the response
+  /// frame (tests poke malformed requests through this).
+  Result<std::string> Call(const std::string& payload);
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace lipstick::service
+
+#endif  // LIPSTICK_SERVICE_CLIENT_H_

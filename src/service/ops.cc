@@ -1,0 +1,173 @@
+#include "service/ops.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/str_util.h"
+#include "provenance/deletion.h"
+#include "provenance/query.h"
+#include "provenance/semiring.h"
+#include "provenance/subgraph.h"
+#include "provenance/view.h"
+
+namespace lipstick::service {
+
+namespace {
+
+/// snprintf into a std::string accumulator (query output is rendered to a
+/// string so batch drivers and the wire protocol can ship it whole).
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+/// Builds the node predicate for `find` from its flag list.
+Result<NodePredicate> ParseFindPredicate(const std::vector<std::string>& rest) {
+  NodePredicate pred = [](NodeId, const NodeView&) { return true; };
+  for (size_t i = 0; i + 1 < rest.size(); i += 2) {
+    const std::string& flag = rest[i];
+    const std::string& value = rest[i + 1];
+    if (flag == "--payload") {
+      pred = And(std::move(pred), ByPayload(value));
+    } else if (flag == "--label") {
+      bool matched = false;
+      for (int l = 0; l <= static_cast<int>(NodeLabel::kZoomedModule); ++l) {
+        if (value == NodeLabelToString(static_cast<NodeLabel>(l))) {
+          pred = And(std::move(pred), ByLabel(static_cast<NodeLabel>(l)));
+          matched = true;
+        }
+      }
+      if (!matched) {
+        return Status::InvalidArgument(StrCat("unknown label '", value, "'"));
+      }
+    } else if (flag == "--role") {
+      bool matched = false;
+      for (int r = 0; r <= static_cast<int>(NodeRole::kZoom); ++r) {
+        if (value == NodeRoleToString(static_cast<NodeRole>(r))) {
+          pred = And(std::move(pred), ByRole(static_cast<NodeRole>(r)));
+          matched = true;
+        }
+      }
+      if (!matched) {
+        return Status::InvalidArgument(StrCat("unknown role '", value, "'"));
+      }
+    } else {
+      return Status::InvalidArgument(StrCat("unknown find flag '", flag, "'"));
+    }
+  }
+  return pred;
+}
+
+}  // namespace
+
+bool IsReadQueryOp(const std::string& op) {
+  return op == "stats" || op == "find" || op == "expr" || op == "depends" ||
+         op == "subgraph" || op == "zoomout";
+}
+
+bool IsCacheableOp(const std::string& op) {
+  return op == "subgraph" || op == "zoomout";
+}
+
+Result<NodeId> ParseNodeId(const std::string& s) {
+  char* end = nullptr;
+  NodeId id = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrCat("bad node id '", s, "'"));
+  }
+  return id;
+}
+
+Result<std::string> ExecuteReadQuery(const GraphSnapshot& snap,
+                                     const std::string& op,
+                                     const std::vector<std::string>& rest,
+                                     int threads) {
+  std::string out;
+  if (op == "stats") {
+    Result<GraphStats> stats = ComputeGraphStats(snap);
+    if (!stats.ok()) return stats.status();
+    Appendf(&out, "nodes:        %zu\n", stats->nodes);
+    Appendf(&out, "edges:        %zu\n", stats->edges);
+    Appendf(&out, "tokens:       %zu\n", stats->tokens);
+    Appendf(&out, "invocations:  %zu\n", stats->invocations);
+    Appendf(&out, "max fan-in:   %zu\n", stats->max_fan_in);
+    Appendf(&out, "max fan-out:  %zu\n", stats->max_fan_out);
+    Appendf(&out, "depth:        %zu\n", stats->depth);
+    for (const auto& [label, count] : snap.graph().LabelHistogram()) {
+      Appendf(&out, "  label %-10s %zu\n", label.c_str(), count);
+    }
+    return out;
+  }
+  if (op == "find") {
+    Result<NodePredicate> pred = ParseFindPredicate(rest);
+    if (!pred.ok()) return pred.status();
+    std::vector<NodeId> found = FindNodes(snap, *pred, threads);
+    for (NodeId id : found) {
+      NodeView n = snap.node(id);
+      std::string_view payload = n.payload();
+      Appendf(&out, "%llu  %-9s %-13s ", static_cast<unsigned long long>(id),
+              NodeLabelToString(n.label()), NodeRoleToString(n.role()));
+      out.append(payload);
+      out.push_back('\n');
+    }
+    Appendf(&out, "(%zu nodes)\n", found.size());
+    return out;
+  }
+  if (op == "expr") {
+    if (rest.size() != 1) {
+      return Status::InvalidArgument("expr needs one node id");
+    }
+    Result<NodeId> id = ParseNodeId(rest[0]);
+    if (!id.ok()) return id.status();
+    out = ProvExpressionString(snap, *id, 12);
+    out.push_back('\n');
+    return out;
+  }
+  if (op == "depends") {
+    if (rest.size() != 2) {
+      return Status::InvalidArgument("depends needs <target-id> <source-id>");
+    }
+    Result<NodeId> target = ParseNodeId(rest[0]);
+    Result<NodeId> source = ParseNodeId(rest[1]);
+    if (!target.ok() || !source.ok()) {
+      return Status::InvalidArgument("bad node ids");
+    }
+    Result<bool> dep = DependsOn(snap, *target, *source);
+    if (!dep.ok()) return dep.status();
+    out = *dep ? "yes\n" : "no\n";
+    return out;
+  }
+  if (op == "subgraph") {
+    if (rest.size() != 1) {
+      return Status::InvalidArgument("subgraph needs one node id");
+    }
+    Result<NodeId> id = ParseNodeId(rest[0]);
+    if (!id.ok()) return id.status();
+    Result<std::vector<NodeId>> sub = SubgraphNodes(snap, *id, threads);
+    if (!sub.ok()) return sub.status();
+    Appendf(&out, "subgraph of %llu: %zu nodes\n",
+            static_cast<unsigned long long>(*id), sub->size());
+    return out;
+  }
+  if (op == "zoomout") {
+    if (rest.empty()) {
+      return Status::InvalidArgument("zoomout needs at least one module");
+    }
+    Result<GraphView> view =
+        ZoomOutView(snap, {rest.begin(), rest.end()}, threads);
+    if (!view.ok()) return view.status();
+    Appendf(&out, "zoomed out of %zu module(s); %zu nodes remain\n",
+            rest.size(), view->num_visible());
+    return out;
+  }
+  return Status::InvalidArgument(StrCat("unknown query operation '", op, "'"));
+}
+
+}  // namespace lipstick::service

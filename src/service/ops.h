@@ -1,0 +1,40 @@
+#ifndef LIPSTICK_SERVICE_OPS_H_
+#define LIPSTICK_SERVICE_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/graph.h"
+#include "provenance/snapshot.h"
+
+namespace lipstick::service {
+
+/// The read-only query operations the service router (and the local CLI)
+/// dispatch through ExecuteReadQuery: stats, find, expr, depends,
+/// subgraph, zoomout.
+bool IsReadQueryOp(const std::string& op);
+
+/// Ops whose rendered output is worth caching server-side: the traversal-
+/// heavy view builders (subgraph, zoomout). Point lookups are cheaper than
+/// a cache probe.
+bool IsCacheableOp(const std::string& op);
+
+/// Parses a decimal node id ("bad node id '...'" on garbage).
+Result<NodeId> ParseNodeId(const std::string& s);
+
+/// Runs one read-only query over the shared snapshot and renders its
+/// output — the single rendering path behind local one-shot queries,
+/// `query --batch`, and the serve daemon, so remote responses are
+/// byte-identical to local output (golden tests double as protocol
+/// tests). Safe to call concurrently from many threads on the same
+/// snapshot. Honors the calling thread's CancelToken (deadline /
+/// disconnect) through the traversal engine.
+Result<std::string> ExecuteReadQuery(const GraphSnapshot& snap,
+                                     const std::string& op,
+                                     const std::vector<std::string>& args,
+                                     int threads);
+
+}  // namespace lipstick::service
+
+#endif  // LIPSTICK_SERVICE_OPS_H_

@@ -1,0 +1,112 @@
+#include "service/registry.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "provenance/provio.h"
+
+namespace lipstick::service {
+
+Result<std::shared_ptr<const LoadedGraph>> GraphRegistry::Build(
+    const std::string& name, const std::string& path, uint64_t epoch,
+    ProvenanceGraph graph) {
+  if (!graph.sealed()) graph.Seal();
+  auto shared = std::make_shared<const ProvenanceGraph>(std::move(graph));
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(shared);
+  if (!snap.ok()) return snap.status();
+  LoadedGraph loaded{name, path, epoch, std::move(shared), std::move(*snap)};
+  return std::make_shared<const LoadedGraph>(std::move(loaded));
+}
+
+Status GraphRegistry::LoadFile(const std::string& name,
+                               const std::string& path) {
+  Result<ProvenanceGraph> graph = LoadGraphFromFile(path);
+  if (!graph.ok()) return graph.status();
+  Result<std::shared_ptr<const LoadedGraph>> loaded =
+      Build(name, path, /*epoch=*/0, std::move(*graph));
+  if (!loaded.ok()) return loaded.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (graphs_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("graph '", name,
+                                        "' already registered"));
+  }
+  if (graphs_.empty()) default_name_ = name;
+  graphs_[name] = std::move(*loaded);
+  return Status::OK();
+}
+
+Status GraphRegistry::AddGraph(const std::string& name,
+                               ProvenanceGraph graph) {
+  Result<std::shared_ptr<const LoadedGraph>> loaded =
+      Build(name, /*path=*/"", /*epoch=*/0, std::move(graph));
+  if (!loaded.ok()) return loaded.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (graphs_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("graph '", name,
+                                        "' already registered"));
+  }
+  if (graphs_.empty()) default_name_ = name;
+  graphs_[name] = std::move(*loaded);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const LoadedGraph>> GraphRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& key = name.empty() ? default_name_ : name;
+  auto it = graphs_.find(key);
+  if (it == graphs_.end()) {
+    return Status::NotFound(
+        name.empty() ? std::string("no graphs loaded")
+                     : StrCat("unknown graph '", name, "'"));
+  }
+  return it->second;
+}
+
+Status GraphRegistry::Reload(const std::string& name) {
+  std::string key, path;
+  uint64_t next_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    key = name.empty() ? default_name_ : name;
+    auto it = graphs_.find(key);
+    if (it == graphs_.end()) {
+      return Status::NotFound(StrCat("unknown graph '", name, "'"));
+    }
+    if (it->second->path.empty()) {
+      return Status::ExecutionError(
+          StrCat("graph '", key, "' has no backing file to reload"));
+    }
+    path = it->second->path;
+    next_epoch = it->second->epoch + 1;
+  }
+  // Load outside the lock: reads stay serviced from the old epoch while
+  // the file is parsed; only the final pointer swap is locked.
+  Result<ProvenanceGraph> graph = LoadGraphFromFile(path);
+  if (!graph.ok()) return graph.status();
+  Result<std::shared_ptr<const LoadedGraph>> loaded =
+      Build(key, path, next_epoch, std::move(*graph));
+  if (!loaded.ok()) return loaded.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  graphs_[key] = std::move(*loaded);
+  return Status::OK();
+}
+
+std::vector<GraphRegistry::Entry> GraphRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> entries;
+  entries.reserve(graphs_.size());
+  for (const auto& [name, loaded] : graphs_) {
+    entries.push_back(Entry{name, loaded->path, loaded->epoch,
+                            loaded->snapshot.num_nodes(),
+                            name == default_name_});
+  }
+  return entries;
+}
+
+size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace lipstick::service

@@ -1,0 +1,77 @@
+#ifndef LIPSTICK_SERVICE_REGISTRY_H_
+#define LIPSTICK_SERVICE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/graph.h"
+#include "provenance/snapshot.h"
+
+namespace lipstick::service {
+
+/// One epoch of one named graph: the sealed graph plus its shared snapshot.
+/// Immutable after construction; held by shared_ptr so in-flight requests
+/// pin the columns while a `reload` swaps the registry entry underneath
+/// them.
+struct LoadedGraph {
+  std::string name;
+  std::string path;     // .pg file it was loaded from (reload re-reads it)
+  uint64_t epoch = 0;   // bumped on every successful reload
+  std::shared_ptr<const ProvenanceGraph> graph;
+  GraphSnapshot snapshot;  // shared-ownership capture over `graph`
+};
+
+/// Thread-safe name -> LoadedGraph map behind the serve daemon. Lookups
+/// return shared_ptr<const LoadedGraph>, so a concurrent Reload never
+/// invalidates a request mid-flight: the old epoch stays alive until its
+/// last reader drops the pointer.
+class GraphRegistry {
+ public:
+  /// Loads `path` (a provio .pg file), seals it, and registers it under
+  /// `name`. The first graph added becomes the default (name "" resolves
+  /// to it). Fails on duplicate names or unreadable/corrupt files.
+  Status LoadFile(const std::string& name, const std::string& path);
+
+  /// Registers an already-built graph (tests, in-process servers). The
+  /// graph is sealed here if it is not yet.
+  Status AddGraph(const std::string& name, ProvenanceGraph graph);
+
+  /// Resolves `name` ("" = default graph). kNotFound if absent.
+  Result<std::shared_ptr<const LoadedGraph>> Get(const std::string& name) const;
+
+  /// Re-reads a graph's backing file into a fresh LoadedGraph with
+  /// epoch+1 and atomically swaps it in. In-flight requests keep reading
+  /// the old epoch; new requests see the new one. kExecutionError for
+  /// graphs registered via AddGraph (no backing file).
+  Status Reload(const std::string& name);
+
+  /// Registered names in sorted order, each with its epoch and node count.
+  struct Entry {
+    std::string name;
+    std::string path;
+    uint64_t epoch;
+    size_t nodes;
+    bool is_default;
+  };
+  std::vector<Entry> List() const;
+
+  size_t size() const;
+
+ private:
+  static Result<std::shared_ptr<const LoadedGraph>> Build(
+      const std::string& name, const std::string& path, uint64_t epoch,
+      ProvenanceGraph graph);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const LoadedGraph>> graphs_;
+  std::string default_name_;  // first registered graph
+};
+
+}  // namespace lipstick::service
+
+#endif  // LIPSTICK_SERVICE_REGISTRY_H_

@@ -27,8 +27,25 @@
 #          machine with:
 #            tools/check.sh perf && python3 tools/bench_compare.py \
 #              compare BENCH_baseline.json build-release/BENCH_results.json --update
-#   all    every stage, in the order above (the default).
-# Usage: tools/check.sh [build|asan|tsan|tidy|lint|crash|perf|all] [extra ctest args...]
+#   integration
+#          end-to-end serve/connect gate: boots `lipstick serve` on an
+#          ephemeral port, drives a scripted `query --connect` session
+#          (one-shot ops, a batch file, the error envelope), diffs every
+#          byte against local-mode output, then SIGTERMs the daemon and
+#          verifies a clean drain — nonzero on any output drift, a leaked
+#          child process, or a port still listening,
+#   soak   multi-client stress of the daemon under ThreadSanitizer:
+#          bench_serve with 8 concurrent clients (LIPSTICK_SOAK_SECONDS,
+#          default 20), then a second run with LIPSTICK_FAULTS arming the
+#          service.read/service.write socket fault points,
+#   coverage
+#          line-coverage gate: Debug build with -DLIPSTICK_COVERAGE=ON,
+#          full ctest suite, then tools/coverage_gate.py (plain gcov, no
+#          gcovr needed) enforcing >= 80% line coverage on src/service/,
+#   all    every stage, in the order above (the default; coverage and
+#          soak excluded — they rebuild the world and run long, CI runs
+#          them as dedicated jobs).
+# Usage: tools/check.sh [build|asan|tsan|tidy|lint|crash|perf|integration|soak|coverage|all] [extra ctest args...]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -36,7 +53,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 # The one perf-smoke bench list, shared by the perf stage here and the
 # bench job in .github/workflows/ci.yml (which calls this stage).
-PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_fig7b_subgraph_dealerships bench_fig7c_subgraph_arctic bench_obs_overhead bench_fault_overhead bench_wal_overhead bench_analyze)
+PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_fig7b_subgraph_dealerships bench_fig7c_subgraph_arctic bench_obs_overhead bench_fault_overhead bench_wal_overhead bench_analyze bench_serve)
 
 # Use ccache when available (CI caches it across runs).
 CMAKE_LAUNCHER_ARGS=()
@@ -65,8 +82,10 @@ run_asan() {
 # with num_workers > 1), the lock-free StringPool (provenance_test), the
 # MetricsRegistry + TraceBuffer concurrency tests (obs_test), and the
 # snapshot/traversal read-path stress (snapshot_test: concurrent readers,
-# work-stealing ParallelFor/ParallelReach, lazy views).
-TSAN_TESTS='^(workflow_test|workflowgen_test|property_test|dataflow_test|provenance_test|obs_test|snapshot_test)$'
+# work-stealing ParallelFor/ParallelReach, lazy views), and the query
+# service (service_test: accept/session/worker threads, hot reload,
+# concurrent clients).
+TSAN_TESTS='^(workflow_test|workflowgen_test|property_test|dataflow_test|provenance_test|obs_test|snapshot_test|service_test)$'
 
 run_tsan() {
   local saved=(${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})
@@ -170,9 +189,156 @@ run_perf() {
   fi
 }
 
+run_integration() {
+  echo "=== integration: serve/connect end-to-end ==="
+  local cli="${repo}/build/tools/lipstick"
+  cmake -B "${repo}/build" -S "${repo}" \
+        ${CMAKE_LAUNCHER_ARGS[@]+"${CMAKE_LAUNCHER_ARGS[@]}"} >/dev/null
+  cmake --build "${repo}/build" -j "${jobs}" --target lipstick_cli
+
+  local work serve_pid=""
+  work="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "[[ -n \"\${serve_pid}\" ]] && kill -9 \"\${serve_pid}\" 2>/dev/null; rm -rf '${work}'" RETURN
+
+  echo "--- build a graph to serve"
+  local ex="${repo}/examples/workflows"
+  "${cli}" run "${ex}/dealership_mini.wf" --execs 3 \
+           --input "req.Ext=${ex}/dealership_requests.csv" \
+           --state "dealer1.Cars=${ex}/dealership_cars1.csv" \
+           --state "dealer2.Cars=${ex}/dealership_cars2.csv" \
+           --graph "${work}/g.pg"
+
+  # Pick a real token node for the pointed queries (ids are deterministic
+  # for fixed inputs, but extracting one keeps the script honest).
+  local id
+  id="$("${cli}" query "${work}/g.pg" find --label token | head -1 |
+        awk '{print $1}')"
+  [[ -n "${id}" ]] || { echo "FAIL: no token node found"; return 1; }
+
+  # The scripted session: one-shot ops plus a batch file. Every query must
+  # produce byte-identical output in local and serve mode.
+  local ops=("stats" "find --label token" "expr ${id}" "subgraph ${id}"
+             "zoomout dealer")
+  cat > "${work}/batch.txt" <<EOF
+stats
+find --label token
+subgraph ${id}
+EOF
+
+  echo "--- local-mode golden outputs"
+  local i=0
+  for op in "${ops[@]}"; do
+    # shellcheck disable=SC2086
+    "${cli}" query "${work}/g.pg" ${op} > "${work}/local.${i}.out"
+    i=$((i + 1))
+  done
+  "${cli}" query "${work}/g.pg" --batch "${work}/batch.txt" \
+           > "${work}/local.batch.out"
+
+  echo "--- boot lipstick serve (ephemeral port)"
+  "${cli}" serve "${work}/g.pg" --port 0 > "${work}/serve.log" 2>&1 &
+  serve_pid=$!
+  local port="" tries=0
+  while [[ -z "${port}" ]]; do
+    port="$(sed -n 's/^serve: listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+            "${work}/serve.log")"
+    [[ -n "${port}" ]] && break
+    if ! kill -0 "${serve_pid}" 2>/dev/null; then
+      echo "FAIL: serve exited before listening"; cat "${work}/serve.log"
+      serve_pid=""; return 1
+    fi
+    tries=$((tries + 1))
+    if [[ "${tries}" -gt 100 ]]; then
+      echo "FAIL: serve never printed its port"; cat "${work}/serve.log"
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "serving on port ${port} (pid ${serve_pid})"
+
+  echo "--- remote session must match local byte-for-byte"
+  i=0
+  for op in "${ops[@]}"; do
+    # shellcheck disable=SC2086
+    "${cli}" query --connect "127.0.0.1:${port}" ${op} \
+             > "${work}/remote.${i}.out"
+    diff -u "${work}/local.${i}.out" "${work}/remote.${i}.out" || {
+      echo "FAIL: output drift on '${op}'"; return 1; }
+    i=$((i + 1))
+  done
+  "${cli}" query --connect "127.0.0.1:${port}" --batch "${work}/batch.txt" \
+           > "${work}/remote.batch.out"
+  diff -u "${work}/local.batch.out" "${work}/remote.batch.out" || {
+    echo "FAIL: batch output drift"; return 1; }
+
+  echo "--- error envelope carries the wire code"
+  if "${cli}" query --connect "127.0.0.1:${port}" badop \
+       2> "${work}/err.out"; then
+    echo "FAIL: bad op did not exit nonzero"; return 1
+  fi
+  grep -q "error: invalid_argument:" "${work}/err.out" || {
+    echo "FAIL: missing error envelope:"; cat "${work}/err.out"; return 1; }
+
+  echo "--- SIGTERM must drain cleanly"
+  kill -TERM "${serve_pid}"
+  local rc=0
+  wait "${serve_pid}" || rc=$?
+  serve_pid=""
+  if [[ "${rc}" -ne 0 ]]; then
+    echo "FAIL: serve exited ${rc} on SIGTERM"; cat "${work}/serve.log"
+    return 1
+  fi
+  grep -q "serve: drained, exiting" "${work}/serve.log" || {
+    echo "FAIL: no drain message"; cat "${work}/serve.log"; return 1; }
+  # The port must be released: a fresh connect has to be refused.
+  if (exec 3<>"/dev/tcp/127.0.0.1/${port}") 2>/dev/null; then
+    exec 3>&- 3<&-
+    echo "FAIL: port ${port} still listening after drain"; return 1
+  fi
+  echo "integration stage OK"
+}
+
+run_soak() {
+  echo "=== soak: bench_serve under TSan (8 clients) ==="
+  local secs="${LIPSTICK_SOAK_SECONDS:-20}"
+  local build_dir="${repo}/build-tsan"
+  cmake -B "${build_dir}" -S "${repo}" -DLIPSTICK_SANITIZE=THREAD \
+        -DCMAKE_BUILD_TYPE=Debug \
+        ${CMAKE_LAUNCHER_ARGS[@]+"${CMAKE_LAUNCHER_ARGS[@]}"} >/dev/null
+  cmake --build "${build_dir}" -j "${jobs}" --target bench_serve
+
+  echo "--- clean soak (${secs}s)"
+  LIPSTICK_BENCH_SCALE="${LIPSTICK_BENCH_SCALE:-0.05}" \
+    "${build_dir}/bench/bench_serve" --clients 8 --seconds "${secs}"
+
+  echo "--- fault soak: injected socket errors on service.read/service.write"
+  LIPSTICK_BENCH_SCALE="${LIPSTICK_BENCH_SCALE:-0.05}" \
+    LIPSTICK_FAULTS='service.read:p=0.02:seed=7;service.write:p=0.02:seed=11' \
+    "${build_dir}/bench/bench_serve" --clients 8 --seconds "${secs}"
+  echo "soak stage OK"
+}
+
+run_coverage() {
+  echo "=== coverage: gcov line-coverage gate on src/service/ ==="
+  local build_dir="${repo}/build-coverage"
+  # No ccache here: cached objects can ship stale .gcno note files, which
+  # silently zeroes the very numbers this stage gates on.
+  cmake -B "${build_dir}" -S "${repo}" -DLIPSTICK_COVERAGE=ON \
+        -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build "${build_dir}" -j "${jobs}"
+  # Stale counters from a previous run would inflate the numbers.
+  find "${build_dir}" -name '*.gcda' -delete
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+        ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+  python3 "${repo}/tools/coverage_gate.py" "${build_dir}" \
+          --filter src/service/ --min 80 \
+          --out "${build_dir}/COVERAGE_service.json"
+}
+
 stage="${1:-all}"
 case "${stage}" in
-  build|asan|tsan|tidy|lint|crash|perf)
+  build|asan|tsan|tidy|lint|crash|perf|integration|soak|coverage)
     shift
     CTEST_ARGS=("$@")
     "run_${stage}"
@@ -180,7 +346,7 @@ case "${stage}" in
     ;;
   all) if [[ $# -gt 0 ]]; then shift; fi ;;
   -*|'') ;;  # no stage named: run everything, args go to ctest
-  *) echo "unknown stage '${stage}' (build|asan|tsan|tidy|lint|crash|perf|all)"; exit 2 ;;
+  *) echo "unknown stage '${stage}' (build|asan|tsan|tidy|lint|crash|perf|integration|soak|coverage|all)"; exit 2 ;;
 esac
 
 CTEST_ARGS=("$@")
@@ -191,4 +357,5 @@ run_tidy
 run_lint
 run_crash
 run_perf
+run_integration
 echo "All checks passed."

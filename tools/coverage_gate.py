@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over a gcov-instrumented build.
+
+Walks a build tree compiled with --coverage (see LIPSTICK_COVERAGE in the
+top-level CMakeLists.txt), runs plain `gcov --json-format` over every
+object that produced runtime counters, merges the per-line execution
+counts for source files matching a path filter, and enforces a minimum
+line-coverage percentage. Deliberately uses only gcc's bundled gcov — no
+gcovr/lcov dependency — so the gate runs identically on a bare toolchain
+and in CI.
+
+Usage:
+  coverage_gate.py <build_dir> --filter src/service/ --min 80 \
+      [--out coverage.json]
+
+Exit codes: 0 pass, 1 below threshold (or no data), 2 usage/tooling error.
+"""
+
+import argparse
+import collections
+import glob
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcov():
+    """Prefer a gcov matching the compiler used for the build."""
+    for cand in (os.environ.get("GCOV"), "gcov"):
+        if not cand:
+            continue
+        try:
+            subprocess.run([cand, "--version"], capture_output=True, check=True)
+            return cand
+        except (OSError, subprocess.CalledProcessError):
+            continue
+    return None
+
+
+def run_gcov(gcov, gcda, workdir):
+    """Runs gcov in JSON mode on one .gcda; yields parsed report dicts."""
+    subprocess.run(
+        [gcov, "--json-format", "--object-directory",
+         os.path.dirname(gcda), gcda],
+        cwd=workdir, capture_output=True, check=False)
+    for out in glob.glob(os.path.join(workdir, "*.gcov.json.gz")):
+        try:
+            with gzip.open(out, "rt", encoding="utf-8") as f:
+                yield json.load(f)
+        except (OSError, json.JSONDecodeError):
+            pass
+        finally:
+            os.unlink(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir")
+    parser.add_argument("--filter", required=True,
+                        help="path substring selecting gated sources, "
+                             "e.g. src/service/")
+    parser.add_argument("--min", type=float, default=80.0,
+                        help="minimum line coverage percent (default 80)")
+    parser.add_argument("--out", help="write a JSON coverage report here")
+    args = parser.parse_args()
+
+    gcov = find_gcov()
+    if gcov is None:
+        print("coverage_gate: no usable gcov on PATH", file=sys.stderr)
+        return 2
+
+    gcdas = glob.glob(os.path.join(args.build_dir, "**", "*.gcda"),
+                      recursive=True)
+    if not gcdas:
+        print(f"coverage_gate: no .gcda files under {args.build_dir} — "
+              "build with -DLIPSTICK_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 1
+
+    # line counts per source file: covered if ANY test TU executed it.
+    counts = collections.defaultdict(lambda: collections.defaultdict(int))
+    with tempfile.TemporaryDirectory() as workdir:
+        for gcda in gcdas:
+            for report in run_gcov(gcov, gcda, workdir):
+                for fentry in report.get("files", []):
+                    path = os.path.normpath(fentry.get("file", ""))
+                    if args.filter not in path:
+                        continue
+                    for line in fentry.get("lines", []):
+                        lineno = line.get("line_number")
+                        if lineno is None:
+                            continue
+                        counts[path][lineno] += int(line.get("count", 0))
+
+    if not counts:
+        print(f"coverage_gate: no instrumented lines matched filter "
+              f"'{args.filter}'", file=sys.stderr)
+        return 1
+
+    files = []
+    total_lines = total_covered = 0
+    for path in sorted(counts):
+        lines = counts[path]
+        covered = sum(1 for c in lines.values() if c > 0)
+        total_lines += len(lines)
+        total_covered += covered
+        pct = 100.0 * covered / len(lines) if lines else 0.0
+        files.append({"file": path, "lines": len(lines),
+                      "covered": covered, "percent": round(pct, 2)})
+
+    total_pct = 100.0 * total_covered / total_lines if total_lines else 0.0
+    report = {
+        "filter": args.filter,
+        "minimum_percent": args.min,
+        "percent": round(total_pct, 2),
+        "lines": total_lines,
+        "covered": total_covered,
+        "passed": total_pct >= args.min,
+        "files": files,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    width = max(len(f["file"]) for f in files)
+    for f in files:
+        print(f"  {f['file']:<{width}}  {f['covered']:>5}/{f['lines']:<5} "
+              f"{f['percent']:6.2f}%")
+    print(f"coverage_gate: {args.filter} line coverage "
+          f"{total_pct:.2f}% ({total_covered}/{total_lines}), "
+          f"minimum {args.min:.0f}%")
+    if total_pct < args.min:
+        print("coverage_gate: FAIL — below minimum", file=sys.stderr)
+        return 1
+    print("coverage_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

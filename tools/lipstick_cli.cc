@@ -22,17 +22,30 @@
 //   lipstick query <graph.pg> dot [--out graph.dot]
 //   lipstick query <graph.pg> opm --out graph.xml
 //   lipstick query <graph.pg> --batch <queries.txt> [--threads N]
+//   lipstick serve [name=]graph.pg... [--host H] [--port P] [--workers N]
+//                  [--queue-depth N] [--deadline-ms D] [--cache N]
+//                  [--query-threads N]
+//   lipstick query --connect host:port [--graph NAME] [--deadline-ms D]
+//                  stats|find|expr|depends|subgraph|zoomout|ping|graphs|
+//                  reload|metricz ... | --batch <queries.txt>
 //
 // Every `query` form accepts `--threads N`: parallel scans and traversals
 // for the one-shot queries, concurrent lines over one shared snapshot for
 // --batch (one read-only query per line: stats, find, expr, depends,
-// subgraph; blank lines and # comments skipped).
+// subgraph, zoomout; blank lines and # comments skipped).
+//
+// `serve` runs the long-lived query daemon of the service layer; `query
+// --connect` talks to it over the length-prefixed JSON protocol and
+// prints byte-identical output to local mode, so the same golden files
+// check both paths (tools/check.sh `integration`).
 //
 // Workflows that rely on C++ UDFs cannot be run from the CLI (register
 // them via the library API instead); everything else works end to end.
 
+#include <csignal>
+#include <unistd.h>
+
 #include <algorithm>
-#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -68,6 +81,11 @@
 #include "provenance/view.h"
 #include "provenance/zoom.h"
 #include "relational/csv.h"
+#include "service/client.h"
+#include "service/ops.h"
+#include "service/protocol.h"
+#include "service/registry.h"
+#include "service/server.h"
 #include "workflow/executor.h"
 #include "workflow/wfdsl.h"
 
@@ -96,7 +114,12 @@ int FailUsage() {
                "       lipstick query <graph.pg> stats|find|expr|depends|"
                "subgraph|delete|zoomout|dot|opm|validate ... [--threads N]\n"
                "       lipstick query <graph.pg> --batch <queries.txt> "
-               "[--threads N]\n");
+               "[--threads N]\n"
+               "       lipstick serve [name=]graph.pg... [--host H] "
+               "[--port P] [--workers N] [--queue-depth N] [--deadline-ms D] "
+               "[--cache N] [--query-threads N]\n"
+               "       lipstick query --connect host:port [--graph NAME] "
+               "[--deadline-ms D] <op> ... | --batch <queries.txt>\n");
   return 2;
 }
 
@@ -678,15 +701,6 @@ int CmdRecover(const std::vector<std::string>& args) {
   return 0;
 }
 
-Result<NodeId> ParseNodeId(const std::string& s) {
-  char* end = nullptr;
-  NodeId id = std::strtoull(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0') {
-    return Status::InvalidArgument(StrCat("bad node id '", s, "'"));
-  }
-  return id;
-}
-
 /// Query subcommands, recognized before the graph file is touched so an
 /// unknown op fails fast with a one-line diagnostic (mirroring `recover`).
 bool KnownQueryOp(const std::string& op) {
@@ -696,144 +710,12 @@ bool KnownQueryOp(const std::string& op) {
   return kOps.count(op) > 0;
 }
 
-/// snprintf into a std::string accumulator (query output is rendered to a
-/// string so the batch driver can emit results in input order).
-void Appendf(std::string* out, const char* fmt, ...) {
-  char buf[256];
-  va_list ap;
-  va_start(ap, fmt);
-  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
-  va_end(ap);
-  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
-}
-
-/// Builds the node predicate for `find` from its flag list. Shared by the
-/// one-shot and batch paths.
-Result<NodePredicate> ParseFindPredicate(const std::vector<std::string>& rest) {
-  NodePredicate pred = [](NodeId, const NodeView&) { return true; };
-  for (size_t i = 0; i + 1 < rest.size(); i += 2) {
-    const std::string& flag = rest[i];
-    const std::string& value = rest[i + 1];
-    if (flag == "--payload") {
-      pred = And(std::move(pred), ByPayload(value));
-    } else if (flag == "--label") {
-      bool matched = false;
-      for (int l = 0; l <= static_cast<int>(NodeLabel::kZoomedModule); ++l) {
-        if (value == NodeLabelToString(static_cast<NodeLabel>(l))) {
-          pred = And(std::move(pred), ByLabel(static_cast<NodeLabel>(l)));
-          matched = true;
-        }
-      }
-      if (!matched) {
-        return Status::InvalidArgument(StrCat("unknown label '", value, "'"));
-      }
-    } else if (flag == "--role") {
-      bool matched = false;
-      for (int r = 0; r <= static_cast<int>(NodeRole::kZoom); ++r) {
-        if (value == NodeRoleToString(static_cast<NodeRole>(r))) {
-          pred = And(std::move(pred), ByRole(static_cast<NodeRole>(r)));
-          matched = true;
-        }
-      }
-      if (!matched) {
-        return Status::InvalidArgument(StrCat("unknown role '", value, "'"));
-      }
-    } else {
-      return Status::InvalidArgument(StrCat("unknown find flag '", flag, "'"));
-    }
-  }
-  return pred;
-}
-
-/// Runs one read-only query over the shared snapshot and renders its output.
-/// `graph` backs the snapshot and supplies snapshot-independent extras
-/// (label histogram). Safe to call concurrently from many threads on the
-/// same snapshot — the backbone of `--batch`.
-Result<std::string> RunReadQuery(const GraphSnapshot& snap,
-                                 const ProvenanceGraph& graph,
-                                 const std::string& op,
-                                 const std::vector<std::string>& rest,
-                                 int threads) {
-  std::string out;
-  if (op == "stats") {
-    Result<GraphStats> stats = ComputeGraphStats(snap);
-    if (!stats.ok()) return stats.status();
-    Appendf(&out, "nodes:        %zu\n", stats->nodes);
-    Appendf(&out, "edges:        %zu\n", stats->edges);
-    Appendf(&out, "tokens:       %zu\n", stats->tokens);
-    Appendf(&out, "invocations:  %zu\n", stats->invocations);
-    Appendf(&out, "max fan-in:   %zu\n", stats->max_fan_in);
-    Appendf(&out, "max fan-out:  %zu\n", stats->max_fan_out);
-    Appendf(&out, "depth:        %zu\n", stats->depth);
-    for (const auto& [label, count] : graph.LabelHistogram()) {
-      Appendf(&out, "  label %-10s %zu\n", label.c_str(), count);
-    }
-    return out;
-  }
-  if (op == "find") {
-    Result<NodePredicate> pred = ParseFindPredicate(rest);
-    if (!pred.ok()) return pred.status();
-    std::vector<NodeId> found = FindNodes(snap, *pred, threads);
-    for (NodeId id : found) {
-      NodeView n = snap.node(id);
-      std::string_view payload = n.payload();
-      Appendf(&out, "%llu  %-9s %-13s ", static_cast<unsigned long long>(id),
-              NodeLabelToString(n.label()), NodeRoleToString(n.role()));
-      out.append(payload);
-      out.push_back('\n');
-    }
-    Appendf(&out, "(%zu nodes)\n", found.size());
-    return out;
-  }
-  if (op == "expr") {
-    if (rest.size() != 1) {
-      return Status::InvalidArgument("expr needs one node id");
-    }
-    Result<NodeId> id = ParseNodeId(rest[0]);
-    if (!id.ok()) return id.status();
-    out = ProvExpressionString(snap, *id, 12);
-    out.push_back('\n');
-    return out;
-  }
-  if (op == "depends") {
-    if (rest.size() != 2) {
-      return Status::InvalidArgument("depends needs <target-id> <source-id>");
-    }
-    Result<NodeId> target = ParseNodeId(rest[0]);
-    Result<NodeId> source = ParseNodeId(rest[1]);
-    if (!target.ok() || !source.ok()) {
-      return Status::InvalidArgument("bad node ids");
-    }
-    Result<bool> dep = DependsOn(snap, *target, *source);
-    if (!dep.ok()) return dep.status();
-    out = *dep ? "yes\n" : "no\n";
-    return out;
-  }
-  if (op == "subgraph") {
-    if (rest.size() != 1) {
-      return Status::InvalidArgument("subgraph needs one node id");
-    }
-    Result<NodeId> id = ParseNodeId(rest[0]);
-    if (!id.ok()) return id.status();
-    Result<std::vector<NodeId>> sub = SubgraphNodes(snap, *id, threads);
-    if (!sub.ok()) return sub.status();
-    Appendf(&out, "subgraph of %llu: %zu nodes\n",
-            static_cast<unsigned long long>(*id), sub->size());
-    return out;
-  }
-  return Status::InvalidArgument(
-      StrCat("unknown batch query operation '", op, "'"));
-}
-
-/// The `--batch` driver: one read-only query per line, run concurrently
-/// over a single shared snapshot on `threads` workers. Results print in
-/// input order, each under a "## <query>" header; the exit code is nonzero
-/// if any line fails (all lines still run and report).
-int RunBatch(const GraphSnapshot& snap, const ProvenanceGraph& graph,
-             const std::string& batch_path, int threads) {
-  std::ifstream in(batch_path);
+/// Loads a batch file: one query per line, blank lines and # comments
+/// skipped. Shared by the local and remote batch drivers.
+Result<std::vector<std::string>> ReadBatchLines(const std::string& path) {
+  std::ifstream in(path);
   if (!in.is_open()) {
-    return Fail(StrCat("cannot read batch file '", batch_path, "'"));
+    return Status::IOError(StrCat("cannot read batch file '", path, "'"));
   }
   std::vector<std::string> lines;
   std::string line;
@@ -842,33 +724,23 @@ int RunBatch(const GraphSnapshot& snap, const ProvenanceGraph& graph,
     if (first == std::string::npos || line[first] == '#') continue;
     lines.push_back(line.substr(first));
   }
-  std::vector<std::string> outputs(lines.size());
-  std::vector<std::string> errors(lines.size());
-  // Parallelism comes from running whole lines concurrently, so each line
-  // executes its query single-threaded.
-  ParallelFor(lines.size(), threads, [&](size_t begin, size_t end, int) {
-    for (size_t i = begin; i < end; ++i) {
-      std::istringstream ts(lines[i]);
-      std::vector<std::string> tokens;
-      std::string tok;
-      while (ts >> tok) tokens.push_back(tok);
-      std::vector<std::string> qargs(tokens.begin() + 1, tokens.end());
-      Result<std::string> text =
-          RunReadQuery(snap, graph, tokens[0], qargs, /*threads=*/1);
-      if (text.ok()) {
-        outputs[i] = std::move(*text);
-      } else {
-        errors[i] = text.status().ToString();
-      }
-    }
-  });
+  return lines;
+}
+
+/// Prints batch results in input order under "## <query>" headers. Failed
+/// lines render through the protocol error envelope ("error: <code>:
+/// <message>" — identical whether the query ran locally or server-side),
+/// and make the exit code nonzero; all lines still run and report.
+int ReportBatch(const std::vector<std::string>& lines,
+                const std::vector<std::string>& outputs,
+                const std::vector<Status>& errors) {
   size_t failures = 0;
   for (size_t i = 0; i < lines.size(); ++i) {
     std::printf("## %s\n", lines[i].c_str());
-    if (errors[i].empty()) {
+    if (errors[i].ok()) {
       std::fputs(outputs[i].c_str(), stdout);
     } else {
-      std::printf("error: %s\n", errors[i].c_str());
+      std::printf("%s\n", service::ErrorLine(errors[i]).c_str());
       ++failures;
     }
   }
@@ -880,15 +752,97 @@ int RunBatch(const GraphSnapshot& snap, const ProvenanceGraph& graph,
   return 0;
 }
 
+/// The local `--batch` driver: one read-only query per line, run
+/// concurrently over a single shared snapshot on `threads` workers.
+int RunBatch(const GraphSnapshot& snap, const std::string& batch_path,
+             int threads) {
+  Result<std::vector<std::string>> lines = ReadBatchLines(batch_path);
+  if (!lines.ok()) return Fail(lines.status().ToString());
+  std::vector<std::string> outputs(lines->size());
+  std::vector<Status> errors(lines->size());
+  // Parallelism comes from running whole lines concurrently, so each line
+  // executes its query single-threaded.
+  ParallelFor(lines->size(), threads, [&](size_t begin, size_t end, int) {
+    for (size_t i = begin; i < end; ++i) {
+      std::istringstream ts((*lines)[i]);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (ts >> tok) tokens.push_back(tok);
+      std::vector<std::string> qargs(tokens.begin() + 1, tokens.end());
+      Result<std::string> text =
+          service::ExecuteReadQuery(snap, tokens[0], qargs, /*threads=*/1);
+      if (text.ok()) {
+        outputs[i] = std::move(*text);
+      } else {
+        errors[i] = text.status();
+      }
+    }
+  });
+  return ReportBatch(*lines, outputs, errors);
+}
+
+/// The remote `--batch` driver: same file format, same report, but each
+/// line is a round-trip to the daemon over one connection.
+int RunRemoteBatch(service::ServiceClient* client,
+                   const std::string& batch_path, const std::string& graph,
+                   double deadline_ms) {
+  Result<std::vector<std::string>> lines = ReadBatchLines(batch_path);
+  if (!lines.ok()) return Fail(lines.status().ToString());
+  std::vector<std::string> outputs(lines->size());
+  std::vector<Status> errors(lines->size());
+  for (size_t i = 0; i < lines->size(); ++i) {
+    std::istringstream ts((*lines)[i]);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ts >> tok) tokens.push_back(tok);
+    std::vector<std::string> qargs(tokens.begin() + 1, tokens.end());
+    Result<std::string> text =
+        client->Query(tokens[0], qargs, graph, deadline_ms);
+    if (text.ok()) {
+      outputs[i] = std::move(*text);
+    } else {
+      errors[i] = text.status();
+    }
+  }
+  return ReportBatch(*lines, outputs, errors);
+}
+
+/// Remote mode: `query --connect host:port <op> ...`. The server renders
+/// the text, the client prints it verbatim — byte-identical to local mode.
+int CmdQueryRemote(const std::string& endpoint,
+                   const std::vector<std::string>& rest,
+                   const std::string& graph, double deadline_ms,
+                   const std::string& batch_path) {
+  Result<service::ServiceClient> client =
+      service::ServiceClient::Connect(endpoint);
+  if (!client.ok()) return Fail(client.status().ToString());
+  if (!batch_path.empty()) {
+    return RunRemoteBatch(&*client, batch_path, graph, deadline_ms);
+  }
+  if (rest.empty()) return FailUsage();
+  std::string op = rest[0];
+  std::vector<std::string> qargs(rest.begin() + 1, rest.end());
+  Result<std::string> text = client->Query(op, qargs, graph, deadline_ms);
+  if (!text.ok()) {
+    std::fprintf(stderr, "lipstick: %s\n",
+                 service::ErrorLine(text.status()).c_str());
+    return 1;
+  }
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
 int CmdQuery(const std::vector<std::string>& args) {
   if (args.empty()) return FailUsage();
-  const std::string& path = args[0];
-  std::vector<std::string> rest(args.begin() + 1, args.end());
+  std::vector<std::string> rest = args;
 
-  // Global flags, accepted anywhere after the graph path.
+  // Global flags, accepted anywhere.
   int threads = 1;
   std::string out_path;
   std::string batch_path;
+  std::string connect;     // --connect host:port = remote mode
+  std::string graph_name;  // --graph: server-side graph selector
+  double deadline_ms = 0;  // --deadline-ms: server-side query deadline
   for (size_t i = 0; i < rest.size();) {
     if (rest[i] == "--threads") {
       if (i + 1 >= rest.size()) return Fail("--threads needs a value");
@@ -907,10 +861,33 @@ int CmdQuery(const std::vector<std::string>& args) {
       if (i + 1 >= rest.size()) return Fail("--out needs a value");
       out_path = rest[i + 1];
       rest.erase(rest.begin() + i, rest.begin() + i + 2);
+    } else if (rest[i] == "--connect") {
+      if (i + 1 >= rest.size()) return Fail("--connect needs host:port");
+      connect = rest[i + 1];
+      rest.erase(rest.begin() + i, rest.begin() + i + 2);
+    } else if (rest[i] == "--graph") {
+      if (i + 1 >= rest.size()) return Fail("--graph needs a name");
+      graph_name = rest[i + 1];
+      rest.erase(rest.begin() + i, rest.begin() + i + 2);
+    } else if (rest[i] == "--deadline-ms") {
+      if (i + 1 >= rest.size()) return Fail("--deadline-ms needs a value");
+      deadline_ms = std::atof(rest[i + 1].c_str());
+      rest.erase(rest.begin() + i, rest.begin() + i + 2);
     } else {
       ++i;
     }
   }
+
+  if (!connect.empty()) {
+    if (!out_path.empty()) {
+      return Fail("--out is not supported with --connect");
+    }
+    return CmdQueryRemote(connect, rest, graph_name, deadline_ms, batch_path);
+  }
+
+  if (rest.empty()) return FailUsage();
+  const std::string path = rest[0];
+  rest.erase(rest.begin());
 
   // Reject unknown subcommands and unreadable paths before the loader
   // runs: one-line diagnostics, nonzero exit, no partial output.
@@ -935,7 +912,7 @@ int CmdQuery(const std::vector<std::string>& args) {
   // `delete` mutates the graph, so it runs before the snapshot capture.
   if (op == "delete") {
     if (rest.size() != 1) return FailUsage();
-    Result<NodeId> id = ParseNodeId(rest[0]);
+    Result<NodeId> id = service::ParseNodeId(rest[0]);
     if (!id.ok()) return Fail(id.status().ToString());
     size_t removed = *PropagateDeletion(&*graph, *id);
     std::printf("deleted %zu node(s); %zu remain\n", removed,
@@ -953,12 +930,14 @@ int CmdQuery(const std::vector<std::string>& args) {
   if (!snap.ok()) return Fail(snap.status().ToString());
 
   if (!batch_path.empty()) {
-    return RunBatch(*snap, *graph, batch_path, threads);
+    return RunBatch(*snap, batch_path, threads);
   }
 
   if (op == "stats" || op == "find" || op == "expr" || op == "depends" ||
-      (op == "subgraph" && out_path.empty())) {
-    Result<std::string> text = RunReadQuery(*snap, *graph, op, rest, threads);
+      (op == "subgraph" && out_path.empty()) ||
+      (op == "zoomout" && out_path.empty())) {
+    Result<std::string> text =
+        service::ExecuteReadQuery(*snap, op, rest, threads);
     if (!text.ok()) return Fail(text.status().ToString());
     std::fputs(text->c_str(), stdout);
     return 0;
@@ -967,7 +946,7 @@ int CmdQuery(const std::vector<std::string>& args) {
     // --out given: build the lazy view once and render it directly —
     // byte-identical to materializing and rendering the restricted graph.
     if (rest.size() != 1) return FailUsage();
-    Result<NodeId> id = ParseNodeId(rest[0]);
+    Result<NodeId> id = service::ParseNodeId(rest[0]);
     if (!id.ok()) return Fail(id.status().ToString());
     Result<GraphView> view = SubgraphView(*snap, *id, threads);
     if (!view.ok()) return Fail(view.status().ToString());
@@ -1024,6 +1003,118 @@ int CmdQuery(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// serve: the long-lived multi-client provenance query daemon.
+// ---------------------------------------------------------------------
+
+/// Self-pipe for async-signal-safe shutdown: the handler only write()s a
+/// byte; the main thread blocks on the read end and runs the drain.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleStopSignal(int /*signum*/) {
+  char byte = 0;
+  // Best-effort: a full pipe means a stop is already pending.
+  [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+int CmdServe(const std::vector<std::string>& args) {
+  if (args.empty()) return FailUsage();
+  service::ServerOptions options;
+  std::vector<std::pair<std::string, std::string>> specs;  // name, path
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto need_value = [&](const char* flag) -> Result<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument(StrCat(flag, " needs a value"));
+      }
+      return args[++i];
+    };
+    if (args[i] == "--host") {
+      auto v = need_value("--host");
+      if (!v.ok()) return Fail(v.status().ToString());
+      options.host = *v;
+    } else if (args[i] == "--port") {
+      auto v = need_value("--port");
+      if (!v.ok()) return Fail(v.status().ToString());
+      options.port = std::atoi(v->c_str());
+    } else if (args[i] == "--workers") {
+      auto v = need_value("--workers");
+      if (!v.ok()) return Fail(v.status().ToString());
+      options.workers = std::atoi(v->c_str());
+    } else if (args[i] == "--queue-depth") {
+      auto v = need_value("--queue-depth");
+      if (!v.ok()) return Fail(v.status().ToString());
+      options.queue_depth = static_cast<size_t>(std::atoi(v->c_str()));
+    } else if (args[i] == "--deadline-ms") {
+      auto v = need_value("--deadline-ms");
+      if (!v.ok()) return Fail(v.status().ToString());
+      options.default_deadline_ms = std::atof(v->c_str());
+    } else if (args[i] == "--cache") {
+      auto v = need_value("--cache");
+      if (!v.ok()) return Fail(v.status().ToString());
+      options.cache_entries = static_cast<size_t>(std::atoi(v->c_str()));
+    } else if (args[i] == "--query-threads") {
+      auto v = need_value("--query-threads");
+      if (!v.ok()) return Fail(v.status().ToString());
+      options.query_threads = std::atoi(v->c_str());
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return Fail(StrCat("unknown serve flag '", args[i], "'"));
+    } else {
+      // Graph spec: "name=path" or bare "path" (name = file stem).
+      size_t eq = args[i].find('=');
+      if (eq != std::string::npos) {
+        specs.emplace_back(args[i].substr(0, eq), args[i].substr(eq + 1));
+      } else {
+        specs.emplace_back(
+            std::filesystem::path(args[i]).stem().string(), args[i]);
+      }
+    }
+  }
+  if (specs.empty()) return Fail("serve needs at least one graph file");
+
+  // The daemon runs with metrics armed: the whole point of `metricz` and
+  // the latency histograms is observing a live server.
+  obs::MetricsRegistry::Global().Enable();
+
+  service::GraphRegistry registry;
+  for (const auto& [name, path] : specs) {
+    Status st = registry.LoadFile(name, path);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("serve: loaded graph '%s' from %s\n", name.c_str(),
+                path.c_str());
+  }
+
+  service::Server server(&registry, options);
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st.ToString());
+
+  if (pipe(g_signal_pipe) != 0) return Fail("cannot create signal pipe");
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  // The integration harness waits for this exact line (and parses the
+  // port out of it when --port 0 asked for an ephemeral one).
+  std::printf("serve: listening on %s:%d\n", server.host().c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  char byte;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("serve: draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  service::Server::StatsSnapshot stats = server.Stats();
+  std::printf("serve: drained, exiting (%llu connection(s), %llu "
+              "request(s), %llu overloaded)\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.overloaded));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1041,5 +1132,6 @@ int main(int argc, char** argv) {
   if (cmd == "run") return CmdRun(rest);
   if (cmd == "recover") return CmdRecover(rest);
   if (cmd == "query") return CmdQuery(rest);
+  if (cmd == "serve") return CmdServe(rest);
   return FailUsage();
 }
