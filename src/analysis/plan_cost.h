@@ -1,0 +1,42 @@
+#ifndef LIPSTICK_ANALYSIS_PLAN_COST_H_
+#define LIPSTICK_ANALYSIS_PLAN_COST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "provenance/plan.h"
+#include "provenance/snapshot.h"
+
+namespace lipstick::analysis {
+
+/// Predicted output of one plan operator: the visible-node cardinality
+/// after the operator runs and its estimated byte footprint under the
+/// PR-6 storage formulas. Rendered by `lipstick explain`.
+struct PlanCostRow {
+  std::string op;          // canonical operator string
+  CardInterval rows;       // predicted visible nodes after this operator
+  double est_rows = 0;     // point estimate (interval midpoint / scan count)
+  uint64_t est_bytes = 0;  // est_rows x measured bytes per node
+};
+
+struct PlanCostReport {
+  /// One row per plan operator, in execution order.
+  std::vector<PlanCostRow> rows;
+  /// Measured storage density of the input graph (PredictFromEmission over
+  /// MeasureEmission, divided by the alive-node count).
+  double bytes_per_node = 0;
+};
+
+/// Estimates per-operator cardinalities for `plan` over the live graph
+/// behind `snap`, without executing anything: ZoomOut from one column scan
+/// counting the named modules' intermediate/state nodes, Restrict/Find
+/// from the label histogram, Subgraph/DeleteProp as [0, input] bounds.
+/// Byte costs reuse the PR-6 predictive model's formulas, calibrated on
+/// the graph itself.
+PlanCostReport EstimatePlanCost(const GraphSnapshot& snap, const Plan& plan);
+
+}  // namespace lipstick::analysis
+
+#endif  // LIPSTICK_ANALYSIS_PLAN_COST_H_

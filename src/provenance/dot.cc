@@ -225,9 +225,7 @@ struct SnapshotSource {
 struct ViewSource {
   const GraphView& view;
 
-  bool Alive(NodeId id) const {
-    return view.Visible(id) || view.IsSynthetic(id);
-  }
+  bool Alive(NodeId id) const { return view.VisibleOrSynthetic(id); }
   NodeFacts Facts(NodeId id) const {
     if (view.IsSynthetic(id)) {
       return FactsOf(view.synthetic_nodes()[view.SyntheticIndex(id)]);

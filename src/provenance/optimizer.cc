@@ -1,0 +1,67 @@
+#include "provenance/optimizer.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace lipstick {
+
+OptimizedPlan OptimizePlan(const Plan& plan) {
+  OptimizedPlan out;
+  // Pass 1: no-op elimination + restrict fusion over the view chain. The
+  // final op renders the pipeline's summary, so it is never dropped.
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    const PlanOp& op = plan.ops[i];
+    bool is_last = i + 1 == plan.ops.size();
+    if (op.kind == PlanOpKind::kRestrict && op.pattern.empty() && !is_last) {
+      out.rewrites.push_back(
+          {"noop_elimination",
+           "dropped restrict() with an empty predicate (matches all nodes)"});
+      continue;
+    }
+    if (op.kind == PlanOpKind::kRestrict && !out.plan.ops.empty() &&
+        out.plan.ops.back().kind == PlanOpKind::kRestrict) {
+      PlanOp& prev = out.plan.ops.back();
+      std::string a = prev.Canonical();
+      std::string b = op.Canonical();
+      prev.pattern.atoms.insert(prev.pattern.atoms.end(),
+                                op.pattern.atoms.begin(),
+                                op.pattern.atoms.end());
+      prev.pattern.Normalize();
+      out.rewrites.push_back(
+          {"restrict_fusion",
+           StrCat("merged ", a, "|", b, " into ", prev.Canonical())});
+      continue;
+    }
+    out.plan.ops.push_back(op);
+  }
+  // Pass 2: execution-strategy annotations over the rewritten chain.
+  size_t view_ops = out.plan.NumViewOps();
+  if (view_ops >= 2) {
+    out.rewrites.push_back(
+        {"mask_fusion",
+         StrCat(view_ops, " view stages fuse into one composed view "
+                          "(no intermediate materialization)")});
+  }
+  if (out.plan.HasTerminal() && view_ops > 0 &&
+      out.plan.ops.back().kind == PlanOpKind::kFind) {
+    out.rewrites.push_back(
+        {"predicate_pushdown",
+         "find predicate evaluates inside the composed view's single "
+         "visible-node enumeration"});
+  }
+  Plan prefix;
+  for (size_t i = 0; i < view_ops; ++i) {
+    prefix.ops.push_back(out.plan.ops[i]);
+    out.view_prefixes.push_back(prefix.Canonical());
+  }
+  if (view_ops > 0) {
+    out.rewrites.push_back(
+        {"cache_split",
+         StrCat(view_ops, " cacheable view prefix(es): ",
+                Join(out.view_prefixes, " ; "))});
+  }
+  return out;
+}
+
+}  // namespace lipstick

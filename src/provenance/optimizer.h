@@ -1,0 +1,47 @@
+#ifndef LIPSTICK_PROVENANCE_OPTIMIZER_H_
+#define LIPSTICK_PROVENANCE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "provenance/plan.h"
+
+namespace lipstick {
+
+/// One rewrite the optimizer applied (or one execution strategy it
+/// selected), reported by `lipstick explain`.
+struct PlanRewrite {
+  std::string rule;    // e.g. "restrict_fusion"
+  std::string detail;  // human-readable description
+};
+
+/// A plan after rule-based rewriting, plus the metadata the executor and
+/// the cache need: which rewrites fired and the canonical string of every
+/// view-operator prefix (the cacheable subplans — a later request whose
+/// pipeline shares a prefix reuses the composed view mask instead of
+/// recomputing it).
+struct OptimizedPlan {
+  Plan plan;
+  std::vector<PlanRewrite> rewrites;
+  // view_prefixes[i] == canonical string of plan.ops[0..i] (view ops only),
+  // longest last. Empty when the plan has no view operators.
+  std::vector<std::string> view_prefixes;
+};
+
+/// Rule-based rewriting:
+///   - no-op elimination: an empty Restrict (matches everything) is dropped;
+///   - restrict fusion: adjacent Restricts AND-merge into one predicate;
+///   - mask fusion: all view operators execute against one composed
+///     GraphView, never materializing between stages (recorded, since it is
+///     the executor's strategy rather than a plan mutation);
+///   - predicate pushdown: a trailing Find evaluates during the composed
+///     view's single visible-node enumeration pass;
+///   - cache-aware subplan split: every view prefix is published as a
+///     cacheable unit (view_prefixes).
+/// Rewrites never reorder DeleteProp or ZoomOut stages — their results
+/// depend on what is visible when they run.
+OptimizedPlan OptimizePlan(const Plan& plan);
+
+}  // namespace lipstick
+
+#endif  // LIPSTICK_PROVENANCE_OPTIMIZER_H_

@@ -55,6 +55,11 @@ class VisitedSet {
     }
   }
 
+  /// Copies another bitmap's marks wholesale. Both sets must come from
+  /// snapshots of the same graph extent (identical shard geometry) — the
+  /// cloning path of composed GraphViews.
+  void CopyFrom(const VisitedSet& other) { bits_ = other.bits_; }
+
  private:
   friend class GraphSnapshot;
 

@@ -10,6 +10,30 @@
 
 namespace lipstick {
 
+Result<GraphView> GraphView::MakeIdentity(const GraphSnapshot& snap) {
+  LIPSTICK_RETURN_IF_ERROR(RequireSealed(snap.graph(), "plan execution"));
+  GraphView view(snap, Mode::kHide);
+  view.num_visible_underlying_ = snap.graph().num_alive();
+  return view;
+}
+
+GraphView GraphView::Clone() const {
+  GraphView copy(*snap_, keep_mode_ ? Mode::kKeep : Mode::kHide);
+  copy.mask_->CopyFrom(*mask_);
+  copy.num_visible_underlying_ = num_visible_underlying_;
+  copy.synthetic_ = synthetic_;
+  copy.syn_alive_ = syn_alive_;
+  copy.num_syn_alive_ = num_syn_alive_;
+  copy.overrides_ = overrides_;
+  return copy;
+}
+
+Status GraphView::RequireHideMode(const char* op) const {
+  if (!keep_mode_) return Status::OK();
+  return Status::InvalidArgument(
+      std::string("view composition requires a hide-mode view: ") + op);
+}
+
 std::unordered_set<NodeId> GraphView::VisibleSet() const {
   std::unordered_set<NodeId> set;
   set.reserve(num_visible_underlying_);
@@ -20,6 +44,200 @@ std::unordered_set<NodeId> GraphView::VisibleSet() const {
     }
   }
   return set;
+}
+
+GraphView::ChildOverlay GraphView::BuildChildOverlay() const {
+  ChildOverlay overlay;
+  // Rewired module outputs: their parents became {zoom node, m node}, so
+  // the zoom node and the m node each gain the output as a child (the
+  // output's original CSR in-edges are suppressed by ForEachChild).
+  for (const auto& [out, parents] : overrides_) {
+    if (!Visible(out)) continue;
+    for (NodeId p : parents) {
+      if (VisibleOrSynthetic(p)) overlay[p].push_back(out);
+    }
+  }
+  // Synthetic zoom nodes are children of their (visible) input nodes.
+  for (size_t k = 0; k < synthetic_.size(); ++k) {
+    if (!syn_alive_[k]) continue;
+    NodeId zoom_id = SyntheticId(k);
+    for (NodeId p : synthetic_[k].parents) {
+      if (Visible(p)) overlay[p].push_back(zoom_id);
+    }
+  }
+  return overlay;
+}
+
+Status GraphView::ApplyZoomOut(const std::vector<std::string>& modules,
+                               int num_threads) {
+  LIPSTICK_RETURN_IF_ERROR(RequireHideMode("ApplyZoomOut"));
+  std::set<std::string> unique(modules.begin(), modules.end());
+  // One shared mark set across modules makes earlier modules' removals
+  // invisible to later planning passes, mirroring the eager path's
+  // seal-between-modules behavior.
+  for (const std::string& module : unique) {
+    Result<internal::ZoomPlan> plan =
+        internal::PlanZoomOut(*snap_, module, *mask_, num_threads);
+    if (!plan.ok()) return plan.status();
+    num_visible_underlying_ -= plan->removed.size();
+    for (internal::ZoomInvocationPlan& ip : plan->invocations) {
+      NodeId zoom_id = SyntheticId(synthetic_.size());
+      for (NodeId out : ip.outputs) {
+        overrides_[out] = {zoom_id, ip.m_node};
+      }
+      PushSynthetic(SyntheticNode{module, ip.invocation, ip.m_node,
+                                  std::move(ip.zoom_parents)});
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphView::ApplySubgraph(const std::vector<NodeId>& roots, bool up,
+                                bool down) {
+  LIPSTICK_RETURN_IF_ERROR(RequireHideMode("ApplySubgraph"));
+  std::unordered_set<NodeId> members;
+  std::vector<NodeId> work;
+  for (NodeId r : roots) {
+    if (VisibleOrSynthetic(r)) members.insert(r);
+  }
+  std::unordered_set<NodeId> seeds = members;
+  if (up) {
+    work.assign(seeds.begin(), seeds.end());
+    while (!work.empty()) {
+      NodeId id = work.back();
+      work.pop_back();
+      for (NodeId p : ParentsOf(id)) {
+        if (VisibleOrSynthetic(p) && members.insert(p).second) {
+          work.push_back(p);
+        }
+      }
+    }
+  }
+  if (down) {
+    ChildOverlay overlay = BuildChildOverlay();
+    std::unordered_set<NodeId> down_set;
+    std::unordered_set<NodeId> visited = seeds;
+    work.assign(seeds.begin(), seeds.end());
+    while (!work.empty()) {
+      NodeId id = work.back();
+      work.pop_back();
+      ForEachChild(id, overlay, [&](NodeId c) {
+        if (visited.insert(c).second) {
+          down_set.insert(c);
+          work.push_back(c);
+        }
+      });
+    }
+    for (NodeId d : down_set) {
+      members.insert(d);
+      if (up) {
+        // The legacy subgraph query also keeps co-parents of descendants:
+        // every node a descendant is jointly derived from.
+        for (NodeId p : ParentsOf(d)) {
+          if (VisibleOrSynthetic(p)) members.insert(p);
+        }
+      }
+    }
+  }
+  // Narrow visibility to the members.
+  size_t kept = 0;
+  for (uint32_t s = 0; s < snap_->num_shards(); ++s) {
+    for (uint64_t i = 0; i < snap_->ShardSize(s); ++i) {
+      NodeId id = MakeNodeId(s, i);
+      if (!Visible(id)) continue;
+      if (members.count(id)) {
+        ++kept;
+      } else {
+        mask_->Set(id);
+      }
+    }
+  }
+  num_visible_underlying_ = kept;
+  for (size_t k = 0; k < synthetic_.size(); ++k) {
+    if (syn_alive_[k] && !members.count(SyntheticId(k))) {
+      syn_alive_[k] = 0;
+      --num_syn_alive_;
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphView::ApplyRestrict(const FactPredicate& pred) {
+  LIPSTICK_RETURN_IF_ERROR(RequireHideMode("ApplyRestrict"));
+  size_t kept = 0;
+  for (uint32_t s = 0; s < snap_->num_shards(); ++s) {
+    for (uint64_t i = 0; i < snap_->ShardSize(s); ++i) {
+      NodeId id = MakeNodeId(s, i);
+      if (!Visible(id)) continue;
+      NodeView n = snap_->node(id);
+      if (pred(n.label(), n.role(), n.payload())) {
+        ++kept;
+      } else {
+        mask_->Set(id);
+      }
+    }
+  }
+  num_visible_underlying_ = kept;
+  for (size_t k = 0; k < synthetic_.size(); ++k) {
+    if (syn_alive_[k] &&
+        !pred(NodeLabel::kZoomedModule, NodeRole::kZoom,
+              synthetic_[k].module)) {
+      syn_alive_[k] = 0;
+      --num_syn_alive_;
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphView::ApplyDeleteProp(const std::vector<NodeId>& seeds,
+                                  size_t* removed) {
+  LIPSTICK_RETURN_IF_ERROR(RequireHideMode("ApplyDeleteProp"));
+  ChildOverlay overlay = BuildChildOverlay();
+  // Mirror of ComputeDeletionSet (provenance/deletion.cc) over the view's
+  // adjacency: a node dies when it is joint (· / ⊗) and loses any edge, or
+  // when it loses all of its visible in-edges.
+  std::unordered_set<NodeId> deleted;
+  std::vector<NodeId> order;
+  std::unordered_map<NodeId, size_t> lost_edges;
+  for (NodeId s : seeds) {
+    if (VisibleOrSynthetic(s) && deleted.insert(s).second) {
+      order.push_back(s);
+    }
+  }
+  auto alive_parent_count = [this](NodeId id) {
+    size_t n = 0;
+    for (NodeId p : ParentsOf(id)) n += VisibleOrSynthetic(p) ? 1 : 0;
+    return n;
+  };
+  size_t head = 0;
+  while (head < order.size()) {
+    NodeId dead = order[head++];
+    ForEachChild(dead, overlay, [&](NodeId child) {
+      if (deleted.count(child)) return;
+      size_t lost = ++lost_edges[child];
+      NodeLabel cl = IsSynthetic(child) ? NodeLabel::kZoomedModule
+                                        : snap_->node(child).label();
+      bool joint = cl == NodeLabel::kTimes || cl == NodeLabel::kTensor;
+      if (joint || lost >= alive_parent_count(child)) {
+        deleted.insert(child);
+        order.push_back(child);
+      }
+    });
+  }
+  for (NodeId id : order) {
+    if (IsSynthetic(id)) {
+      size_t k = SyntheticIndex(id);
+      if (syn_alive_[k]) {
+        syn_alive_[k] = 0;
+        --num_syn_alive_;
+      }
+    } else {
+      mask_->Set(id);
+      --num_visible_underlying_;
+    }
+  }
+  if (removed != nullptr) *removed = order.size();
+  return Status::OK();
 }
 
 Result<ProvenanceGraph> GraphView::Materialize() const {
@@ -64,12 +282,14 @@ Result<ProvenanceGraph> GraphView::Materialize() const {
     }
   }
   // Synthetic zoom nodes continue shard 0's index space, exactly where the
-  // eager writer would have appended them.
-  for (const SyntheticNode& z : synthetic_) {
+  // eager writer would have appended them; ones hidden by a later pipeline
+  // stage are restored dead, like any other hidden node.
+  for (size_t k = 0; k < synthetic_.size(); ++k) {
+    const SyntheticNode& z = synthetic_[k];
     NodeRecord zrec;
     zrec.label = NodeLabel::kZoomedModule;
     zrec.role = NodeRole::kZoom;
-    zrec.alive = true;
+    zrec.alive = syn_alive_[k] != 0;
     zrec.invocation = z.invocation;
     zrec.parents = z.parents;
     zrec.payload = z.module;
@@ -97,25 +317,9 @@ Result<GraphView> ZoomOutView(const GraphSnapshot& snap,
                                                             : num_threads));
 
   GraphView view(snap, GraphView::Mode::kHide);
-  // One shared mark set across modules makes earlier modules' removals
-  // invisible to later planning passes, mirroring the eager path's
-  // seal-between-modules behavior.
-  size_t removed_total = 0;
-  for (const std::string& module : module_names) {
-    Result<internal::ZoomPlan> plan =
-        internal::PlanZoomOut(snap, module, *view.mask_, num_threads);
-    if (!plan.ok()) return plan.status();
-    removed_total += plan->removed.size();
-    for (internal::ZoomInvocationPlan& ip : plan->invocations) {
-      NodeId zoom_id = view.SyntheticId(view.synthetic_.size());
-      for (NodeId out : ip.outputs) {
-        view.overrides_[out] = {zoom_id, ip.m_node};
-      }
-      view.synthetic_.push_back(GraphView::SyntheticNode{
-          module, ip.invocation, ip.m_node, std::move(ip.zoom_parents)});
-    }
-  }
-  view.num_visible_underlying_ = snap.graph().num_alive() - removed_total;
+  view.num_visible_underlying_ = snap.graph().num_alive();
+  std::vector<std::string> modules(module_names.begin(), module_names.end());
+  LIPSTICK_RETURN_IF_ERROR(view.ApplyZoomOut(modules, num_threads));
   return view;
 }
 

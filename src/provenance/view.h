@@ -3,8 +3,10 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -14,16 +16,26 @@
 
 namespace lipstick {
 
-/// A lazy result of a graph-transforming query (ZoomOut, subgraph): a node
-/// mask over an immutable GraphSnapshot plus, for zoom, synthetic collapsed
-/// module nodes and parent rewirings. Nothing is copied or mutated when a
-/// view is built — the view materializes into a standalone ProvenanceGraph
-/// only on export, and materialization is byte-identical (provio v2) to
-/// what the eager, mutating operator produces.
+/// A lazy result of a graph-transforming query (ZoomOut, subgraph,
+/// restrict, deletion propagation): a node mask over an immutable
+/// GraphSnapshot plus, for zoom, synthetic collapsed module nodes and
+/// parent rewirings. Nothing is copied or mutated when a view is built —
+/// the view materializes into a standalone ProvenanceGraph only on export,
+/// and materialization is byte-identical (provio v2) to what the eager,
+/// mutating operator produces.
 ///
-/// Thread-safety: a GraphView is immutable after construction; any number
-/// of threads may read or Materialize() one view concurrently, under the
-/// same contract as the snapshot it was built from.
+/// Views compose: the plan executor (provenance/exec.h) starts from
+/// MakeIdentity() and chains ApplyZoomOut / ApplySubgraph / ApplyRestrict
+/// / ApplyDeleteProp on one view, so a whole pipeline runs against a
+/// single mask with no intermediate materialization ("mask fusion").
+/// Applying stage k over the composed state is equivalent to materializing
+/// after stage k-1 and running stage k eagerly — the plan-equivalence
+/// suite (tests/plan_test.cc) checks this byte-for-byte.
+///
+/// Thread-safety: composition (the Apply* methods) is single-threaded;
+/// once composed, a GraphView is immutable and any number of threads may
+/// read or Materialize() one view concurrently, under the same contract as
+/// the snapshot it was built from.
 class GraphView {
  public:
   /// A collapsed module p-node that exists only in the view. Its id
@@ -36,8 +48,21 @@ class GraphView {
     std::vector<NodeId> parents;   // the invocation's live input nodes
   };
 
+  /// Node predicate over the facts a restrict stage can see. Synthetic
+  /// zoom nodes evaluate as (kZoomedModule, kZoom, module-name).
+  using FactPredicate =
+      std::function<bool(NodeLabel, NodeRole, std::string_view)>;
+
   GraphView(GraphView&&) = default;
   GraphView& operator=(GraphView&&) = default;
+
+  /// The all-visible view of a snapshot: the Scan leaf every composed plan
+  /// starts from. Fails with kInvalidArgument on an unsealed graph.
+  static Result<GraphView> MakeIdentity(const GraphSnapshot& snap);
+
+  /// Deep copy (mask, synthetics, rewirings). The cacheable-subplan path
+  /// clones a cached prefix view before extending it with further stages.
+  GraphView Clone() const;
 
   const GraphSnapshot& snapshot() const { return *snap_; }
 
@@ -48,9 +73,16 @@ class GraphView {
     return snap_->Contains(id) && mask_->Test(id) == keep_mode_;
   }
 
-  /// Visible underlying nodes plus synthetic nodes.
+  /// Visibility across both node populations: underlying nodes by mask,
+  /// synthetic nodes by their alive flag.
+  bool VisibleOrSynthetic(NodeId id) const {
+    if (IsSynthetic(id)) return syn_alive_[SyntheticIndex(id)] != 0;
+    return Visible(id);
+  }
+
+  /// Visible underlying nodes plus alive synthetic nodes.
   size_t num_visible() const {
-    return num_visible_underlying_ + synthetic_.size();
+    return num_visible_underlying_ + num_syn_alive_;
   }
   size_t num_synthetic() const { return synthetic_.size(); }
   const std::vector<SyntheticNode>& synthetic_nodes() const {
@@ -63,6 +95,9 @@ class GraphView {
            NodeIndex(id) < base0_ + synthetic_.size();
   }
   size_t SyntheticIndex(NodeId id) const { return NodeIndex(id) - base0_; }
+  /// Liveness of synthetic node `k` (a later pipeline stage may hide a
+  /// zoom node created by an earlier one).
+  bool SyntheticAlive(size_t k) const { return syn_alive_[k] != 0; }
 
   /// Parent list of a node under the view: synthetic nodes resolve to
   /// their input nodes, rewired module outputs to {zoom node, m node},
@@ -79,13 +114,19 @@ class GraphView {
     return snap_->ParentsOf(id);
   }
 
+  /// The zoom rewirings: module output -> {zoom node, m node}.
+  const std::unordered_map<NodeId, std::array<NodeId, 2>>& parent_overrides()
+      const {
+    return overrides_;
+  }
+
   /// Visible underlying nodes as a set (synthetics excluded) — the shape
   /// the eager set-returning queries expose.
   std::unordered_set<NodeId> VisibleSet() const;
 
   /// Every visible node in materialization order: shard 0's originals,
-  /// then the synthetic zoom nodes, then the remaining shards. `fn` is
-  /// called as fn(NodeId, const SyntheticNode*) with null for underlying
+  /// then the alive synthetic zoom nodes, then the remaining shards. `fn`
+  /// is called as fn(NodeId, const SyntheticNode*) with null for underlying
   /// nodes. This is exactly ForEachAliveNode order on the materialized
   /// graph, which keeps lazy exports byte-identical to eager ones.
   template <typename Fn>
@@ -96,7 +137,7 @@ class GraphView {
       if (Visible(id)) fn(id, none);
     }
     for (size_t k = 0; k < synthetic_.size(); ++k) {
-      fn(SyntheticId(k), &synthetic_[k]);
+      if (syn_alive_[k]) fn(SyntheticId(k), &synthetic_[k]);
     }
     for (uint32_t s = 1; s < snap_->num_shards(); ++s) {
       for (uint64_t i = 0; i < snap_->ShardSize(s); ++i) {
@@ -105,6 +146,58 @@ class GraphView {
       }
     }
   }
+
+  /// Extra child adjacency a composed view carries on top of the
+  /// snapshot's CSR: edges into rewired module outputs and edges touching
+  /// synthetic zoom nodes. Built on demand by the stages/terminals that
+  /// traverse downward; see ForEachChild.
+  using ChildOverlay = std::unordered_map<NodeId, std::vector<NodeId>>;
+  ChildOverlay BuildChildOverlay() const;
+
+  /// Visible children of `id` under the view: the snapshot's CSR edges
+  /// minus edges into rewired outputs (their parents changed), plus the
+  /// overlay's synthetic/rewired edges. Duplicate edges are preserved,
+  /// like the CSR itself.
+  template <typename Fn>
+  void ForEachChild(NodeId id, const ChildOverlay& overlay, Fn&& fn) const {
+    if (!IsSynthetic(id)) {
+      for (NodeId c : snap_->ChildrenOf(id)) {
+        if (Visible(c) && overrides_.find(c) == overrides_.end()) fn(c);
+      }
+    }
+    auto it = overlay.find(id);
+    if (it != overlay.end()) {
+      for (NodeId c : it->second) fn(c);
+    }
+  }
+
+  /// ------------------------------------------------------------------
+  /// Composition stages. Hide-mode views only (MakeIdentity / ZoomOutView
+  /// produce those); each stage narrows visibility in place. Equivalent to
+  /// materializing first and running the eager operator on the result.
+  /// ------------------------------------------------------------------
+
+  /// Collapses every named module (Definition 4.1) over the current
+  /// visibility. Duplicate names collapse once. Fails with kNotFound when
+  /// the graph holds no live invocation of a module.
+  Status ApplyZoomOut(const std::vector<std::string>& modules,
+                      int num_threads);
+
+  /// Restricts visibility to the reachability neighborhood of `roots`:
+  /// ancestors (`up`), descendants (`down`), plus co-parents of
+  /// descendants when both directions are on (the legacy subgraph query).
+  /// Invisible roots contribute nothing, like the eager query on a dead
+  /// node.
+  Status ApplySubgraph(const std::vector<NodeId>& roots, bool up, bool down);
+
+  /// Hides every visible node whose (label, role, payload) facts fail
+  /// `pred`.
+  Status ApplyRestrict(const FactPredicate& pred);
+
+  /// Deletion propagation (Definition 4.2) from `seeds` over the view's
+  /// adjacency; the deleted set becomes hidden. `*removed` receives the
+  /// deleted-node count (seeds included).
+  Status ApplyDeleteProp(const std::vector<NodeId>& seeds, size_t* removed);
 
   /// Builds a standalone graph equal to what the eager operator would have
   /// produced by mutation: same string pool, same node ids, same liveness,
@@ -124,14 +217,25 @@ class GraphView {
         mask_(snap.AcquireVisited()),
         base0_(snap.ShardSize(0)) {}
 
+  /// Appends a synthetic zoom node (alive).
+  void PushSynthetic(SyntheticNode node) {
+    synthetic_.push_back(std::move(node));
+    syn_alive_.push_back(1);
+    ++num_syn_alive_;
+  }
+  Status RequireHideMode(const char* op) const;
+
   const GraphSnapshot* snap_;
   // The mask is a leased bitmap: marked = kept (subgraph) or marked =
-  // hidden (zoom), so neither operator pays a full-graph scan to build it.
+  // hidden (zoom / composed plans), so neither operator pays a full-graph
+  // scan to build it.
   bool keep_mode_;
   VisitedLease mask_;
   size_t num_visible_underlying_ = 0;
   uint64_t base0_;  // shard 0 size; synthetic ids start here
   std::vector<SyntheticNode> synthetic_;
+  std::vector<uint8_t> syn_alive_;  // parallel to synthetic_
+  size_t num_syn_alive_ = 0;
   std::unordered_map<NodeId, std::array<NodeId, 2>> overrides_;
 };
 

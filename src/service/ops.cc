@@ -1,173 +1,175 @@
 #include "service/ops.h"
 
-#include <algorithm>
-#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <utility>
 
+#include "analysis/plan_cost.h"
 #include "common/str_util.h"
-#include "provenance/deletion.h"
-#include "provenance/query.h"
-#include "provenance/semiring.h"
-#include "provenance/subgraph.h"
-#include "provenance/view.h"
 
 namespace lipstick::service {
 
 namespace {
 
-/// snprintf into a std::string accumulator (query output is rendered to a
-/// string so batch drivers and the wire protocol can ship it whole).
-void Appendf(std::string* out, const char* fmt, ...) {
-  char buf[256];
-  va_list ap;
-  va_start(ap, fmt);
-  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
-  va_end(ap);
-  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+/// The first word of the op field (a pipeline may arrive whole in it).
+std::string HeadOf(const std::string& op) {
+  size_t end = op.find_first_of(" \t|");
+  return end == std::string::npos ? op : op.substr(0, end);
 }
 
-/// Builds the node predicate for `find` from its flag list.
-Result<NodePredicate> ParseFindPredicate(const std::vector<std::string>& rest) {
-  NodePredicate pred = [](NodeId, const NodeView&) { return true; };
-  for (size_t i = 0; i + 1 < rest.size(); i += 2) {
-    const std::string& flag = rest[i];
-    const std::string& value = rest[i + 1];
-    if (flag == "--payload") {
-      pred = And(std::move(pred), ByPayload(value));
-    } else if (flag == "--label") {
-      bool matched = false;
-      for (int l = 0; l <= static_cast<int>(NodeLabel::kZoomedModule); ++l) {
-        if (value == NodeLabelToString(static_cast<NodeLabel>(l))) {
-          pred = And(std::move(pred), ByLabel(static_cast<NodeLabel>(l)));
-          matched = true;
-        }
-      }
-      if (!matched) {
-        return Status::InvalidArgument(StrCat("unknown label '", value, "'"));
-      }
-    } else if (flag == "--role") {
-      bool matched = false;
-      for (int r = 0; r <= static_cast<int>(NodeRole::kZoom); ++r) {
-        if (value == NodeRoleToString(static_cast<NodeRole>(r))) {
-          pred = And(std::move(pred), ByRole(static_cast<NodeRole>(r)));
-          matched = true;
-        }
-      }
-      if (!matched) {
-        return Status::InvalidArgument(StrCat("unknown role '", value, "'"));
-      }
-    } else {
-      return Status::InvalidArgument(StrCat("unknown find flag '", flag, "'"));
-    }
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+std::string CardString(const analysis::CardInterval& rows) {
+  return rows.ToString();
+}
+
+/// `lipstick explain`: the optimized plan tree with the PR-6 cost model's
+/// predicted cardinalities and byte footprints per operator.
+std::string RenderExplainText(const ParsedQuery& parsed,
+                              const analysis::PlanCostReport& cost) {
+  std::string out = StrCat("plan: ", parsed.canonical, "\n");
+  out += StrCat("bytes/node: ", FormatDouble(cost.bytes_per_node), "\n");
+  out += "rewrites:\n";
+  if (parsed.optimized.rewrites.empty()) {
+    out += "  (none)\n";
   }
-  return pred;
+  for (const PlanRewrite& rw : parsed.optimized.rewrites) {
+    out += StrCat("  ", rw.rule, ": ", rw.detail, "\n");
+  }
+  out += "operators:\n";
+  for (size_t i = 0; i < parsed.optimized.plan.ops.size(); ++i) {
+    const PlanOp& op = parsed.optimized.plan.ops[i];
+    std::string row_info;
+    if (i < cost.rows.size()) {
+      const analysis::PlanCostRow& row = cost.rows[i];
+      row_info = StrCat("  rows=", CardString(row.rows),
+                        "  est_rows=", FormatDouble(row.est_rows),
+                        "  est_bytes=", row.est_bytes);
+    }
+    out += StrCat("  ", std::string(2 * i, ' '), op.IsViewOp() ? "-> " : "=> ",
+                  op.Canonical(), row_info, "\n");
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string RenderExplainJson(const ParsedQuery& parsed,
+                              const analysis::PlanCostReport& cost) {
+  std::string out =
+      StrCat("{\"plan\":\"", JsonEscape(parsed.canonical), "\",");
+  out += StrCat("\"bytes_per_node\":", FormatDouble(cost.bytes_per_node),
+                ",\"rewrites\":[");
+  for (size_t i = 0; i < parsed.optimized.rewrites.size(); ++i) {
+    const PlanRewrite& rw = parsed.optimized.rewrites[i];
+    out += StrCat(i == 0 ? "" : ",", "{\"rule\":\"", JsonEscape(rw.rule),
+                  "\",\"detail\":\"", JsonEscape(rw.detail), "\"}");
+  }
+  out += "],\"operators\":[";
+  for (size_t i = 0; i < parsed.optimized.plan.ops.size(); ++i) {
+    const PlanOp& op = parsed.optimized.plan.ops[i];
+    out += StrCat(i == 0 ? "" : ",", "{\"op\":\"",
+                  JsonEscape(op.Canonical()), "\",\"view\":",
+                  op.IsViewOp() ? "true" : "false");
+    if (i < cost.rows.size()) {
+      const analysis::PlanCostRow& row = cost.rows[i];
+      out += StrCat(",\"rows\":\"", JsonEscape(CardString(row.rows)),
+                    "\",\"est_rows\":", FormatDouble(row.est_rows),
+                    ",\"est_bytes\":", row.est_bytes);
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
 }
 
 }  // namespace
 
 bool IsReadQueryOp(const std::string& op) {
-  return op == "stats" || op == "find" || op == "expr" || op == "depends" ||
-         op == "subgraph" || op == "zoomout";
+  std::string head = HeadOf(op);
+  if (head == "stats" || head == "find" || head == "expr" ||
+      head == "depends" || head == "subgraph" || head == "zoomout" ||
+      head == "restrict" || head == "explain") {
+    return true;
+  }
+  // `delete` is read-only as a pipeline view stage; the bare op is the
+  // CLI's mutating subcommand.
+  return head == "delete" && op.find('|') != std::string::npos;
 }
 
 bool IsCacheableOp(const std::string& op) {
-  return op == "subgraph" || op == "zoomout";
+  std::string head = HeadOf(op);
+  return head == "subgraph" || head == "zoomout";
 }
 
-Result<NodeId> ParseNodeId(const std::string& s) {
-  char* end = nullptr;
-  NodeId id = std::strtoull(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0') {
-    return Status::InvalidArgument(StrCat("bad node id '", s, "'"));
+Result<NodeId> ParseNodeId(const std::string& s) { return ParsePlanNodeId(s); }
+
+Result<ParsedQuery> ParseQuery(const std::string& op,
+                               const std::vector<std::string>& args) {
+  ParsedQuery parsed;
+  std::string plan_op = op;
+  std::vector<std::string> plan_args = args;
+  if (HeadOf(op) == "explain") {
+    parsed.is_explain = true;
+    // Strip the leading "explain" word, keep the rest of the op field.
+    size_t head_end = op.find_first_of(" \t");
+    plan_op = head_end == std::string::npos ? "" : op.substr(head_end + 1);
+    if (!plan_args.empty() && plan_args.back() == "--json") {
+      parsed.explain_json = true;
+      plan_args.pop_back();
+    }
+    if (plan_op.find_first_not_of(" \t") == std::string::npos &&
+        plan_args.empty()) {
+      return Status::InvalidArgument("explain needs a query to explain");
+    }
   }
-  return id;
+  Result<Plan> plan = ParsePlan(plan_op, plan_args);
+  if (!plan.ok()) return plan.status();
+  parsed.optimized = OptimizePlan(*plan);
+  parsed.canonical = StrCat(parsed.is_explain ? "explain " : "",
+                            parsed.optimized.plan.Canonical(),
+                            parsed.explain_json ? " --json" : "");
+  return parsed;
+}
+
+Result<std::string> ExecuteParsedQuery(const GraphSnapshot& snap,
+                                       const ParsedQuery& parsed, int threads,
+                                       PlanViewCache* view_cache,
+                                       const std::string& scope,
+                                       std::shared_ptr<const void> pin) {
+  if (parsed.is_explain) {
+    analysis::PlanCostReport cost =
+        analysis::EstimatePlanCost(snap, parsed.optimized.plan);
+    return parsed.explain_json ? RenderExplainJson(parsed, cost)
+                               : RenderExplainText(parsed, cost);
+  }
+  ExecOptions opts;
+  opts.threads = threads;
+  opts.cache = view_cache;
+  opts.scope = scope;
+  opts.pin = std::move(pin);
+  return ExecutePlan(snap, parsed.optimized, opts);
 }
 
 Result<std::string> ExecuteReadQuery(const GraphSnapshot& snap,
                                      const std::string& op,
-                                     const std::vector<std::string>& rest,
+                                     const std::vector<std::string>& args,
                                      int threads) {
-  std::string out;
-  if (op == "stats") {
-    Result<GraphStats> stats = ComputeGraphStats(snap);
-    if (!stats.ok()) return stats.status();
-    Appendf(&out, "nodes:        %zu\n", stats->nodes);
-    Appendf(&out, "edges:        %zu\n", stats->edges);
-    Appendf(&out, "tokens:       %zu\n", stats->tokens);
-    Appendf(&out, "invocations:  %zu\n", stats->invocations);
-    Appendf(&out, "max fan-in:   %zu\n", stats->max_fan_in);
-    Appendf(&out, "max fan-out:  %zu\n", stats->max_fan_out);
-    Appendf(&out, "depth:        %zu\n", stats->depth);
-    for (const auto& [label, count] : snap.graph().LabelHistogram()) {
-      Appendf(&out, "  label %-10s %zu\n", label.c_str(), count);
-    }
-    return out;
-  }
-  if (op == "find") {
-    Result<NodePredicate> pred = ParseFindPredicate(rest);
-    if (!pred.ok()) return pred.status();
-    std::vector<NodeId> found = FindNodes(snap, *pred, threads);
-    for (NodeId id : found) {
-      NodeView n = snap.node(id);
-      std::string_view payload = n.payload();
-      Appendf(&out, "%llu  %-9s %-13s ", static_cast<unsigned long long>(id),
-              NodeLabelToString(n.label()), NodeRoleToString(n.role()));
-      out.append(payload);
-      out.push_back('\n');
-    }
-    Appendf(&out, "(%zu nodes)\n", found.size());
-    return out;
-  }
-  if (op == "expr") {
-    if (rest.size() != 1) {
-      return Status::InvalidArgument("expr needs one node id");
-    }
-    Result<NodeId> id = ParseNodeId(rest[0]);
-    if (!id.ok()) return id.status();
-    out = ProvExpressionString(snap, *id, 12);
-    out.push_back('\n');
-    return out;
-  }
-  if (op == "depends") {
-    if (rest.size() != 2) {
-      return Status::InvalidArgument("depends needs <target-id> <source-id>");
-    }
-    Result<NodeId> target = ParseNodeId(rest[0]);
-    Result<NodeId> source = ParseNodeId(rest[1]);
-    if (!target.ok() || !source.ok()) {
-      return Status::InvalidArgument("bad node ids");
-    }
-    Result<bool> dep = DependsOn(snap, *target, *source);
-    if (!dep.ok()) return dep.status();
-    out = *dep ? "yes\n" : "no\n";
-    return out;
-  }
-  if (op == "subgraph") {
-    if (rest.size() != 1) {
-      return Status::InvalidArgument("subgraph needs one node id");
-    }
-    Result<NodeId> id = ParseNodeId(rest[0]);
-    if (!id.ok()) return id.status();
-    Result<std::vector<NodeId>> sub = SubgraphNodes(snap, *id, threads);
-    if (!sub.ok()) return sub.status();
-    Appendf(&out, "subgraph of %llu: %zu nodes\n",
-            static_cast<unsigned long long>(*id), sub->size());
-    return out;
-  }
-  if (op == "zoomout") {
-    if (rest.empty()) {
-      return Status::InvalidArgument("zoomout needs at least one module");
-    }
-    Result<GraphView> view =
-        ZoomOutView(snap, {rest.begin(), rest.end()}, threads);
-    if (!view.ok()) return view.status();
-    Appendf(&out, "zoomed out of %zu module(s); %zu nodes remain\n",
-            rest.size(), view->num_visible());
-    return out;
-  }
-  return Status::InvalidArgument(StrCat("unknown query operation '", op, "'"));
+  Result<ParsedQuery> parsed = ParseQuery(op, args);
+  if (!parsed.ok()) return parsed.status();
+  return ExecuteParsedQuery(snap, *parsed, threads);
 }
 
 }  // namespace lipstick::service

@@ -108,6 +108,7 @@ Server::Server(GraphRegistry* registry, ServerOptions options)
     : registry_(registry),
       options_(std::move(options)),
       cache_(options_.cache_entries),
+      view_cache_(options_.cache_entries),
       queue_(options_.queue_depth) {}
 
 Server::~Server() { Shutdown(); }
@@ -199,6 +200,9 @@ Server::StatsSnapshot Server::Stats() const {
   snap.overloaded = overloaded_.load();
   snap.cache_hits = cache_.hits();
   snap.cache_misses = cache_.misses();
+  snap.plan_cache_hits = view_cache_.hits();
+  snap.plan_cache_misses = view_cache_.misses();
+  snap.plan_cache_entries = view_cache_.entries();
   return snap;
 }
 
@@ -349,18 +353,22 @@ std::string Server::ExecuteQueryOp(const std::string& op,
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
 
-  const bool cacheable = IsCacheableOp(op);
-  std::string cache_key;
-  if (cacheable) {
-    cache_key =
-        ResponseCache::Key((*loaded)->name, (*loaded)->epoch, op, args);
-    std::string cached;
-    if (cache_.Get(cache_key, &cached)) {
-      metrics.CounterAdd(ServiceMetrics::Get().cache_hits);
-      return OkResponse(cached).Serialize();
-    }
-    metrics.CounterAdd(ServiceMetrics::Get().cache_misses);
+  // Parse + optimize first: the response cache is keyed on the canonical
+  // plan string, so syntactically different but equivalent requests
+  // ("zoomout b a" vs "zoomout a b") share one entry.
+  Result<ParsedQuery> parsed = ParseQuery(op, args);
+  if (!parsed.ok()) {
+    return CountErrorResponse(ErrorCodeString(parsed.status().code()),
+                              parsed.status().message());
   }
+  std::string cache_key = ResponseCache::Key(
+      (*loaded)->name, (*loaded)->epoch, parsed->canonical, {});
+  std::string cached;
+  if (cache_.Get(cache_key, &cached)) {
+    metrics.CounterAdd(ServiceMetrics::Get().cache_hits);
+    return OkResponse(cached).Serialize();
+  }
+  metrics.CounterAdd(ServiceMetrics::Get().cache_misses);
 
   // The token is created before the fault fires so an injected exec delay
   // counts against the request deadline — that determinism is what the
@@ -374,11 +382,14 @@ std::string Server::ExecuteQueryOp(const std::string& op,
     return CountErrorResponse(ErrorCodeString(fault.code()), fault.message());
   }
 
-  Result<std::string> text = token.cancelled()
-                                 ? Result<std::string>(token.status())
-                                 : ExecuteReadQuery((*loaded)->snapshot, op,
-                                                    args,
-                                                    options_.query_threads);
+  std::string view_scope =
+      StrCat((*loaded)->name, '\x1f', (*loaded)->epoch);
+  Result<std::string> text =
+      token.cancelled()
+          ? Result<std::string>(token.status())
+          : ExecuteParsedQuery((*loaded)->snapshot, *parsed,
+                               options_.query_threads, &view_cache_,
+                               view_scope, *loaded);
   // Authoritative end-of-request deadline check: a query that slipped past
   // the poll strides still misses its deadline deterministically.
   if (token.CheckDeadlineNow() || token.cancelled()) {
@@ -389,7 +400,7 @@ std::string Server::ExecuteQueryOp(const std::string& op,
     return CountErrorResponse(ErrorCodeString(text.status().code()),
                               text.status().message());
   }
-  if (cacheable) cache_.Put(cache_key, *text);
+  cache_.Put(cache_key, *text);
   return OkResponse(*text).Serialize();
 }
 
@@ -430,7 +441,10 @@ std::string Server::HandleAdminOp(const std::string& op,
       ",\"overloaded\":", stats.overloaded,
       ",\"cache_hits\":", stats.cache_hits,
       ",\"cache_misses\":", stats.cache_misses,
-      ",\"graphs\":", registry_->size(),
+      ",\"plan_cache\":{\"hits\":", stats.plan_cache_hits,
+      ",\"misses\":", stats.plan_cache_misses,
+      ",\"entries\":", stats.plan_cache_entries,
+      "},\"graphs\":", registry_->size(),
       "},\"metrics\":", obs::MetricsRegistry::Global().RenderJson(), "}\n");
   return OkResponse(out).Serialize();
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "provenance/exec.h"
 #include "service/cache.h"
 #include "service/registry.h"
 
@@ -79,6 +80,11 @@ class Server {
     uint64_t overloaded = 0;   // admission-control rejections
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    // Composed view-mask reuse (subplan cache; one hit or miss per plan
+    // with view operators).
+    uint64_t plan_cache_hits = 0;
+    uint64_t plan_cache_misses = 0;
+    uint64_t plan_cache_entries = 0;
   };
   StatsSnapshot Stats() const;
 
@@ -131,6 +137,10 @@ class Server {
   GraphRegistry* const registry_;
   const ServerOptions options_;
   ResponseCache cache_;
+  // Composed GraphView masks keyed by canonical view-prefix, so requests
+  // sharing a plan prefix (any graph, any epoch — the scope string keys
+  // both) skip recomputing the shared stages.
+  PlanViewCache view_cache_;
   BoundedQueue queue_;
 
   int listen_fd_ = -1;

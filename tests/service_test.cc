@@ -477,6 +477,93 @@ TEST_F(ServerTest, CacheServesRepeatedViewQueries) {
   EXPECT_GE(stats.cache_misses, 1u);
 }
 
+TEST_F(ServerTest, EquivalentPlansShareOneCacheEntry) {
+  // The response cache keys on canonical plan strings, so syntactically
+  // different but equivalent requests hit the same entry.
+  ServerOptions options;
+  options.cache_entries = 8;
+  ServiceClient client = StartAndConnect(options);
+  Result<std::string> first =
+      client.Query("zoomout", {"dealer", "aggregate"});
+  LIPSTICK_ASSERT_OK(first.status());
+  Result<std::string> second =
+      client.Query("zoomout", {"aggregate", "dealer"});
+  LIPSTICK_ASSERT_OK(second.status());
+  EXPECT_EQ(*first, *second);
+  Server::StatsSnapshot stats = server_->Stats();
+  EXPECT_GE(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST_F(ServerTest, PipelineQueriesRunThroughThePlanEngine) {
+  ServerOptions options;
+  options.cache_entries = 8;
+  ServiceClient client = StartAndConnect(options);
+  Result<std::shared_ptr<const LoadedGraph>> loaded = registry_.Get("");
+  LIPSTICK_ASSERT_OK(loaded.status());
+
+  // A pipeline travels whole in the op field and renders identically to a
+  // local plan execution.
+  const std::string pipeline = "zoomout dealer | stats";
+  Result<std::string> local = service::ExecuteReadQuery(
+      (*loaded)->snapshot, pipeline, {}, /*threads=*/1);
+  LIPSTICK_ASSERT_OK(local.status());
+  Result<std::string> remote = client.Query(pipeline, {});
+  LIPSTICK_ASSERT_OK(remote.status());
+  EXPECT_EQ(*local, *remote);
+
+  // The first pipeline missed the composed-view cache; a second pipeline
+  // sharing the zoomout prefix hits it.
+  Server::StatsSnapshot before = server_->Stats();
+  EXPECT_GE(before.plan_cache_misses, 1u);
+  EXPECT_GE(before.plan_cache_entries, 1u);
+  Result<std::string> extended =
+      client.Query("zoomout dealer | find --label token", {});
+  LIPSTICK_ASSERT_OK(extended.status());
+  Server::StatsSnapshot after = server_->Stats();
+  EXPECT_GE(after.plan_cache_hits, before.plan_cache_hits + 1);
+}
+
+TEST_F(ServerTest, MetriczExposesPlanCacheCounters) {
+  ServerOptions options;
+  options.cache_entries = 8;
+  ServiceClient client = StartAndConnect(options);
+  Result<std::string> warm = client.Query("zoomout dealer | stats", {});
+  LIPSTICK_ASSERT_OK(warm.status());
+  Result<std::string> again = client.Query("zoomout dealer | stats", {});
+  LIPSTICK_ASSERT_OK(again.status());
+
+  Result<std::string> metricz = client.Query("metricz", {});
+  LIPSTICK_ASSERT_OK(metricz.status());
+  Result<obs::JsonValue> doc = obs::ParseJson(*metricz);
+  LIPSTICK_ASSERT_OK(doc.status());
+  const obs::JsonValue* svc = doc->Find("service");
+  ASSERT_NE(svc, nullptr);
+  const obs::JsonValue* plan_cache = svc->Find("plan_cache");
+  ASSERT_NE(plan_cache, nullptr);
+  const obs::JsonValue* hits = plan_cache->Find("hits");
+  const obs::JsonValue* misses = plan_cache->Find("misses");
+  const obs::JsonValue* entries = plan_cache->Find("entries");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  ASSERT_NE(entries, nullptr);
+  Server::StatsSnapshot stats = server_->Stats();
+  EXPECT_EQ(static_cast<uint64_t>(hits->number()), stats.plan_cache_hits);
+  EXPECT_EQ(static_cast<uint64_t>(misses->number()),
+            stats.plan_cache_misses);
+  EXPECT_EQ(static_cast<uint64_t>(entries->number()),
+            stats.plan_cache_entries);
+  EXPECT_GE(stats.plan_cache_misses, 1u);
+}
+
+TEST_F(ServerTest, ExplainRunsRemotely) {
+  ServiceClient client = StartAndConnect();
+  Result<std::string> text = client.Query("explain", {"stats"});
+  LIPSTICK_ASSERT_OK(text.status());
+  EXPECT_EQ(text->rfind("plan: explain stats\n", 0), 0u) << *text;
+  EXPECT_NE(text->find("operators:"), std::string::npos);
+}
+
 TEST_F(ServerTest, DeadlineExceededUnderInjectedLatency) {
   ServiceClient client = StartAndConnect();
   // A delay-only fault on the execution path makes every query take

@@ -53,7 +53,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 # The one perf-smoke bench list, shared by the perf stage here and the
 # bench job in .github/workflows/ci.yml (which calls this stage).
-PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_fig7b_subgraph_dealerships bench_fig7c_subgraph_arctic bench_obs_overhead bench_fault_overhead bench_wal_overhead bench_analyze bench_serve)
+PERF_BENCHES=(bench_prov_size bench_fig7a_zoom bench_fig7b_subgraph_dealerships bench_fig7c_subgraph_arctic bench_obs_overhead bench_fault_overhead bench_wal_overhead bench_analyze bench_pipeline bench_serve)
 
 # Use ccache when available (CI caches it across runs).
 CMAKE_LAUNCHER_ARGS=()
@@ -82,10 +82,11 @@ run_asan() {
 # with num_workers > 1), the lock-free StringPool (provenance_test), the
 # MetricsRegistry + TraceBuffer concurrency tests (obs_test), and the
 # snapshot/traversal read-path stress (snapshot_test: concurrent readers,
-# work-stealing ParallelFor/ParallelReach, lazy views), and the query
-# service (service_test: accept/session/worker threads, hot reload,
-# concurrent clients).
-TSAN_TESTS='^(workflow_test|workflowgen_test|property_test|dataflow_test|provenance_test|obs_test|snapshot_test|service_test)$'
+# work-stealing ParallelFor/ParallelReach, lazy views), the plan engine
+# (plan_test: multi-threaded plan execution + the shared PlanViewCache),
+# and the query service (service_test: accept/session/worker threads, hot
+# reload, concurrent clients).
+TSAN_TESTS='^(workflow_test|workflowgen_test|property_test|dataflow_test|provenance_test|obs_test|snapshot_test|plan_test|service_test)$'
 
 run_tsan() {
   local saved=(${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})
@@ -119,9 +120,48 @@ run_lint() {
     echo "--- ${wf#"${repo}"/}"
     "${cli}" lint "${wf}"
     # Static dataflow analysis must also come back clean (exit 0 = no
-    # warnings) and produce a well-formed JSON report.
-    "${cli}" analyze "${wf}" --json | python3 -m json.tool >/dev/null
+    # warnings) and produce a well-formed JSON report. dealership_mini
+    # needs its example CSV bindings: without them the external relations
+    # are statically empty and every derivation flags D0403.
+    local analyze_args=()
+    if [[ "${wf}" == */dealership_mini.wf ]]; then
+      local exdir="${repo}/examples/workflows"
+      analyze_args=(--input "req.Ext=${exdir}/dealership_requests.csv"
+                    --state "dealer1.Cars=${exdir}/dealership_cars1.csv"
+                    --state "dealer2.Cars=${exdir}/dealership_cars2.csv")
+    fi
+    "${cli}" analyze "${wf}" --json \
+             ${analyze_args[@]+"${analyze_args[@]}"} \
+        | python3 -m json.tool >/dev/null
   done
+
+  echo "--- explain --json goldens (examples/goldens)"
+  # The optimizer's rewrite reports and the cost model's predictions are
+  # part of the tool's contract: `explain --json` over a deterministic
+  # dealership run must match the committed goldens byte for byte.
+  local work
+  work="$(mktemp -d)"
+  # shellcheck disable=SC2064
+  trap "rm -rf '${work}'" RETURN
+  local ex="${repo}/examples/workflows"
+  "${cli}" run "${ex}/dealership_mini.wf" --execs 3 \
+           --input "req.Ext=${ex}/dealership_requests.csv" \
+           --state "dealer1.Cars=${ex}/dealership_cars1.csv" \
+           --state "dealer2.Cars=${ex}/dealership_cars2.csv" \
+           --graph "${work}/g.pg" >/dev/null
+  "${cli}" explain "${work}/g.pg" stats --json \
+           > "${work}/explain_stats.json"
+  "${cli}" explain "${work}/g.pg" \
+           "zoomout dealer | subgraph 281474976710657 | stats" --json \
+           > "${work}/explain_pipeline.json"
+  for name in explain_stats explain_pipeline; do
+    python3 -m json.tool < "${work}/${name}.json" >/dev/null || {
+      echo "FAIL: ${name} is not valid JSON"; return 1; }
+    diff -u "${repo}/examples/goldens/${name}.json" "${work}/${name}.json" || {
+      echo "FAIL: ${name} drifted from examples/goldens/${name}.json"
+      return 1; }
+  done
+  echo "explain goldens OK"
 }
 
 run_crash() {
@@ -224,6 +264,7 @@ run_integration() {
 stats
 find --label token
 subgraph ${id}
+zoomout dealer | subgraph ${id} | stats
 EOF
 
   echo "--- local-mode golden outputs"
@@ -271,6 +312,20 @@ EOF
            > "${work}/remote.batch.out"
   diff -u "${work}/local.batch.out" "${work}/remote.batch.out" || {
     echo "FAIL: batch output drift"; return 1; }
+
+  echo "--- pipeline + explain must match local byte-for-byte"
+  local pipe_q="zoomout dealer | subgraph ${id} | stats"
+  "${cli}" query "${work}/g.pg" "${pipe_q}" > "${work}/local.pipe.out"
+  "${cli}" query --connect "127.0.0.1:${port}" "${pipe_q}" \
+           > "${work}/remote.pipe.out"
+  diff -u "${work}/local.pipe.out" "${work}/remote.pipe.out" || {
+    echo "FAIL: pipeline output drift"; return 1; }
+  "${cli}" query "${work}/g.pg" explain "${pipe_q}" \
+           > "${work}/local.explain.out"
+  "${cli}" query --connect "127.0.0.1:${port}" explain "${pipe_q}" \
+           > "${work}/remote.explain.out"
+  diff -u "${work}/local.explain.out" "${work}/remote.explain.out" || {
+    echo "FAIL: explain output drift"; return 1; }
 
   echo "--- error envelope carries the wire code"
   if "${cli}" query --connect "127.0.0.1:${port}" badop \

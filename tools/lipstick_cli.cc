@@ -21,6 +21,8 @@
 //   lipstick query <graph.pg> zoomout <module> [<module>...] [--out g.pg]
 //   lipstick query <graph.pg> dot [--out graph.dot]
 //   lipstick query <graph.pg> opm --out graph.xml
+//   lipstick query <graph.pg> "zoomout m1,m2 | subgraph 42 | stats" [--out f]
+//   lipstick explain <graph.pg> <query...> [--json]
 //   lipstick query <graph.pg> --batch <queries.txt> [--threads N]
 //   lipstick serve [name=]graph.pg... [--host H] [--port P] [--workers N]
 //                  [--queue-depth N] [--deadline-ms D] [--cache N]
@@ -31,8 +33,15 @@
 //
 // Every `query` form accepts `--threads N`: parallel scans and traversals
 // for the one-shot queries, concurrent lines over one shared snapshot for
-// --batch (one read-only query per line: stats, find, expr, depends,
-// subgraph, zoomout; blank lines and # comments skipped).
+// --batch (one read-only query per line — single ops or `|` pipelines;
+// blank lines and # comments skipped, errors report 1-based line numbers).
+//
+// A `|` anywhere in the query folds the whole command line into one
+// pipeline plan: view stages (zoomout, subgraph, restrict, delete) compose
+// into a single mask without intermediate materialization, then an
+// optional terminal (stats, find, expr, depends) renders over it.
+// `explain` prints the optimized plan with predicted cardinalities
+// instead of running it.
 //
 // `serve` runs the long-lived query daemon of the service layer; `query
 // --connect` talks to it over the length-prefixed JSON protocol and
@@ -112,7 +121,11 @@ int FailUsage() {
                "       lipstick recover <wal-dir> [--out g.pg] "
                "[--keep-uncommitted] [--repair]\n"
                "       lipstick query <graph.pg> stats|find|expr|depends|"
-               "subgraph|delete|zoomout|dot|opm|validate ... [--threads N]\n"
+               "subgraph|delete|zoomout|restrict|dot|opm|validate ... "
+               "[--threads N]\n"
+               "       lipstick query <graph.pg> \"<stage> | <stage> | ...\" "
+               "[--out f]\n"
+               "       lipstick explain <graph.pg> <query...> [--json]\n"
                "       lipstick query <graph.pg> --batch <queries.txt> "
                "[--threads N]\n"
                "       lipstick serve [name=]graph.pg... [--host H] "
@@ -705,42 +718,69 @@ int CmdRecover(const std::vector<std::string>& args) {
 /// unknown op fails fast with a one-line diagnostic (mirroring `recover`).
 bool KnownQueryOp(const std::string& op) {
   static const std::set<std::string> kOps = {
-      "stats",  "find",    "expr", "depends", "subgraph",
-      "delete", "zoomout", "dot",  "opm",     "validate"};
+      "stats",   "find",     "expr", "depends", "subgraph", "delete",
+      "zoomout", "restrict", "dot",  "opm",     "validate", "explain"};
   return kOps.count(op) > 0;
 }
 
+/// True when any token carries a `|`: the whole command line is one
+/// pipeline plan and travels as a single op string.
+bool HasPipe(const std::vector<std::string>& tokens) {
+  for (const std::string& t : tokens) {
+    if (t.find('|') != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const std::string& t : tokens) {
+    if (!out.empty()) out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+/// One batch-file query plus where it came from: per-line errors cite the
+/// 1-based line number in the original file, not the post-skip index.
+struct BatchLine {
+  size_t line_no = 0;
+  std::string text;
+};
+
 /// Loads a batch file: one query per line, blank lines and # comments
 /// skipped. Shared by the local and remote batch drivers.
-Result<std::vector<std::string>> ReadBatchLines(const std::string& path) {
+Result<std::vector<BatchLine>> ReadBatchLines(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IOError(StrCat("cannot read batch file '", path, "'"));
   }
-  std::vector<std::string> lines;
+  std::vector<BatchLine> lines;
   std::string line;
-  while (std::getline(in, line)) {
+  for (size_t line_no = 1; std::getline(in, line); ++line_no) {
     size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
-    lines.push_back(line.substr(first));
+    lines.push_back(BatchLine{line_no, line.substr(first)});
   }
   return lines;
 }
 
 /// Prints batch results in input order under "## <query>" headers. Failed
 /// lines render through the protocol error envelope ("error: <code>:
-/// <message>" — identical whether the query ran locally or server-side),
-/// and make the exit code nonzero; all lines still run and report.
-int ReportBatch(const std::vector<std::string>& lines,
+/// <message>" — identical whether the query ran locally or server-side)
+/// plus the 1-based source line number, and make the exit code nonzero;
+/// all lines still run and report.
+int ReportBatch(const std::vector<BatchLine>& lines,
                 const std::vector<std::string>& outputs,
                 const std::vector<Status>& errors) {
   size_t failures = 0;
   for (size_t i = 0; i < lines.size(); ++i) {
-    std::printf("## %s\n", lines[i].c_str());
+    std::printf("## %s\n", lines[i].text.c_str());
     if (errors[i].ok()) {
       std::fputs(outputs[i].c_str(), stdout);
     } else {
-      std::printf("%s\n", service::ErrorLine(errors[i]).c_str());
+      std::printf("%s (line %zu)\n", service::ErrorLine(errors[i]).c_str(),
+                  lines[i].line_no);
       ++failures;
     }
   }
@@ -756,21 +796,17 @@ int ReportBatch(const std::vector<std::string>& lines,
 /// concurrently over a single shared snapshot on `threads` workers.
 int RunBatch(const GraphSnapshot& snap, const std::string& batch_path,
              int threads) {
-  Result<std::vector<std::string>> lines = ReadBatchLines(batch_path);
+  Result<std::vector<BatchLine>> lines = ReadBatchLines(batch_path);
   if (!lines.ok()) return Fail(lines.status().ToString());
   std::vector<std::string> outputs(lines->size());
   std::vector<Status> errors(lines->size());
   // Parallelism comes from running whole lines concurrently, so each line
-  // executes its query single-threaded.
+  // executes its query single-threaded. The whole line travels as the op
+  // string — the plan parser splits it, so pipelines need no special case.
   ParallelFor(lines->size(), threads, [&](size_t begin, size_t end, int) {
     for (size_t i = begin; i < end; ++i) {
-      std::istringstream ts((*lines)[i]);
-      std::vector<std::string> tokens;
-      std::string tok;
-      while (ts >> tok) tokens.push_back(tok);
-      std::vector<std::string> qargs(tokens.begin() + 1, tokens.end());
       Result<std::string> text =
-          service::ExecuteReadQuery(snap, tokens[0], qargs, /*threads=*/1);
+          service::ExecuteReadQuery(snap, (*lines)[i].text, {}, /*threads=*/1);
       if (text.ok()) {
         outputs[i] = std::move(*text);
       } else {
@@ -786,18 +822,24 @@ int RunBatch(const GraphSnapshot& snap, const std::string& batch_path,
 int RunRemoteBatch(service::ServiceClient* client,
                    const std::string& batch_path, const std::string& graph,
                    double deadline_ms) {
-  Result<std::vector<std::string>> lines = ReadBatchLines(batch_path);
+  Result<std::vector<BatchLine>> lines = ReadBatchLines(batch_path);
   if (!lines.ok()) return Fail(lines.status().ToString());
   std::vector<std::string> outputs(lines->size());
   std::vector<Status> errors(lines->size());
   for (size_t i = 0; i < lines->size(); ++i) {
-    std::istringstream ts((*lines)[i]);
-    std::vector<std::string> tokens;
-    std::string tok;
-    while (ts >> tok) tokens.push_back(tok);
-    std::vector<std::string> qargs(tokens.begin() + 1, tokens.end());
-    Result<std::string> text =
-        client->Query(tokens[0], qargs, graph, deadline_ms);
+    // Pipelines travel whole in the op field; plain lines tokenize so the
+    // server's exact-name admin dispatch (ping, reload, ...) still works.
+    std::string op = (*lines)[i].text;
+    std::vector<std::string> qargs;
+    if (op.find('|') == std::string::npos) {
+      std::istringstream ts(op);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (ts >> tok) tokens.push_back(tok);
+      op = tokens[0];
+      qargs.assign(tokens.begin() + 1, tokens.end());
+    }
+    Result<std::string> text = client->Query(op, qargs, graph, deadline_ms);
     if (text.ok()) {
       outputs[i] = std::move(*text);
     } else {
@@ -822,6 +864,11 @@ int CmdQueryRemote(const std::string& endpoint,
   if (rest.empty()) return FailUsage();
   std::string op = rest[0];
   std::vector<std::string> qargs(rest.begin() + 1, rest.end());
+  if (HasPipe(rest)) {
+    // Whole pipeline in the op field, same as local mode.
+    op = JoinTokens(rest);
+    qargs.clear();
+  }
   Result<std::string> text = client->Query(op, qargs, graph, deadline_ms);
   if (!text.ok()) {
     std::fprintf(stderr, "lipstick: %s\n",
@@ -892,11 +939,19 @@ int CmdQuery(const std::vector<std::string>& args) {
   // Reject unknown subcommands and unreadable paths before the loader
   // runs: one-line diagnostics, nonzero exit, no partial output.
   std::string op;
+  bool pipeline = false;
   if (batch_path.empty()) {
     if (rest.empty()) return FailUsage();
     op = rest[0];
     rest.erase(rest.begin());
-    if (!KnownQueryOp(op)) {
+    // A `|` anywhere (quoted as one shell word or split across several)
+    // folds the whole command line into one pipeline op; its stages are
+    // validated by the plan parser after the graph loads.
+    pipeline = op.find('|') != std::string::npos || HasPipe(rest);
+    if (pipeline) {
+      if (!rest.empty()) op = StrCat(op, " ", JoinTokens(rest));
+      rest.clear();
+    } else if (!KnownQueryOp(op)) {
       return Fail(StrCat("unknown query operation '", op, "'"));
     }
   }
@@ -934,12 +989,44 @@ int CmdQuery(const std::vector<std::string>& args) {
   }
 
   if (op == "stats" || op == "find" || op == "expr" || op == "depends" ||
+      op == "restrict" || op == "explain" ||
       (op == "subgraph" && out_path.empty()) ||
-      (op == "zoomout" && out_path.empty())) {
+      (op == "zoomout" && out_path.empty()) ||
+      (pipeline && out_path.empty())) {
     Result<std::string> text =
         service::ExecuteReadQuery(*snap, op, rest, threads);
     if (!text.ok()) return Fail(text.status().ToString());
     std::fputs(text->c_str(), stdout);
+    return 0;
+  }
+  if (pipeline) {
+    // Pipeline with --out: build the composed view once, then save it —
+    // .pg materializes a standalone graph, anything else renders dot.
+    Result<Plan> plan = ParsePlan(op, rest);
+    if (!plan.ok()) return Fail(plan.status().ToString());
+    OptimizedPlan optimized = OptimizePlan(*plan);
+    if (!optimized.plan.ops.back().IsViewOp()) {
+      // A terminal stage leaves no graph to save; run it and ignore
+      // --out, the way `stats --out` always has.
+      Result<std::string> text =
+          service::ExecuteReadQuery(*snap, op, rest, threads);
+      if (!text.ok()) return Fail(text.status().ToString());
+      std::fputs(text->c_str(), stdout);
+      return 0;
+    }
+    Result<GraphView> view = BuildPlanView(*snap, optimized.plan, threads);
+    if (!view.ok()) return Fail(view.status().ToString());
+    std::printf("pipeline view: %zu nodes\n", view->num_visible());
+    if (EndsWith(out_path, ".pg")) {
+      Result<ProvenanceGraph> mat = view->Materialize();
+      if (!mat.ok()) return Fail(mat.status().ToString());
+      Status st = SaveGraphToFile(*mat, out_path);
+      if (!st.ok()) return Fail(st.ToString());
+    } else {
+      Status st = WriteDotToFile(*view, out_path);
+      if (!st.ok()) return Fail(st.ToString());
+    }
+    std::printf("wrote %s\n", out_path.c_str());
     return 0;
   }
   if (op == "subgraph") {
@@ -1000,6 +1087,36 @@ int CmdQuery(const std::vector<std::string>& args) {
   Status st = WriteDot(*snap, dot);
   if (!st.ok()) return Fail(st.ToString());
   std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+/// `lipstick explain <graph.pg> <query...> [--json]`: parse + optimize the
+/// query and print the plan with the cost model's predictions, without
+/// executing it. Sugar for `query <graph.pg> explain ...`.
+int CmdExplain(const std::vector<std::string>& args) {
+  if (args.size() < 2) return FailUsage();
+  const std::string path = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  // `--json` rides as an arg token; the query itself folds into the op
+  // string so quoted pipelines re-tokenize in the plan parser.
+  std::vector<std::string> qargs;
+  if (!rest.empty() && rest.back() == "--json") {
+    qargs.push_back("--json");
+    rest.pop_back();
+  }
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return Fail(StrCat("cannot read graph file '", path, "'"));
+  }
+  Result<ProvenanceGraph> graph = LoadGraphFromFile(path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  graph->Seal();
+  Result<GraphSnapshot> snap = GraphSnapshot::Capture(*graph);
+  if (!snap.ok()) return Fail(snap.status().ToString());
+  Result<std::string> text = service::ExecuteReadQuery(
+      *snap, StrCat("explain ", JoinTokens(rest)), qargs, /*threads=*/1);
+  if (!text.ok()) return Fail(text.status().ToString());
+  std::fputs(text->c_str(), stdout);
   return 0;
 }
 
@@ -1132,6 +1249,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return CmdRun(rest);
   if (cmd == "recover") return CmdRecover(rest);
   if (cmd == "query") return CmdQuery(rest);
+  if (cmd == "explain") return CmdExplain(rest);
   if (cmd == "serve") return CmdServe(rest);
   return FailUsage();
 }
